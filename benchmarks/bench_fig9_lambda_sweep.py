@@ -1,0 +1,38 @@
+"""Figure 9: effect of the penalty weight lambda on average bit-width and accuracy.
+
+Shape reproduced: larger lambda values select smaller average bit-widths
+(Figure 9a) at the cost of a modest accuracy reduction, while negative /
+tiny lambda values stay near the top of the bit range and close to FP32
+accuracy (Figure 9b).
+"""
+
+import numpy as np
+from _bench_utils import run_once
+
+from repro.experiments.figures import figure9_lambda_sweep
+
+
+def test_figure9_lambda_sweep(benchmark, light_scale):
+    points = run_once(benchmark, figure9_lambda_sweep,
+                      lambdas=(-0.1, 0.0, 0.1, 1.0), scale=light_scale,
+                      num_seeds=light_scale.num_seeds)
+
+    print("\nFigure 9 — effect of lambda on average bit-width and accuracy")
+    print(f"{'lambda':>8} {'avg bits':>9} {'accuracy':>9}")
+    for point in points:
+        print(f"{point.lambda_value:>8.3g} {point.average_bits:>9.2f} {point.accuracy:>9.3f}")
+
+    by_lambda = {point.lambda_value: point for point in points}
+    # Monotone trend in the aggregate: the largest lambda uses no more bits
+    # than the negative-lambda setting.
+    assert by_lambda[1.0].average_bits <= by_lambda[-0.1].average_bits + 1e-6
+    # All selections stay inside the search space.
+    assert all(2.0 <= point.average_bits <= 8.0 for point in points)
+    # Accuracy of the accuracy-first settings stays above the strongly
+    # compressed one minus noise margin (shape of Figure 9b).
+    lenient = max(by_lambda[-0.1].accuracy, by_lambda[0.0].accuracy)
+    assert lenient >= by_lambda[1.0].accuracy - 0.10
+    # Correlation between lambda and bits is non-positive overall.
+    lambdas = [point.lambda_value for point in points]
+    bits = [point.average_bits for point in points]
+    assert np.corrcoef(lambdas, bits)[0, 1] <= 0.3

@@ -1,0 +1,20 @@
+"""Table 1: space/time complexity comparison of DQ, A²Q and MixQ-GNN."""
+
+from _bench_utils import run_once
+
+from repro.experiments.table_static import format_table1, table1_complexity
+
+
+def test_table1_complexity(benchmark):
+    rows = run_once(benchmark, table1_complexity, num_nodes=2708, num_features=1433,
+                    num_layers=3, bits=8.0)
+    print("\n" + format_table1(rows))
+
+    by_method = {row["method"]: row for row in rows}
+    # Shape from the paper: A2Q stores per-node quantization parameters, so its
+    # space and FP32-time grow with n while DQ and MixQ-GNN do not.
+    assert by_method["A2Q"]["space_count"] > by_method["MixQ-GNN"]["space_count"]
+    assert by_method["A2Q"]["time_fp32_count"] > by_method["MixQ-GNN"]["time_fp32_count"]
+    assert by_method["DQ"]["time_fp32_count"] == by_method["MixQ-GNN"]["time_fp32_count"]
+    # Integer propagation cost is the same for all three methods.
+    assert len({row["time_int_count"] for row in rows}) == 1

@@ -1,0 +1,19 @@
+"""Table 2: dataset characteristics registry."""
+
+from _bench_utils import run_once
+
+from repro.experiments.table_static import format_table2, table2_datasets
+
+
+def test_table2_dataset_characteristics(benchmark):
+    table = run_once(benchmark, table2_datasets)
+    print("\n" + format_table2(table))
+
+    # Every dataset the paper evaluates on is registered with its Table 2 shape.
+    assert table["cora"]["num_nodes"] == 2708 and table["cora"]["num_classes"] == 7
+    assert table["citeseer"]["num_nodes"] == 3327
+    assert table["pubmed"]["num_classes"] == 3
+    assert table["ogb-arxiv"]["num_classes"] == 40
+    assert table["ogb-products"]["num_nodes"] == 2_449_029
+    assert table["reddit-m"]["num_classes"] == 5
+    assert table["csl"]["num_graphs"] == 150

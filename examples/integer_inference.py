@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Theorem 1 in action: exact integer message passing.
+
+The example quantizes the normalised adjacency and the node features of a
+citation graph, performs the aggregation ``A @ X`` entirely with integer
+sparse-dense arithmetic plus the rank-one corrections of Theorem 1, and
+verifies that the result matches the fake-quantized floating-point product
+to numerical precision — the guarantee the theorem provides.
+
+Run with:  python examples/integer_inference.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.datasets import load_citeseer
+from repro.quant import AffineQuantizer
+from repro.quant.integer_mp import (
+    fake_quantized_reference,
+    integer_message_passing,
+)
+
+
+def main() -> None:
+    graph = load_citeseer(scale=0.15, seed=0)
+    adjacency = graph.normalized_adjacency()
+    print(f"Graph: {graph}")
+    print(f"Normalised adjacency: {adjacency}")
+
+    for bits in (8, 4, 2):
+        quantizer_a = AffineQuantizer(bits=bits, symmetric=True)
+        quantizer_x = AffineQuantizer(bits=bits)
+        result = integer_message_passing(adjacency, graph.x, quantizer_a, quantizer_x)
+        reference = fake_quantized_reference(adjacency, graph.x, quantizer_a, quantizer_x)
+        max_error = float(np.abs(result.dequantized_output - reference).max())
+        quantization_error = float(
+            np.abs(reference - adjacency.csr @ graph.x).mean())
+        print(f"INT{bits}: theorem-vs-fake-quant max error = {max_error:.2e} "
+              f"(exact), mean quantization error vs FP32 = {quantization_error:.4f}")
+        print(f"      integer product dtype: {result.integer_product.dtype}, "
+              f"scales: S_a={float(result.scale_a):.4f}, S_x={float(result.scale_x):.4f}")
+
+
+if __name__ == "__main__":
+    main()

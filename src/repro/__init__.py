@@ -1,0 +1,25 @@
+"""MixQ-GNN reproduction: mixed-precision quantization for graph neural networks.
+
+Reproduction of "Efficient Mixed Precision Quantization in Graph Neural
+Networks" (Moustafa, Kriege, Gansterer — ICDE 2025) as a self-contained
+Python library: a numpy autodiff substrate, GNN layers, the quantization
+stack (Theorem 1 integer message passing, Degree-Quant, A²Q baselines) and
+the MixQ-GNN differentiable bit-width search.
+
+Quickstart
+----------
+>>> from repro.graphs.datasets import load_cora
+>>> from repro.core import MixQNodeClassifier
+>>> graph = load_cora(scale=0.2, seed=0)
+>>> mixq = MixQNodeClassifier("gcn", graph.num_features, 16, graph.num_classes,
+...                           bit_choices=(2, 4, 8), lambda_value=0.1)
+>>> result = mixq.fit(graph, search_epochs=30, train_epochs=60)
+>>> result.accuracy, result.average_bits  # doctest: +SKIP
+"""
+
+__version__ = "1.0.0"
+
+from repro import core, gnn, graphs, nn, optim, quant, tensor, training
+
+__all__ = ["core", "gnn", "graphs", "nn", "optim", "quant", "tensor", "training",
+           "__version__"]

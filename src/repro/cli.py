@@ -1,0 +1,153 @@
+"""Command-line interface for the MixQ-GNN reproduction.
+
+Three sub-commands cover the everyday workflows::
+
+    python -m repro.cli search  --dataset cora --lambda 0.1 --out assignment.json
+    python -m repro.cli train   --dataset cora --assignment assignment.json
+    python -m repro.cli table   --name table3 --datasets cora
+
+``search`` runs the differentiable bit-width search and stores the selected
+assignment; ``train`` quantization-aware-trains a model from a stored (or
+uniform) assignment and reports accuracy / bits / GBitOPs; ``table`` runs
+one of the paper-table experiment runners at the quick scale and prints it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.mixq import MixQNodeClassifier
+from repro.experiments.common import format_table
+from repro.experiments.config import current_scale
+from repro.experiments.results_io import load_assignment, save_assignment, save_mixq_result
+from repro.graphs.datasets import NODE_DATASETS, load_node_dataset
+from repro.quant.degree_quant import degree_quant_factory
+from repro.quant.qmodules import (
+    default_quantizer_factory,
+    gcn_component_names,
+    sage_component_names,
+    uniform_assignment,
+)
+
+
+def _add_common_model_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="cora", choices=sorted(NODE_DATASETS),
+                        help="node-classification dataset stand-in")
+    parser.add_argument("--conv", default="gcn", choices=["gcn", "sage"],
+                        help="layer family to quantize")
+    parser.add_argument("--hidden", type=int, default=16, help="hidden width")
+    parser.add_argument("--layers", type=int, default=2, help="number of layers")
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="dataset down-scaling factor")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--degree-quant", action="store_true",
+                        help="use Degree-Quant quantizers (MixQ + DQ)")
+
+
+def _build_mixq(args, graph, lambda_value: float) -> MixQNodeClassifier:
+    factory = degree_quant_factory() if args.degree_quant else default_quantizer_factory
+    return MixQNodeClassifier(args.conv, graph.num_features, args.hidden,
+                              graph.num_classes, num_layers=args.layers,
+                              bit_choices=tuple(args.bits), lambda_value=lambda_value,
+                              quantizer_factory=factory, seed=args.seed)
+
+
+def _command_search(args) -> int:
+    graph = load_node_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    mixq = _build_mixq(args, graph, args.lambda_value)
+    result = mixq.search(graph, epochs=args.epochs)
+    print(f"selected average bit-width: {result.average_bits:.2f}")
+    for component, bits in sorted(result.assignment.items()):
+        print(f"  {component:<28} {bits} bits")
+    if args.out:
+        save_assignment(result.assignment, args.out,
+                        metadata={"dataset": args.dataset, "lambda": args.lambda_value,
+                                  "conv": args.conv, "hidden": args.hidden,
+                                  "layers": args.layers})
+        print(f"assignment written to {args.out}")
+    return 0
+
+
+def _command_train(args) -> int:
+    graph = load_node_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    if args.assignment:
+        assignment = load_assignment(args.assignment)
+    else:
+        names = gcn_component_names(args.layers) if args.conv == "gcn" \
+            else sage_component_names(args.layers)
+        assignment = uniform_assignment(names, args.uniform_bits)
+    mixq = _build_mixq(args, graph, lambda_value=0.0)
+    result = mixq.fit(graph, train_epochs=args.epochs, assignment=assignment)
+    print(f"test accuracy      : {result.accuracy:.3f}")
+    print(f"average bit-width  : {result.average_bits:.2f}")
+    print(f"GBitOPs            : {result.giga_bit_operations:.4f}")
+    if args.out:
+        save_mixq_result(result, args.out)
+        print(f"result written to {args.out}")
+    return 0
+
+
+def _command_table(args) -> int:
+    from repro.experiments import ablation, node_tables
+
+    scale = current_scale()
+    datasets = tuple(args.datasets)
+    if args.name == "table3":
+        results = node_tables.table3_node_classification(datasets=datasets, scale=scale)
+    elif args.name == "table6":
+        results = node_tables.table6_graphsage(datasets=datasets, scale=scale)
+    elif args.name == "table10":
+        results = ablation.table10_random_vs_mixq(datasets=datasets, scale=scale)
+    else:
+        raise ValueError(f"unknown table {args.name!r}")
+    for dataset, rows in results.items():
+        print(format_table(f"{args.name} — {dataset}", rows))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    search = subparsers.add_parser("search", help="run the MixQ bit-width search")
+    _add_common_model_arguments(search)
+    search.add_argument("--lambda", dest="lambda_value", type=float, default=0.1,
+                        help="penalty weight λ")
+    search.add_argument("--bits", type=int, nargs="+", default=[2, 4, 8],
+                        help="candidate bit-widths B")
+    search.add_argument("--epochs", type=int, default=60, help="search epochs")
+    search.add_argument("--out", default="", help="write the assignment to this JSON file")
+    search.set_defaults(handler=_command_search)
+
+    train = subparsers.add_parser("train", help="QAT-train a quantized model")
+    _add_common_model_arguments(train)
+    train.add_argument("--assignment", default="",
+                       help="JSON assignment produced by the search command")
+    train.add_argument("--uniform-bits", type=int, default=8,
+                       help="uniform bit-width when no assignment file is given")
+    train.add_argument("--bits", type=int, nargs="+", default=[2, 4, 8],
+                       help="candidate bit-widths (metadata only)")
+    train.add_argument("--epochs", type=int, default=100, help="training epochs")
+    train.add_argument("--out", default="", help="write the run summary to this JSON file")
+    train.set_defaults(handler=_command_train)
+
+    table = subparsers.add_parser("table", help="print one of the paper tables")
+    table.add_argument("--name", default="table3",
+                       choices=["table3", "table6", "table10"])
+    table.add_argument("--datasets", nargs="+", default=["cora"])
+    table.set_defaults(handler=_command_table)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

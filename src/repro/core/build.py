@@ -1,0 +1,79 @@
+"""Building relaxed architectures ("Build Relaxed Architecture", Algorithm 1).
+
+Algorithm 1 walks the modules of a base architecture and adds input, output,
+aggregation and parameter quantizers with ``|B|`` choices each.  Since the
+layer families the paper quantizes (GCN, GIN, GraphSAGE) are known, the
+builders construct the relaxed layers directly from an architecture
+specification — one relaxed quantizer per component, input quantizers only
+on the first module, aggregation quantizers only on message-passing layers,
+weight quantizers wherever learnable parameters exist.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.relaxed_modules import (
+    RelaxedGCNConv,
+    RelaxedGINConv,
+    RelaxedGraphClassifier,
+    RelaxedNodeClassifier,
+    RelaxedSAGEConv,
+)
+from repro.gnn.message_passing import MessagePassing
+from repro.quant.qmodules import QuantizerFactory, default_quantizer_factory
+
+_RELAXED_CONVS = {"gcn": RelaxedGCNConv, "gin": RelaxedGINConv, "sage": RelaxedSAGEConv}
+
+
+def layer_dimensions(in_features: int, hidden_features: int, num_classes: int,
+                     num_layers: int) -> List[Tuple[int, int]]:
+    """Feature dimensions of an ``num_layers`` stack ending in ``num_classes``."""
+    if num_layers < 1:
+        raise ValueError("architectures need at least one layer")
+    if num_layers == 1:
+        return [(in_features, num_classes)]
+    dims = [(in_features, hidden_features)]
+    dims.extend((hidden_features, hidden_features) for _ in range(num_layers - 2))
+    dims.append((hidden_features, num_classes))
+    return dims
+
+
+def build_relaxed_node_classifier(conv_type: str, layer_dims: Sequence[Tuple[int, int]],
+                                  bit_choices: Sequence[int], dropout: float = 0.5,
+                                  quantizer_factory: QuantizerFactory = default_quantizer_factory,
+                                  rng: Optional[np.random.Generator] = None
+                                  ) -> RelaxedNodeClassifier:
+    """Build the relaxed (searchable) node classifier for a layer family.
+
+    ``conv_type`` is one of ``"gcn"`` / ``"gin"`` / ``"sage"``; ``layer_dims``
+    is a list of ``(in_features, out_features)`` pairs.  The first layer
+    receives an input quantizer; intermediate aggregation outputs keep their
+    quantizers so the component count matches the paper's example (nine
+    components for a two-layer GCN).
+    """
+    key = conv_type.lower()
+    if key not in _RELAXED_CONVS:
+        raise KeyError(f"unknown conv type {conv_type!r}; options: {sorted(_RELAXED_CONVS)}")
+    conv_class = _RELAXED_CONVS[key]
+    convs: List[MessagePassing] = []
+    for index, (fan_in, fan_out) in enumerate(layer_dims):
+        convs.append(conv_class(fan_in, fan_out, bit_choices,
+                                quantize_input=(index == 0),
+                                quantizer_factory=quantizer_factory, rng=rng))
+    return RelaxedNodeClassifier(convs, dropout=dropout, rng=rng)
+
+
+def build_relaxed_graph_classifier(in_features: int, hidden_features: int,
+                                   num_classes: int, bit_choices: Sequence[int],
+                                   num_layers: int = 5, pooling: str = "max",
+                                   dropout: float = 0.5,
+                                   quantizer_factory: QuantizerFactory = default_quantizer_factory,
+                                   rng: Optional[np.random.Generator] = None
+                                   ) -> RelaxedGraphClassifier:
+    """Build the relaxed GIN graph classifier used by the graph-level tasks."""
+    return RelaxedGraphClassifier(in_features, hidden_features, num_classes, bit_choices,
+                                  num_layers=num_layers, pooling=pooling, dropout=dropout,
+                                  quantizer_factory=quantizer_factory, rng=rng)

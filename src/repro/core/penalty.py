@@ -1,0 +1,63 @@
+"""The memory-proportional penalty ``C(T)`` (paper Equations 7 and 8).
+
+For a tensor ``T`` produced during inference, the penalty is the expected
+bit-width (under the relaxation softmax) times the number of elements,
+normalised from bits to megabytes.  The total penalty of an architecture is
+the sum over every relaxed quantizer; it enters the training objective as
+``L + lambda * sum_i C(T_i)`` (the Lagrangian form of the constrained
+problem in Equation 7).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.core.relaxed_quantizer import RelaxedQuantizer
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+
+
+def relaxed_quantizers(model: Module) -> List[RelaxedQuantizer]:
+    """All relaxed quantizers of a model in traversal order."""
+    return [module for module in model.modules() if isinstance(module, RelaxedQuantizer)]
+
+
+def memory_penalty_mb(quantizer: RelaxedQuantizer) -> Tensor:
+    """One component's ``C(T)`` in megabytes (differentiable)."""
+    return quantizer.penalty()
+
+
+def total_penalty(model: Module) -> Tensor:
+    """``sum_i C(T_i)`` over every relaxed quantizer of ``model``.
+
+    The model must have been run forward at least once so each quantizer has
+    observed its tensor size (``last_numel``); before that the penalty is a
+    small constant and carries no useful signal.
+    """
+    quantizers = relaxed_quantizers(model)
+    if not quantizers:
+        raise ValueError("model has no RelaxedQuantizer modules")
+    total = None
+    for quantizer in quantizers:
+        term = memory_penalty_mb(quantizer)
+        total = term if total is None else total + term
+    return total
+
+
+def expected_average_bits(model: Module) -> float:
+    """Mean expected bit-width over all relaxed components (progress metric)."""
+    quantizers = relaxed_quantizers(model)
+    if not quantizers:
+        return 32.0
+    return float(sum(q.expected_bits_value() for q in quantizers) / len(quantizers))
+
+
+def alpha_parameters(model: Module) -> List:
+    """The relaxation parameters of all relaxed quantizers (for optimizer groups)."""
+    return [quantizer.alpha for quantizer in relaxed_quantizers(model)]
+
+
+def architecture_parameters(model: Module) -> List:
+    """All parameters of ``model`` except the relaxation parameters."""
+    alphas = {id(alpha) for alpha in alpha_parameters(model)}
+    return [parameter for parameter in model.parameters() if id(parameter) not in alphas]

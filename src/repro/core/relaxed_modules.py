@@ -1,0 +1,349 @@
+"""Relaxed (searchable) GNN layers — the differentiable architecture of MixQ-GNN.
+
+Every layer mirrors its fixed-bit-width counterpart in
+:mod:`repro.quant.qmodules` but replaces each quantizer by a
+:class:`~repro.core.relaxed_quantizer.RelaxedQuantizer` over the candidate
+bit-widths.  Component names (``input``, ``weight``, ``linear_out``,
+``adjacency``, ``aggregate_out``, ...) are identical in both families, so an
+assignment exported from a relaxed model plugs straight into the quantized
+model constructors.
+
+The adjacency component needs special care: the sparse values are not part
+of the autograd graph, so instead of mixing quantized *values*, each
+candidate bit-width produces its own quantized adjacency and the layer mixes
+the resulting *aggregation outputs* with the same softmax weights.  Task
+gradients therefore reach the adjacency relaxation parameters as well.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.relaxed_quantizer import RelaxedQuantizer
+from repro.gnn.message_passing import MessagePassing
+from repro.gnn.sage import mean_adjacency
+from repro.graphs.batch import GraphBatch
+from repro.graphs.graph import Graph
+from repro.graphs.pooling import get_pooling
+from repro.nn.activations import Dropout, ReLU
+from repro.nn.linear import Linear
+from repro.nn.module import Module, ModuleList
+from repro.quant.bitops import average_bits
+from repro.quant.qmodules import (
+    BitWidthAssignment,
+    QuantizerFactory,
+    default_quantizer_factory,
+)
+from repro.quant.quantizer import IdentityQuantizer
+from repro.tensor.sparse import SparseTensor, spmm
+from repro.tensor.tensor import Tensor
+
+
+class _RelaxedAdjacency(Module):
+    """Holds one quantized copy of an adjacency matrix per candidate bit-width.
+
+    The cache keeps a reference to the source adjacency next to its quantized
+    variants so an ``id()`` key can never be reused by a different adjacency
+    after garbage collection (mini-batched graph classification creates a new
+    adjacency per batch).
+    """
+
+    def __init__(self, relaxed_quantizer: RelaxedQuantizer):
+        super().__init__()
+        self.relaxed = relaxed_quantizer
+        self._cache: dict[int, tuple[SparseTensor, List[SparseTensor]]] = {}
+
+    def aggregate(self, adjacency: SparseTensor, messages: Tensor) -> Tensor:
+        key = id(adjacency)
+        entry = self._cache.get(key)
+        if entry is None or entry[0] is not adjacency:
+            variants = []
+            for quantizer in self.relaxed.quantizers:
+                if isinstance(quantizer, IdentityQuantizer):
+                    variants.append(adjacency)
+                    continue
+                integers, params = quantizer.quantize_array(adjacency.values)
+                values = quantizer.dequantize_array(integers, params)
+                variants.append(adjacency.with_values(values.astype(np.float32)))
+            self._cache[key] = (adjacency, variants)
+            if len(self._cache) > 8:
+                self._cache.pop(next(iter(self._cache)))
+        self.relaxed.last_numel = adjacency.nnz
+        outputs = [spmm(variant, messages) for variant in self._cache[key][1]]
+        return self.relaxed.mixture_terms(outputs)
+
+
+class RelaxedLinear(Module):
+    """Linear layer with relaxed weight and output quantizers."""
+
+    def __init__(self, in_features: int, out_features: int, bit_choices: Sequence[int],
+                 bias: bool = True,
+                 quantizer_factory: QuantizerFactory = default_quantizer_factory,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.linear = Linear(in_features, out_features, bias=bias, rng=rng)
+        self.weight_relaxed = RelaxedQuantizer(bit_choices, "weight", quantizer_factory,
+                                               name="weight")
+        self.output_relaxed = RelaxedQuantizer(bit_choices, "activation", quantizer_factory,
+                                               name="output")
+
+    def forward(self, x: Tensor) -> Tensor:
+        weight = self.weight_relaxed(self.linear.weight)
+        out = x.matmul(weight)
+        if self.linear.bias is not None:
+            out = out + self.linear.bias
+        return self.output_relaxed(out)
+
+    def export_bits(self, prefix: str) -> BitWidthAssignment:
+        return {f"{prefix}.weight": self.weight_relaxed.selected_bits(),
+                f"{prefix}.output": self.output_relaxed.selected_bits()}
+
+
+class RelaxedGCNConv(MessagePassing):
+    """Relaxed GCN convolution (components mirror :class:`QuantGCNConv`)."""
+
+    def __init__(self, in_features: int, out_features: int, bit_choices: Sequence[int],
+                 quantize_input: bool = False, quantize_output: bool = True,
+                 bias: bool = True,
+                 quantizer_factory: QuantizerFactory = default_quantizer_factory,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.quantize_input = quantize_input
+        self.quantize_output = quantize_output
+        self.linear = Linear(in_features, out_features, bias=bias, rng=rng)
+        if quantize_input:
+            self.input_relaxed: Optional[RelaxedQuantizer] = RelaxedQuantizer(
+                bit_choices, "activation", quantizer_factory, name="input")
+        else:
+            self.input_relaxed = None
+        self.weight_relaxed = RelaxedQuantizer(bit_choices, "weight", quantizer_factory,
+                                               name="weight")
+        self.linear_out_relaxed = RelaxedQuantizer(bit_choices, "activation",
+                                                   quantizer_factory, name="linear_out")
+        self.adjacency_relaxed = RelaxedQuantizer(bit_choices, "adjacency",
+                                                  quantizer_factory, name="adjacency")
+        if quantize_output:
+            self.aggregate_out_relaxed: Optional[RelaxedQuantizer] = RelaxedQuantizer(
+                bit_choices, "activation", quantizer_factory, name="aggregate_out")
+        else:
+            self.aggregate_out_relaxed = None
+        self._relaxed_adjacency = _RelaxedAdjacency(self.adjacency_relaxed)
+
+    def forward(self, x: Tensor, graph: Graph) -> Tensor:
+        if self.input_relaxed is not None:
+            x = self.input_relaxed(x)
+        weight = self.weight_relaxed(self.linear.weight)
+        transformed = x.matmul(weight)
+        if self.linear.bias is not None:
+            transformed = transformed + self.linear.bias
+        transformed = self.linear_out_relaxed(transformed)
+        aggregated = self._relaxed_adjacency.aggregate(
+            graph.normalized_adjacency(), transformed)
+        if self.aggregate_out_relaxed is not None:
+            aggregated = self.aggregate_out_relaxed(aggregated)
+        return aggregated
+
+    def export_bits(self, prefix: str) -> BitWidthAssignment:
+        assignment: BitWidthAssignment = {}
+        if self.input_relaxed is not None:
+            assignment[f"{prefix}.input"] = self.input_relaxed.selected_bits()
+        assignment[f"{prefix}.weight"] = self.weight_relaxed.selected_bits()
+        assignment[f"{prefix}.linear_out"] = self.linear_out_relaxed.selected_bits()
+        assignment[f"{prefix}.adjacency"] = self.adjacency_relaxed.selected_bits()
+        if self.aggregate_out_relaxed is not None:
+            assignment[f"{prefix}.aggregate_out"] = self.aggregate_out_relaxed.selected_bits()
+        return assignment
+
+
+class RelaxedGINConv(MessagePassing):
+    """Relaxed GIN convolution (components mirror :class:`QuantGINConv`)."""
+
+    def __init__(self, in_features: int, out_features: int, bit_choices: Sequence[int],
+                 quantize_input: bool = False, hidden_features: Optional[int] = None,
+                 quantizer_factory: QuantizerFactory = default_quantizer_factory,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.quantize_input = quantize_input
+        hidden = hidden_features if hidden_features is not None else out_features
+        if quantize_input:
+            self.input_relaxed: Optional[RelaxedQuantizer] = RelaxedQuantizer(
+                bit_choices, "activation", quantizer_factory, name="input")
+        else:
+            self.input_relaxed = None
+        self.adjacency_relaxed = RelaxedQuantizer(bit_choices, "adjacency",
+                                                  quantizer_factory, name="adjacency")
+        self.aggregate_out_relaxed = RelaxedQuantizer(bit_choices, "activation",
+                                                      quantizer_factory,
+                                                      name="aggregate_out")
+        self.mlp_first = RelaxedLinear(in_features, hidden, bit_choices,
+                                       quantizer_factory=quantizer_factory, rng=rng)
+        self.mlp_second = RelaxedLinear(hidden, out_features, bit_choices,
+                                        quantizer_factory=quantizer_factory, rng=rng)
+        self.activation = ReLU()
+        self.eps = 0.0
+        self._relaxed_adjacency = _RelaxedAdjacency(self.adjacency_relaxed)
+
+    def forward(self, x: Tensor, graph: Graph) -> Tensor:
+        if self.input_relaxed is not None:
+            x = self.input_relaxed(x)
+        aggregated = self._relaxed_adjacency.aggregate(
+            graph.adjacency(add_self_loops=False), x)
+        combined = x * (1.0 + self.eps) + aggregated
+        combined = self.aggregate_out_relaxed(combined)
+        hidden = self.activation(self.mlp_first(combined))
+        return self.mlp_second(hidden)
+
+    def export_bits(self, prefix: str) -> BitWidthAssignment:
+        assignment: BitWidthAssignment = {}
+        if self.input_relaxed is not None:
+            assignment[f"{prefix}.input"] = self.input_relaxed.selected_bits()
+        assignment[f"{prefix}.adjacency"] = self.adjacency_relaxed.selected_bits()
+        assignment[f"{prefix}.aggregate_out"] = self.aggregate_out_relaxed.selected_bits()
+        first = self.mlp_first.export_bits(f"{prefix}.mlp0")
+        second = self.mlp_second.export_bits(f"{prefix}.mlp1")
+        # Map the nested linear components onto the QuantGINConv naming scheme.
+        assignment[f"{prefix}.weight_0"] = first[f"{prefix}.mlp0.weight"]
+        assignment[f"{prefix}.weight_1"] = second[f"{prefix}.mlp1.weight"]
+        assignment[f"{prefix}.output"] = second[f"{prefix}.mlp1.output"]
+        return assignment
+
+
+class RelaxedSAGEConv(MessagePassing):
+    """Relaxed GraphSAGE convolution (components mirror :class:`QuantSAGEConv`)."""
+
+    def __init__(self, in_features: int, out_features: int, bit_choices: Sequence[int],
+                 quantize_input: bool = False,
+                 quantizer_factory: QuantizerFactory = default_quantizer_factory,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.quantize_input = quantize_input
+        if quantize_input:
+            self.input_relaxed: Optional[RelaxedQuantizer] = RelaxedQuantizer(
+                bit_choices, "activation", quantizer_factory, name="input")
+        else:
+            self.input_relaxed = None
+        self.adjacency_relaxed = RelaxedQuantizer(bit_choices, "adjacency",
+                                                  quantizer_factory, name="adjacency")
+        self.aggregate_out_relaxed = RelaxedQuantizer(bit_choices, "activation",
+                                                      quantizer_factory,
+                                                      name="aggregate_out")
+        self.linear_root = Linear(in_features, out_features, bias=True, rng=rng)
+        self.linear_neighbour = Linear(in_features, out_features, bias=False, rng=rng)
+        self.weight_root_relaxed = RelaxedQuantizer(bit_choices, "weight",
+                                                    quantizer_factory, name="weight_root")
+        self.weight_neighbour_relaxed = RelaxedQuantizer(bit_choices, "weight",
+                                                         quantizer_factory,
+                                                         name="weight_neighbour")
+        self.output_relaxed = RelaxedQuantizer(bit_choices, "activation",
+                                               quantizer_factory, name="output")
+        self._relaxed_adjacency = _RelaxedAdjacency(self.adjacency_relaxed)
+
+    def forward(self, x: Tensor, graph: Graph) -> Tensor:
+        if self.input_relaxed is not None:
+            x = self.input_relaxed(x)
+        aggregated = self.aggregate_out_relaxed(
+            self._relaxed_adjacency.aggregate(mean_adjacency(graph), x))
+        weight_root = self.weight_root_relaxed(self.linear_root.weight)
+        weight_neighbour = self.weight_neighbour_relaxed(self.linear_neighbour.weight)
+        out = x.matmul(weight_root) + self.linear_root.bias \
+            + aggregated.matmul(weight_neighbour)
+        return self.output_relaxed(out)
+
+    def export_bits(self, prefix: str) -> BitWidthAssignment:
+        assignment: BitWidthAssignment = {}
+        if self.input_relaxed is not None:
+            assignment[f"{prefix}.input"] = self.input_relaxed.selected_bits()
+        assignment[f"{prefix}.adjacency"] = self.adjacency_relaxed.selected_bits()
+        assignment[f"{prefix}.aggregate_out"] = self.aggregate_out_relaxed.selected_bits()
+        assignment[f"{prefix}.weight_root"] = self.weight_root_relaxed.selected_bits()
+        assignment[f"{prefix}.weight_neighbour"] = self.weight_neighbour_relaxed.selected_bits()
+        assignment[f"{prefix}.output"] = self.output_relaxed.selected_bits()
+        return assignment
+
+
+class RelaxedNodeClassifier(Module):
+    """Relaxed node classifier — the searchable architecture of Algorithm 1."""
+
+    def __init__(self, convs: List[MessagePassing], dropout: float = 0.5,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.convs = ModuleList(convs)
+        self.activation = ReLU()
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, graph: Graph, x: Optional[Tensor] = None) -> Tensor:
+        if x is None:
+            x = Tensor(graph.x)
+        num_layers = len(self.convs)
+        for index, conv in enumerate(self.convs):
+            x = conv(x, graph)
+            if index < num_layers - 1:
+                x = self.activation(x)
+                x = self.dropout(x)
+        return x
+
+    def export_assignment(self) -> BitWidthAssignment:
+        """Arg-max bit-width per component (the sequence ``S`` of Algorithm 1)."""
+        assignment: BitWidthAssignment = {}
+        for index, conv in enumerate(self.convs):
+            assignment.update(conv.export_bits(f"conv{index}"))
+        return assignment
+
+    def selected_average_bits(self) -> float:
+        return average_bits(self.export_assignment().values())
+
+
+class RelaxedGraphClassifier(Module):
+    """Relaxed GIN graph classifier (searchable counterpart of Table 8's model)."""
+
+    def __init__(self, in_features: int, hidden_features: int, num_classes: int,
+                 bit_choices: Sequence[int], num_layers: int = 5,
+                 pooling: str = "max", dropout: float = 0.5,
+                 quantizer_factory: QuantizerFactory = default_quantizer_factory,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        convs: List[MessagePassing] = []
+        for index in range(num_layers):
+            fan_in = in_features if index == 0 else hidden_features
+            convs.append(RelaxedGINConv(fan_in, hidden_features, bit_choices,
+                                        quantize_input=(index == 0),
+                                        quantizer_factory=quantizer_factory, rng=rng))
+        self.convs = ModuleList(convs)
+        self.pooling_name = pooling
+        self._pool = get_pooling(pooling)
+        self.head_hidden = RelaxedLinear(hidden_features, hidden_features, bit_choices,
+                                         quantizer_factory=quantizer_factory, rng=rng)
+        self.head_out = RelaxedLinear(hidden_features, num_classes, bit_choices,
+                                      quantizer_factory=quantizer_factory, rng=rng)
+        self.activation = ReLU()
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, batch: GraphBatch, x: Optional[Tensor] = None) -> Tensor:
+        if x is None:
+            x = Tensor(batch.x)
+        for conv in self.convs:
+            x = conv(x, batch)
+            x = self.activation(x)
+        pooled = self._pool(x, batch.batch, batch.num_graphs)
+        hidden = self.activation(self.head_hidden(pooled))
+        hidden = self.dropout(hidden)
+        return self.head_out(hidden)
+
+    def export_assignment(self) -> BitWidthAssignment:
+        assignment: BitWidthAssignment = {}
+        for index, conv in enumerate(self.convs):
+            assignment.update(conv.export_bits(f"conv{index}"))
+        assignment.update(self.head_hidden.export_bits("head0"))
+        assignment.update(self.head_out.export_bits("head1"))
+        return assignment
+
+    def selected_average_bits(self) -> float:
+        return average_bits(self.export_assignment().values())

@@ -1,0 +1,69 @@
+"""Experiment scale presets.
+
+The paper's experiments run for hundreds of epochs on GPU-sized datasets;
+the reproduction exposes the same experiments at two scales:
+
+* ``QUICK`` — used by the pytest-benchmark harness and CI: tiny graphs,
+  few epochs, 1-2 seeds.  Finishes in minutes and still exhibits the
+  qualitative shape (ordering of methods, compression ratios).
+* ``STANDARD`` — larger graphs and more epochs/seeds for a closer match;
+  used when running the benchmark scripts by hand with ``REPRO_SCALE=standard``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs shared by all experiment runners."""
+
+    name: str
+    citation_scale: float
+    large_scale: float
+    num_graphs: int
+    num_seeds: int
+    search_epochs: int
+    train_epochs: int
+    graph_search_epochs: int
+    graph_train_epochs: int
+    num_folds: int
+    hidden_features: int
+
+
+QUICK = ExperimentScale(
+    name="quick",
+    citation_scale=0.12,
+    large_scale=0.5,
+    num_graphs=60,
+    num_seeds=2,
+    search_epochs=25,
+    train_epochs=50,
+    graph_search_epochs=4,
+    graph_train_epochs=8,
+    num_folds=3,
+    hidden_features=16,
+)
+
+STANDARD = ExperimentScale(
+    name="standard",
+    citation_scale=0.3,
+    large_scale=1.0,
+    num_graphs=150,
+    num_seeds=5,
+    search_epochs=60,
+    train_epochs=150,
+    graph_search_epochs=10,
+    graph_train_epochs=25,
+    num_folds=10,
+    hidden_features=32,
+)
+
+_SCALES = {"quick": QUICK, "standard": STANDARD}
+
+
+def current_scale() -> ExperimentScale:
+    """Scale selected through the ``REPRO_SCALE`` environment variable."""
+    return _SCALES.get(os.environ.get("REPRO_SCALE", "quick").lower(), QUICK)

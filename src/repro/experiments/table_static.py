@@ -1,0 +1,49 @@
+"""Static tables: Table 1 (complexity) and Table 2 (dataset characteristics)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.graphs.datasets import dataset_characteristics
+from repro.quant.complexity import ComplexityRow, complexity_table
+
+
+def table1_complexity(num_nodes: int = 2708, num_features: int = 1433,
+                      num_layers: int = 2, bits: float = 8.0) -> List[Dict[str, object]]:
+    """Table 1 with the symbolic formulas and concrete counts for a Cora-sized GCN."""
+    rows: List[Dict[str, object]] = []
+    for method, row in complexity_table().items():
+        rows.append({
+            "method": method,
+            "space": row.space,
+            "time_fp32": row.time_fp32,
+            "time_int": row.time_int,
+            "space_count": row.space_count(num_nodes, num_features, num_layers, bits),
+            "time_fp32_count": row.time_fp32_count(num_nodes, num_features, num_layers),
+            "time_int_count": row.time_int_count(num_nodes, num_features, num_layers),
+        })
+    return rows
+
+
+def table2_datasets() -> Dict[str, Dict[str, object]]:
+    """Table 2: the characteristics registry for every dataset referenced."""
+    return dataset_characteristics()
+
+
+def format_table1(rows: List[Dict[str, object]]) -> str:
+    lines = ["Table 1 — Space and time complexity",
+             f"{'Method':<10} {'Space':<18} {'Time (FP32)':<16} {'Time (INT)':<22} "
+             f"{'#params':>12}"]
+    for row in rows:
+        lines.append(f"{row['method']:<10} {row['space']:<18} {row['time_fp32']:<16} "
+                     f"{row['time_int']:<22} {row['space_count']:>12.0f}")
+    return "\n".join(lines)
+
+
+def format_table2(table: Dict[str, Dict[str, object]]) -> str:
+    lines = ["Table 2 — Dataset characteristics",
+             f"{'Dataset':<14} {'#graphs':>8} {'#nodes':>10} {'#classes':>9}"]
+    for name, spec in table.items():
+        lines.append(f"{name:<14} {spec.get('num_graphs', 1):>8} "
+                     f"{spec.get('num_nodes', 0):>10} {spec.get('num_classes', 0):>9}")
+    return "\n".join(lines)

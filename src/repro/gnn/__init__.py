@@ -1,0 +1,21 @@
+"""Graph neural network layers and reference architectures."""
+
+from repro.gnn.message_passing import MessagePassing
+from repro.gnn.gcn import GCNConv
+from repro.gnn.gin import GINConv
+from repro.gnn.sage import SAGEConv
+from repro.gnn.gat import GATConv
+from repro.gnn.tag import TAGConv
+from repro.gnn.models import NodeClassifier, GraphClassifier, build_node_model
+
+__all__ = [
+    "MessagePassing",
+    "GCNConv",
+    "GINConv",
+    "SAGEConv",
+    "GATConv",
+    "TAGConv",
+    "NodeClassifier",
+    "GraphClassifier",
+    "build_node_model",
+]

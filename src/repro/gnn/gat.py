@@ -1,0 +1,112 @@
+"""Graph Attention Network layer (Velickovic et al., 2018).
+
+Single-head additive attention: per-edge coefficients are computed from the
+transformed endpoint embeddings, normalised with a softmax over each node's
+incoming edges, and used as edge weights for aggregation.  Used by the
+Figure 1 operations-versus-accuracy benchmark; the quantization experiments
+in the paper focus on GCN / GIN / GraphSAGE.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.gnn.message_passing import MessagePassing
+from repro.graphs.graph import Graph
+from repro.nn import init
+from repro.nn.linear import Linear
+from repro.nn.module import Parameter
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class GATConv(MessagePassing):
+    """One single-head GAT convolution."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 negative_slope: float = 0.2,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.negative_slope = negative_slope
+        self.linear = Linear(in_features, out_features, bias=False, rng=rng)
+        self.attention_src = Parameter(init.glorot_uniform((out_features, 1), rng=rng),
+                                       name="attention_src")
+        self.attention_dst = Parameter(init.glorot_uniform((out_features, 1), rng=rng),
+                                       name="attention_dst")
+        self.bias = Parameter(init.zeros((out_features,)), name="bias")
+
+    def forward(self, x: Tensor, graph: Graph) -> Tensor:
+        source, target = graph.edge_index
+        # Attention is computed over the graph with self loops so every node
+        # attends at least to itself.
+        loops = np.arange(graph.num_nodes)
+        source = np.concatenate([source, loops])
+        target = np.concatenate([target, loops])
+
+        transformed = self.linear(x)
+        score_src = transformed.matmul(self.attention_src).reshape(-1)
+        score_dst = transformed.matmul(self.attention_dst).reshape(-1)
+        edge_scores = F.leaky_relu(score_src[source] + score_dst[target],
+                                   negative_slope=self.negative_slope)
+        attention = F.scatter_softmax(edge_scores.reshape(-1, 1), target, graph.num_nodes)
+        messages = transformed[source] * attention
+        aggregated = F.segment_sum(messages, target, graph.num_nodes)
+        return aggregated + self.bias
+
+    def operation_count(self, graph: Graph) -> int:
+        num_edges = graph.num_edges + graph.num_nodes
+        transform = self.linear.operation_count(graph.num_nodes)
+        scores = 4 * graph.num_nodes * self.out_features + 6 * num_edges
+        aggregate = 2 * num_edges * self.out_features
+        return transform + scores + aggregate
+
+    def __repr__(self) -> str:
+        return f"GATConv({self.in_features} -> {self.out_features})"
+
+
+class TransformerConv(MessagePassing):
+    """Dot-product attention convolution (UniMP-style transformer layer).
+
+    Included for the Figure 1 sweep over layer families; identical interface
+    to :class:`GATConv` but with scaled dot-product attention scores.
+    """
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.query = Linear(in_features, out_features, bias=False, rng=rng)
+        self.key = Linear(in_features, out_features, bias=False, rng=rng)
+        self.value = Linear(in_features, out_features, bias=True, rng=rng)
+
+    def forward(self, x: Tensor, graph: Graph) -> Tensor:
+        source, target = graph.edge_index
+        loops = np.arange(graph.num_nodes)
+        source = np.concatenate([source, loops])
+        target = np.concatenate([target, loops])
+
+        queries = self.query(x)
+        keys = self.key(x)
+        values = self.value(x)
+        scale = 1.0 / np.sqrt(self.out_features)
+        edge_scores = (queries[target] * keys[source]).sum(axis=-1, keepdims=True) * scale
+        attention = F.scatter_softmax(edge_scores, target, graph.num_nodes)
+        messages = values[source] * attention
+        return F.segment_sum(messages, target, graph.num_nodes)
+
+    def operation_count(self, graph: Graph) -> int:
+        num_edges = graph.num_edges + graph.num_nodes
+        transform = (self.query.operation_count(graph.num_nodes)
+                     + self.key.operation_count(graph.num_nodes)
+                     + self.value.operation_count(graph.num_nodes))
+        scores = 2 * num_edges * self.out_features
+        aggregate = 2 * num_edges * self.out_features
+        return transform + scores + aggregate
+
+    def __repr__(self) -> str:
+        return f"TransformerConv({self.in_features} -> {self.out_features})"

@@ -1,0 +1,74 @@
+"""Message-passing base class (matrix MPNN formulation, Equation 2 of the paper).
+
+A layer is decomposed into the three functions of the MPNN framework:
+
+* ``message`` — a transformation ``M`` of the previous embeddings;
+* ``aggregate`` — the permutation-invariant reduction, realised as the
+  sparse-dense product with the (normalised) adjacency matrix;
+* ``update`` — the transformation ``U`` applied to the aggregated messages.
+
+Sub-classes override whichever piece differs; quantization wrappers in
+:mod:`repro.quant` and :mod:`repro.core` insert quantizers precisely around
+these three functions, which is how the paper defines its per-component
+bit-width search space.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graphs.graph import Graph
+from repro.nn.module import Module
+from repro.tensor.sparse import SparseTensor, spmm
+from repro.tensor.tensor import Tensor
+
+
+class MessagePassing(Module):
+    """Base class for adjacency-matrix message-passing layers."""
+
+    def __init__(self):
+        super().__init__()
+
+    # ------------------------------------------------------------------ #
+    # pieces of the MPNN decomposition
+    # ------------------------------------------------------------------ #
+    def message(self, x: Tensor) -> Tensor:
+        """The per-node message function ``M`` (identity by default)."""
+        return x
+
+    def aggregate(self, adjacency: SparseTensor, messages: Tensor) -> Tensor:
+        """Aggregate messages with the adjacency matrix (``A @ M(H)``)."""
+        return spmm(adjacency, messages)
+
+    def update(self, aggregated: Tensor, x: Tensor) -> Tensor:
+        """The update function ``U`` (identity by default)."""
+        return aggregated
+
+    # ------------------------------------------------------------------ #
+    def adjacency_for(self, graph: Graph) -> SparseTensor:
+        """Which adjacency this layer propagates over (raw by default)."""
+        return graph.adjacency(add_self_loops=False)
+
+    def propagate(self, graph: Graph, x: Tensor,
+                  adjacency: Optional[SparseTensor] = None) -> Tensor:
+        """Full message-passing step: message, aggregate, update."""
+        if adjacency is None:
+            adjacency = self.adjacency_for(graph)
+        messages = self.message(x)
+        aggregated = self.aggregate(adjacency, messages)
+        return self.update(aggregated, x)
+
+    def forward(self, x: Tensor, graph: Graph) -> Tensor:
+        return self.propagate(graph, x)
+
+    # ------------------------------------------------------------------ #
+    # cost accounting used by the BitOPs metric and Figure 1
+    # ------------------------------------------------------------------ #
+    def aggregation_operations(self, graph: Graph, num_features: int) -> int:
+        """Scalar operations for the sparse-dense aggregation on ``graph``."""
+        nnz = graph.adjacency(add_self_loops=True).nnz
+        return 2 * nnz * num_features
+
+    def operation_count(self, graph: Graph) -> int:
+        """Total scalar operations for one forward pass (sub-classes refine)."""
+        return self.aggregation_operations(graph, graph.num_features)

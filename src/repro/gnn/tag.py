@@ -1,0 +1,51 @@
+"""Topology-Adaptive Graph Convolution (Du et al., 2017).
+
+``H' = sum_{k=0..K} \\hat{A}^k H Theta_k`` — a fixed-depth polynomial of the
+normalised adjacency.  Used in the Figure 1 layer-family sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.gnn.message_passing import MessagePassing
+from repro.graphs.graph import Graph
+from repro.nn.linear import Linear
+from repro.nn.module import ModuleList
+from repro.tensor.sparse import spmm
+from repro.tensor.tensor import Tensor
+
+
+class TAGConv(MessagePassing):
+    """Topology-adaptive graph convolution with ``hops`` adjacency powers."""
+
+    def __init__(self, in_features: int, out_features: int, hops: int = 3,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if hops < 1:
+            raise ValueError("TAGConv needs at least one hop")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.hops = hops
+        self.linears = ModuleList(
+            [Linear(in_features, out_features, bias=(k == 0), rng=rng)
+             for k in range(hops + 1)])
+
+    def forward(self, x: Tensor, graph: Graph) -> Tensor:
+        adjacency = graph.normalized_adjacency()
+        output = self.linears[0](x)
+        propagated = x
+        for hop in range(1, self.hops + 1):
+            propagated = spmm(adjacency, propagated)
+            output = output + self.linears[hop](propagated)
+        return output
+
+    def operation_count(self, graph: Graph) -> int:
+        aggregate = self.hops * self.aggregation_operations(graph, self.in_features)
+        transform = sum(linear.operation_count(graph.num_nodes) for linear in self.linears)
+        return aggregate + transform
+
+    def __repr__(self) -> str:
+        return f"TAGConv({self.in_features} -> {self.out_features}, hops={self.hops})"

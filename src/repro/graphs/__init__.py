@@ -1,0 +1,16 @@
+"""Graph data structures, transforms, pooling and dataset generators."""
+
+from repro.graphs.graph import Graph
+from repro.graphs.batch import GraphBatch
+from repro.graphs import transforms
+from repro.graphs import pooling
+from repro.graphs.splits import train_val_test_masks, k_fold_indices
+
+__all__ = [
+    "Graph",
+    "GraphBatch",
+    "transforms",
+    "pooling",
+    "train_val_test_masks",
+    "k_fold_indices",
+]

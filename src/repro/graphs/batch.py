@@ -1,0 +1,61 @@
+"""Batching a list of graphs into one disjoint-union graph.
+
+Graph-level tasks (Table 8, Table 9) process mini-batches of graphs.  The
+standard trick is to stack the graphs into a single block-diagonal adjacency
+matrix and keep a ``batch`` vector mapping each node to its graph, which the
+global pooling functions then use for per-graph readout.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+
+class GraphBatch(Graph):
+    """A disjoint union of graphs with a node-to-graph assignment vector."""
+
+    def __init__(self, graphs: Sequence[Graph]):
+        if not graphs:
+            raise ValueError("cannot batch an empty list of graphs")
+        offsets = np.cumsum([0] + [g.num_nodes for g in graphs])
+        x = np.concatenate([g.x for g in graphs], axis=0)
+        edge_index = np.concatenate(
+            [g.edge_index + offset for g, offset in zip(graphs, offsets[:-1])], axis=1)
+        edge_weight = np.concatenate([g.edge_weight for g in graphs])
+        y = None
+        if all(g.y is not None for g in graphs):
+            y = np.concatenate([np.atleast_1d(g.y) for g in graphs])
+        super().__init__(x, edge_index, y=y, edge_weight=edge_weight, name="batch")
+        self.batch = np.concatenate(
+            [np.full(g.num_nodes, index, dtype=np.int64) for index, g in enumerate(graphs)])
+        self.num_graphs = len(graphs)
+        self.graph_sizes = np.asarray([g.num_nodes for g in graphs])
+
+    def __repr__(self) -> str:
+        return (f"GraphBatch(graphs={self.num_graphs}, nodes={self.num_nodes}, "
+                f"edges={self.num_edges})")
+
+
+def collate(graphs: Sequence[Graph]) -> GraphBatch:
+    """Alias of :class:`GraphBatch` construction (mirrors dataloader collate)."""
+    return GraphBatch(graphs)
+
+
+def iterate_minibatches(graphs: Sequence[Graph], batch_size: int,
+                        rng: np.random.Generator | None = None,
+                        shuffle: bool = True) -> List[GraphBatch]:
+    """Split ``graphs`` into :class:`GraphBatch` mini-batches."""
+    order = np.arange(len(graphs))
+    if shuffle:
+        if rng is None:
+            rng = np.random.default_rng(0)
+        rng.shuffle(order)
+    batches = []
+    for start in range(0, len(graphs), batch_size):
+        chunk = [graphs[i] for i in order[start:start + batch_size]]
+        batches.append(GraphBatch(chunk))
+    return batches

@@ -1,0 +1,72 @@
+"""Stand-ins for the Planetoid citation datasets (Cora, CiteSeer, PubMed).
+
+Each loader produces a seeded stochastic-block-model graph whose class
+count, feature dimensionality and relative size mirror the original dataset
+(Table 2 of the paper), scaled down by ``scale`` so that CPU-only training
+finishes quickly.  ``scale=1.0`` approximates the original node counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.graphs.datasets.synthetic import SBMConfig, generate_sbm_graph
+from repro.graphs.graph import Graph
+
+#: Characteristics of the original datasets (paper Table 2) used to shape the
+#: synthetic stand-ins and to regenerate the dataset-characteristics table.
+PLANETOID_CHARACTERISTICS: Dict[str, Dict[str, int]] = {
+    "cora": {"num_nodes": 2708, "num_edges": 10556, "num_features": 1433, "num_classes": 7},
+    "citeseer": {"num_nodes": 3327, "num_edges": 9104, "num_features": 3703, "num_classes": 6},
+    "pubmed": {"num_nodes": 19717, "num_edges": 88648, "num_features": 500, "num_classes": 3},
+}
+
+#: Default down-scaling factor so the full benchmark suite runs on a laptop CPU.
+DEFAULT_SCALE = 0.25
+
+
+def _build_config(name: str, scale: float) -> SBMConfig:
+    spec = PLANETOID_CHARACTERISTICS[name]
+    num_nodes = max(int(spec["num_nodes"] * scale), 8 * spec["num_classes"])
+    average_degree = spec["num_edges"] / spec["num_nodes"]
+    num_features = max(int(spec["num_features"] * scale), 32)
+    return SBMConfig(
+        num_nodes=num_nodes,
+        num_classes=spec["num_classes"],
+        num_features=num_features,
+        average_degree=average_degree,
+        homophily=0.70,
+        feature_signal=0.50,
+        feature_sparsity=0.02,
+        hub_fraction=0.02,
+        hub_extra_edges=15,
+        train_per_class=20,
+        num_val=max(num_nodes // 10, 20),
+        num_test=max(num_nodes // 5, 40),
+        name=name,
+    )
+
+
+def load_citation(name: str, scale: float = DEFAULT_SCALE, seed: int = 0) -> Graph:
+    """Load a synthetic stand-in for one of Cora / CiteSeer / PubMed."""
+    key = name.lower()
+    if key not in PLANETOID_CHARACTERISTICS:
+        raise KeyError(f"unknown citation dataset {name!r}; "
+                       f"options: {sorted(PLANETOID_CHARACTERISTICS)}")
+    config = _build_config(key, scale)
+    return generate_sbm_graph(config, seed=seed)
+
+
+def load_cora(scale: float = DEFAULT_SCALE, seed: int = 0) -> Graph:
+    """Cora stand-in: 7 classes, bag-of-words features, ~3.9 average degree."""
+    return load_citation("cora", scale=scale, seed=seed)
+
+
+def load_citeseer(scale: float = DEFAULT_SCALE, seed: int = 0) -> Graph:
+    """CiteSeer stand-in: 6 classes, high-dimensional sparse features."""
+    return load_citation("citeseer", scale=scale, seed=seed)
+
+
+def load_pubmed(scale: float = DEFAULT_SCALE, seed: int = 0) -> Graph:
+    """PubMed stand-in: 3 classes, 500-dimensional features, larger graph."""
+    return load_citation("pubmed", scale=scale, seed=seed)

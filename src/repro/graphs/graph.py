@@ -1,0 +1,124 @@
+"""The :class:`Graph` data object.
+
+A graph carries node features ``x``, an ``edge_index`` of shape
+``(2, num_edges)`` with optional ``edge_weight``, labels ``y`` (per node or
+per graph), and optional boolean masks for transductive node classification.
+The normalised adjacency used by GCN-style layers is built lazily and cached.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.tensor.sparse import SparseTensor
+
+
+class Graph:
+    """A single attributed graph.
+
+    Parameters
+    ----------
+    x:
+        Node feature matrix of shape ``(num_nodes, num_features)``.
+    edge_index:
+        ``(2, num_edges)`` integer array of directed edges ``source -> target``.
+        Undirected graphs store both directions.
+    y:
+        Either a length ``num_nodes`` label vector (node classification) or a
+        scalar / small vector (graph classification).
+    edge_weight:
+        Optional per-edge weights (defaults to 1).
+    train_mask / val_mask / test_mask:
+        Boolean node masks for transductive tasks.
+    """
+
+    def __init__(self, x: np.ndarray, edge_index: np.ndarray,
+                 y: Optional[np.ndarray] = None,
+                 edge_weight: Optional[np.ndarray] = None,
+                 train_mask: Optional[np.ndarray] = None,
+                 val_mask: Optional[np.ndarray] = None,
+                 test_mask: Optional[np.ndarray] = None,
+                 name: str = "graph"):
+        self.x = np.asarray(x, dtype=np.float32)
+        self.edge_index = np.asarray(edge_index, dtype=np.int64)
+        if self.edge_index.ndim != 2 or self.edge_index.shape[0] != 2:
+            raise ValueError("edge_index must have shape (2, num_edges)")
+        self.y = None if y is None else np.asarray(y)
+        if edge_weight is None:
+            edge_weight = np.ones(self.edge_index.shape[1], dtype=np.float32)
+        self.edge_weight = np.asarray(edge_weight, dtype=np.float32)
+        self.train_mask = None if train_mask is None else np.asarray(train_mask, dtype=bool)
+        self.val_mask = None if val_mask is None else np.asarray(val_mask, dtype=bool)
+        self.test_mask = None if test_mask is None else np.asarray(test_mask, dtype=bool)
+        self.name = name
+        self._cache: Dict[str, SparseTensor] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        return int(self.x.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_index.shape[1])
+
+    @property
+    def num_features(self) -> int:
+        return int(self.x.shape[1])
+
+    @property
+    def num_classes(self) -> int:
+        if self.y is None:
+            raise ValueError("graph has no labels")
+        if self.y.ndim > 1:
+            return int(self.y.shape[1])
+        return int(self.y.max()) + 1
+
+    # ------------------------------------------------------------------ #
+    def adjacency(self, add_self_loops: bool = False) -> SparseTensor:
+        """Raw (weighted) adjacency matrix, optionally with self loops added."""
+        key = f"adj_{add_self_loops}"
+        if key not in self._cache:
+            adjacency = SparseTensor.from_edge_index(
+                self.edge_index, self.num_nodes, self.edge_weight)
+            if add_self_loops:
+                adjacency = SparseTensor(adjacency.csr + SparseTensor.identity(self.num_nodes).csr)
+            self._cache[key] = adjacency
+        return self._cache[key]
+
+    def normalized_adjacency(self) -> SparseTensor:
+        r"""GCN-normalised adjacency :math:`\hat A = D^{-1/2}(I + A)D^{-1/2}`."""
+        if "gcn_norm" not in self._cache:
+            adjacency = self.adjacency(add_self_loops=True)
+            degree = adjacency.row_sum()
+            inv_sqrt = np.zeros_like(degree)
+            positive = degree > 0
+            inv_sqrt[positive] = 1.0 / np.sqrt(degree[positive])
+            # ``tocoo`` on a CSR matrix preserves the CSR data ordering, so the
+            # rescaled values can be written straight back into the pattern.
+            coo = adjacency.csr.tocoo()
+            values = inv_sqrt[coo.row] * coo.data * inv_sqrt[coo.col]
+            self._cache["gcn_norm"] = adjacency.with_values(values)
+        return self._cache["gcn_norm"]
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every node (number of incoming edges)."""
+        return np.bincount(self.edge_index[1], minlength=self.num_nodes)
+
+    def out_degrees(self) -> np.ndarray:
+        return np.bincount(self.edge_index[0], minlength=self.num_nodes)
+
+    def copy(self) -> "Graph":
+        return Graph(self.x.copy(), self.edge_index.copy(),
+                     y=None if self.y is None else self.y.copy(),
+                     edge_weight=self.edge_weight.copy(),
+                     train_mask=None if self.train_mask is None else self.train_mask.copy(),
+                     val_mask=None if self.val_mask is None else self.val_mask.copy(),
+                     test_mask=None if self.test_mask is None else self.test_mask.copy(),
+                     name=self.name)
+
+    def __repr__(self) -> str:
+        return (f"Graph(name={self.name!r}, nodes={self.num_nodes}, "
+                f"edges={self.num_edges}, features={self.num_features})")

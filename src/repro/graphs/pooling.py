@@ -1,0 +1,43 @@
+"""Global pooling (readout) functions for graph-level tasks.
+
+The paper uses global **max** pooling for its GIN graph-classification
+experiments specifically because max pooling keeps quantized values inside
+their quantization range (sum pooling can overflow, mean pooling produces
+non-integer values); see Section 5.4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+def global_max_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    """Per-graph maximum of node embeddings."""
+    return F.segment_max(x, batch, num_graphs)
+
+
+def global_mean_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    """Per-graph mean of node embeddings."""
+    return F.segment_mean(x, batch, num_graphs)
+
+
+def global_sum_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    """Per-graph sum of node embeddings."""
+    return F.segment_sum(x, batch, num_graphs)
+
+
+POOLING_FUNCTIONS = {
+    "max": global_max_pool,
+    "mean": global_mean_pool,
+    "sum": global_sum_pool,
+}
+
+
+def get_pooling(name: str):
+    """Look up a pooling function by name (``max`` / ``mean`` / ``sum``)."""
+    if name not in POOLING_FUNCTIONS:
+        raise KeyError(f"unknown pooling {name!r}; options: {sorted(POOLING_FUNCTIONS)}")
+    return POOLING_FUNCTIONS[name]

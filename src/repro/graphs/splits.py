@@ -1,0 +1,76 @@
+"""Train/validation/test splits and k-fold cross-validation indices."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+def train_val_test_masks(num_nodes: int, labels: np.ndarray,
+                         train_per_class: int = 20, num_val: int = 500,
+                         num_test: int = 1000,
+                         rng: np.random.Generator | None = None
+                         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Planetoid-style split: ``train_per_class`` labelled nodes per class,
+    then ``num_val`` validation and ``num_test`` test nodes from the rest."""
+    if rng is None:
+        rng = np.random.default_rng(0)
+    labels = np.asarray(labels)
+    train_mask = np.zeros(num_nodes, dtype=bool)
+    for cls in np.unique(labels):
+        candidates = np.flatnonzero(labels == cls)
+        rng.shuffle(candidates)
+        train_mask[candidates[:train_per_class]] = True
+
+    remaining = np.flatnonzero(~train_mask)
+    rng.shuffle(remaining)
+    num_val = min(num_val, max(len(remaining) - 1, 0))
+    val_mask = np.zeros(num_nodes, dtype=bool)
+    val_mask[remaining[:num_val]] = True
+    rest = remaining[num_val:]
+    num_test = min(num_test, len(rest))
+    test_mask = np.zeros(num_nodes, dtype=bool)
+    test_mask[rest[:num_test]] = True
+    return train_mask, val_mask, test_mask
+
+
+def k_fold_indices(num_items: int, num_folds: int,
+                   rng: np.random.Generator | None = None
+                   ) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Return ``num_folds`` (train_indices, test_indices) pairs."""
+    if num_folds < 2:
+        raise ValueError("k-fold cross-validation needs at least 2 folds")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    order = np.arange(num_items)
+    rng.shuffle(order)
+    folds = np.array_split(order, num_folds)
+    splits = []
+    for index in range(num_folds):
+        test_indices = folds[index]
+        train_indices = np.concatenate([folds[j] for j in range(num_folds) if j != index])
+        splits.append((train_indices, test_indices))
+    return splits
+
+
+def stratified_k_fold_indices(labels: np.ndarray, num_folds: int,
+                              rng: np.random.Generator | None = None
+                              ) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Class-stratified k-fold split (used for the TUDataset-style benchmarks)."""
+    if rng is None:
+        rng = np.random.default_rng(0)
+    labels = np.asarray(labels)
+    per_fold: List[List[int]] = [[] for _ in range(num_folds)]
+    for cls in np.unique(labels):
+        members = np.flatnonzero(labels == cls)
+        rng.shuffle(members)
+        for position, item in enumerate(members):
+            per_fold[position % num_folds].append(int(item))
+    splits = []
+    for index in range(num_folds):
+        test_indices = np.asarray(sorted(per_fold[index]))
+        train_indices = np.asarray(sorted(
+            item for j in range(num_folds) if j != index for item in per_fold[j]))
+        splits.append((train_indices, test_indices))
+    return splits

@@ -1,0 +1,25 @@
+"""Neural-network module system built on the autodiff tensor engine."""
+
+from repro.nn.module import Module, Parameter, Sequential, ModuleList
+from repro.nn.linear import Linear
+from repro.nn.mlp import MLP
+from repro.nn.normalization import BatchNorm1d, LayerNorm
+from repro.nn.activations import ReLU, Sigmoid, Tanh, Identity, Dropout
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "ModuleList",
+    "Linear",
+    "MLP",
+    "BatchNorm1d",
+    "LayerNorm",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Identity",
+    "Dropout",
+    "init",
+]

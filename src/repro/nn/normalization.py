@@ -1,0 +1,71 @@
+"""Normalisation layers (BatchNorm1d, LayerNorm).
+
+GIN architectures in the paper use an MLP with batch normalisation between
+the two linear layers; the graph-classification benchmark (Table 8) relies
+on this module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor.tensor import Tensor
+
+
+class BatchNorm1d(Module):
+    """Batch normalisation over the feature dimension of a 2-D input."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(np.ones(num_features, dtype=np.float32), name="weight")
+        self.bias = Parameter(np.zeros(num_features, dtype=np.float32), name="bias")
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 2:
+            raise ValueError("BatchNorm1d expects a 2-D input (rows, features)")
+        if self.training:
+            batch_mean = x.data.mean(axis=0)
+            batch_var = x.data.var(axis=0)
+            self.update_buffer(
+                "running_mean",
+                (1 - self.momentum) * self.running_mean + self.momentum * batch_mean)
+            self.update_buffer(
+                "running_var",
+                (1 - self.momentum) * self.running_var + self.momentum * batch_var)
+            mean, var = batch_mean, batch_var
+        else:
+            mean, var = self.running_mean, self.running_var
+
+        scale = 1.0 / np.sqrt(var + self.eps)
+        normalised = (x - Tensor(mean)) * Tensor(scale.astype(np.float32))
+        return normalised * self.weight + self.bias
+
+    def __repr__(self) -> str:
+        return f"BatchNorm1d({self.num_features})"
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.weight = Parameter(np.ones(num_features, dtype=np.float32), name="weight")
+        self.bias = Parameter(np.zeros(num_features, dtype=np.float32), name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centred = x - mean
+        variance = (centred * centred).mean(axis=-1, keepdims=True)
+        normalised = centred / (variance + self.eps).sqrt()
+        return normalised * self.weight + self.bias
+
+    def __repr__(self) -> str:
+        return f"LayerNorm({self.num_features})"

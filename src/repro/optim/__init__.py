@@ -1,0 +1,8 @@
+"""Gradient-based optimisers and learning-rate schedulers."""
+
+from repro.optim.optimizer import Optimizer, clip_grad_norm
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+from repro.optim.lr_scheduler import StepLR, CosineAnnealingLR
+
+__all__ = ["Optimizer", "SGD", "Adam", "StepLR", "CosineAnnealingLR", "clip_grad_norm"]

@@ -1,0 +1,45 @@
+"""Adam optimiser (Kingma & Ba, 2015) with decoupled weight decay option."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.optim.optimizer import Optimizer
+from repro.tensor.tensor import Tensor
+
+
+class Adam(Optimizer):
+    def __init__(self, parameters: Iterable[Tensor], lr: float = 0.01,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0, decoupled_weight_decay: bool = False):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.decoupled_weight_decay = decoupled_weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias_correction1 = 1.0 - self.beta1 ** self._t
+        bias_correction2 = 1.0 - self.beta2 ** self._t
+        for parameter, m, v in zip(self.parameters, self._m, self._v):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay and not self.decoupled_weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad * grad
+            m_hat = m / bias_correction1
+            v_hat = v / bias_correction2
+            update = self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            if self.weight_decay and self.decoupled_weight_decay:
+                update = update + self.lr * self.weight_decay * parameter.data
+            parameter.data = parameter.data - update

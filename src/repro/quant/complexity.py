@@ -1,0 +1,67 @@
+"""Analytic space/time complexity comparison (paper Table 1).
+
+The table compares Degree-Quant, A²Q and MixQ-GNN.  Space complexity counts
+quantization parameters / stored statistics; time complexity separates FP32
+work (quantizer bookkeeping) from integer work (the actual propagation).
+The formulas are evaluated symbolically-by-substitution so the benchmark can
+print concrete parameter counts for a given graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class ComplexityRow:
+    """One method's complexity entry."""
+
+    method: str
+    space: str
+    time_fp32: str
+    time_int: str
+
+    def space_count(self, num_nodes: int, num_features: int, num_layers: int,
+                    bits: float) -> float:
+        """Evaluate the space formula for concrete sizes (number of stored values)."""
+        n, f, l, b = num_nodes, num_features, num_layers, bits
+        if self.method == "DQ":
+            return l + b * n * f * l / 32.0
+        if self.method == "A2Q":
+            return n * l + b * n * f * l / 32.0
+        return l + b * n * f * l / 32.0  # MixQ-GNN
+
+    def time_fp32_count(self, num_nodes: int, num_features: int, num_layers: int) -> float:
+        n, f, l = num_nodes, num_features, num_layers
+        if self.method == "A2Q":
+            return n * f * l
+        return f * l  # DQ and MixQ-GNN
+
+    def time_int_count(self, num_nodes: int, num_features: int, num_layers: int) -> float:
+        n, f, l = num_nodes, num_features, num_layers
+        return (n * n * f + n * f * f) * l
+
+
+def complexity_table() -> Dict[str, ComplexityRow]:
+    """The three rows of Table 1."""
+    return {
+        "DQ": ComplexityRow(
+            method="DQ",
+            space="O(l + b·n·f·l)",
+            time_fp32="O_FP32(f·l)",
+            time_int="O_INT((n²f + n·f²)·l)",
+        ),
+        "A2Q": ComplexityRow(
+            method="A2Q",
+            space="O(n·l + b̄·n·f·l)",
+            time_fp32="O_FP32(n·f·l)",
+            time_int="O_INT((n²f + n·f²)·l)",
+        ),
+        "MixQ-GNN": ComplexityRow(
+            method="MixQ-GNN",
+            space="O(l + b̄·n·f·l)",
+            time_fp32="O_FP32(f·l)",
+            time_int="O_INT((n²f + n·f²)·l)",
+        ),
+    }

@@ -1,0 +1,113 @@
+"""Degree-Quant (Tailor et al., ICLR 2021) — the DQ baseline and quantizer.
+
+Degree-Quant makes two changes to plain quantization-aware training:
+
+1. **Stochastic degree-based protection** — during training, each node is
+   kept in full precision with probability ``p_v`` interpolated between
+   ``p_min`` and ``p_max`` according to its in-degree rank, because high
+   in-degree nodes accumulate the largest aggregation error.
+2. **Percentile-based ranges** — quantization ranges are taken from clipped
+   percentiles instead of the raw min/max, reducing the variance of the
+   aggregation output.
+
+The :class:`DegreeQuantizer` plugs into the quantized modules through the
+``quantizer_factory`` hook, which is also how the paper's "MixQ + DQ"
+integration (Table 4 / Table 5) is reproduced here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.nn.module import Module
+from repro.quant.quantizer import AffineQuantizer, IdentityQuantizer
+from repro.quant.qmodules import QuantizerFactory, default_quantizer_factory
+from repro.tensor.tensor import Tensor
+
+
+def degree_protection_probabilities(graph: Graph, p_min: float = 0.0,
+                                    p_max: float = 0.1) -> np.ndarray:
+    """Per-node protection probability interpolated over the in-degree ranking."""
+    if not 0.0 <= p_min <= p_max <= 1.0:
+        raise ValueError("expected 0 <= p_min <= p_max <= 1")
+    degrees = graph.in_degrees().astype(np.float64)
+    order = degrees.argsort()
+    ranks = np.empty_like(order, dtype=np.float64)
+    ranks[order] = np.arange(graph.num_nodes)
+    if graph.num_nodes > 1:
+        ranks = ranks / (graph.num_nodes - 1)
+    return (p_min + (p_max - p_min) * ranks).astype(np.float64)
+
+
+class DegreeQuantizer(AffineQuantizer):
+    """Affine quantizer with stochastic degree-based full-precision protection.
+
+    The protection probabilities are node-indexed; they are attached with
+    :meth:`set_probabilities` (usually via :func:`attach_degree_probabilities`)
+    and only apply to tensors whose first dimension equals the number of
+    nodes — weights and graph-level tensors fall back to plain quantization.
+    """
+
+    def __init__(self, bits: int = 8, signed: bool = True, symmetric: bool = False,
+                 percentile: float = 0.001,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(bits=bits, signed=signed, symmetric=symmetric,
+                         observer="percentile", percentile=percentile)
+        self.probabilities: Optional[np.ndarray] = None
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def set_probabilities(self, probabilities: np.ndarray) -> None:
+        self.probabilities = np.asarray(probabilities, dtype=np.float64)
+
+    def fake_quantize(self, x: Tensor) -> Tensor:
+        quantized = super().fake_quantize(x)
+        if (not self.training or self.probabilities is None
+                or x.shape[0] != self.probabilities.shape[0]):
+            return quantized
+        protected = (self._rng.random(x.shape[0]) < self.probabilities)
+        if not protected.any():
+            return quantized
+        mask = protected.astype(np.float32).reshape(-1, *([1] * (x.ndim - 1)))
+        mask_t = Tensor(mask)
+        # Protected rows keep the full-precision value; the rest use the
+        # fake-quantized value.  Both paths stay differentiable.
+        return x * mask_t + quantized * (1.0 - mask_t)
+
+    def __repr__(self) -> str:
+        return f"DegreeQuantizer(bits={self.bits}, symmetric={self.symmetric})"
+
+
+def degree_quant_factory(p_min: float = 0.0, p_max: float = 0.1,
+                         rng: Optional[np.random.Generator] = None) -> QuantizerFactory:
+    """Build a quantizer factory that uses :class:`DegreeQuantizer` for activations.
+
+    Weights and adjacency values use the default symmetric quantizers — DQ
+    only protects node-feature tensors.
+    """
+
+    def factory(bits: int, kind: str) -> Module:
+        if bits >= 32:
+            return IdentityQuantizer()
+        if kind == "activation":
+            return DegreeQuantizer(bits=bits, rng=rng)
+        return default_quantizer_factory(bits, kind)
+
+    return factory
+
+
+def attach_degree_probabilities(model: Module, graph: Graph,
+                                p_min: float = 0.0, p_max: float = 0.1) -> int:
+    """Attach degree-protection probabilities to every DegreeQuantizer in ``model``.
+
+    Returns the number of quantizers configured.
+    """
+    probabilities = degree_protection_probabilities(graph, p_min=p_min, p_max=p_max)
+    configured = 0
+    for module in model.modules():
+        if isinstance(module, DegreeQuantizer):
+            module.set_probabilities(probabilities)
+            configured += 1
+    return configured

@@ -1,0 +1,536 @@
+"""Fixed-bit-width quantized GNN modules (quantization-aware training).
+
+Each quantized layer owns one quantizer per *component* in the sense of the
+paper: inputs, learnable parameters, the outputs of the message function,
+the adjacency values, and the outputs of the aggregation.  Component
+bit-widths are supplied as a flat assignment dictionary, e.g.::
+
+    {"conv0.input": 8, "conv0.weight": 4, "conv0.linear_out": 4,
+     "conv0.adjacency": 8, "conv0.aggregate_out": 8,
+     "conv1.weight": 2, ...}
+
+which is exactly the format produced by the MixQ-GNN bit-width search
+(:mod:`repro.core.selection`), so a search result can be instantiated as a
+quantized architecture directly.
+
+A ``quantizer_factory`` hook decides which quantizer class realises each
+component; the default uses :class:`AffineQuantizer`, and passing the
+Degree-Quant factory (:func:`repro.quant.degree_quant.degree_quant_factory`)
+reproduces the paper's "MixQ + DQ" integration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.gnn.gcn import GCNConv
+from repro.gnn.gin import GINConv
+from repro.gnn.message_passing import MessagePassing
+from repro.gnn.models import GraphClassifier, NodeClassifier
+from repro.gnn.sage import SAGEConv, mean_adjacency
+from repro.graphs.batch import GraphBatch
+from repro.graphs.graph import Graph
+from repro.graphs.pooling import get_pooling
+from repro.nn.activations import Dropout, ReLU
+from repro.nn.linear import Linear
+from repro.nn.module import Module, ModuleList
+from repro.quant.bitops import FP32_BITS, BitOpsCounter, average_bits
+from repro.quant.quantizer import AffineQuantizer, IdentityQuantizer
+from repro.tensor.sparse import SparseTensor, spmm
+from repro.tensor.tensor import Tensor
+
+#: Signature of a quantizer factory: ``factory(bits, kind)`` with ``kind`` one
+#: of ``"activation"``, ``"weight"`` or ``"adjacency"``.
+QuantizerFactory = Callable[[int, str], Module]
+
+ComponentBits = Dict[str, int]
+BitWidthAssignment = Dict[str, int]
+
+
+def default_quantizer_factory(bits: int, kind: str) -> Module:
+    """Native QAT quantizers: affine for activations, symmetric for the rest."""
+    if bits >= FP32_BITS:
+        return IdentityQuantizer()
+    if kind == "activation":
+        return AffineQuantizer(bits=bits, signed=True, symmetric=False, observer="ema")
+    if kind == "weight":
+        return AffineQuantizer(bits=bits, signed=True, symmetric=True, observer="minmax")
+    if kind == "adjacency":
+        return AffineQuantizer(bits=bits, signed=True, symmetric=True, observer="minmax")
+    raise ValueError(f"unknown quantizer kind {kind!r}")
+
+
+def _bits_of(quantizer: Module) -> int:
+    return int(getattr(quantizer, "bits", FP32_BITS))
+
+
+class _QuantizedAdjacencyCache:
+    """Fake-quantizes adjacency values once per adjacency object.
+
+    The cache stores the source adjacency alongside the quantized copy: the
+    stored reference keeps the source alive, so an ``id()`` key can never be
+    silently reused by a different (garbage-collected-and-reallocated)
+    adjacency of another graph.
+    """
+
+    def __init__(self, quantizer: Module):
+        self.quantizer = quantizer
+        self._cache: dict[int, tuple[SparseTensor, SparseTensor]] = {}
+
+    def __call__(self, adjacency: SparseTensor) -> SparseTensor:
+        if isinstance(self.quantizer, IdentityQuantizer):
+            return adjacency
+        key = id(adjacency)
+        entry = self._cache.get(key)
+        if entry is None or entry[0] is not adjacency:
+            integers, params = self.quantizer.quantize_array(adjacency.values)
+            values = self.quantizer.dequantize_array(integers, params)
+            self._cache[key] = (adjacency, adjacency.with_values(values.astype(np.float32)))
+            if len(self._cache) > 8:
+                self._cache.pop(next(iter(self._cache)))
+        return self._cache[key][1]
+
+
+class QuantLinear(Module):
+    """Linear layer with fake-quantized weight and (optionally) output."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 weight_bits: int = 8, output_bits: int = 8, bias: bool = True,
+                 quantizer_factory: QuantizerFactory = default_quantizer_factory,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.linear = Linear(in_features, out_features, bias=bias, rng=rng)
+        self.weight_quantizer = quantizer_factory(weight_bits, "weight")
+        self.output_quantizer = quantizer_factory(output_bits, "activation")
+
+    def forward(self, x: Tensor) -> Tensor:
+        weight = self.weight_quantizer(self.linear.weight)
+        out = x.matmul(weight)
+        if self.linear.bias is not None:
+            out = out + self.linear.bias
+        return self.output_quantizer(out)
+
+    def component_bits(self, prefix: str) -> ComponentBits:
+        return {f"{prefix}.weight": _bits_of(self.weight_quantizer),
+                f"{prefix}.output": _bits_of(self.output_quantizer)}
+
+    def bit_operations(self, num_rows: int, incoming_bits: int,
+                       prefix: str) -> tuple[BitOpsCounter, int]:
+        counter = BitOpsCounter()
+        bits = max(incoming_bits, _bits_of(self.weight_quantizer))
+        counter.add(f"{prefix}.matmul", self.linear.operation_count(num_rows), bits)
+        return counter, _bits_of(self.output_quantizer)
+
+
+class QuantGCNConv(MessagePassing):
+    """GCN convolution with per-component fake quantization.
+
+    Components: ``input`` (first layer only), ``weight``, ``linear_out``,
+    ``adjacency`` and ``aggregate_out`` — the decomposition used in the
+    paper's two-layer GCN example (nine components across two layers).
+    """
+
+    COMPONENTS = ("input", "weight", "linear_out", "adjacency", "aggregate_out")
+
+    def __init__(self, in_features: int, out_features: int, bits: ComponentBits,
+                 quantize_input: bool = False, quantize_output: bool = True,
+                 bias: bool = True,
+                 quantizer_factory: QuantizerFactory = default_quantizer_factory,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.quantize_input = quantize_input
+        self.quantize_output = quantize_output
+        self.linear = Linear(in_features, out_features, bias=bias, rng=rng)
+
+        def build(component: str, kind: str) -> Module:
+            return quantizer_factory(int(bits.get(component, FP32_BITS)), kind)
+
+        self.input_quantizer = build("input", "activation") if quantize_input \
+            else IdentityQuantizer()
+        self.weight_quantizer = build("weight", "weight")
+        self.linear_out_quantizer = build("linear_out", "activation")
+        self.adjacency_quantizer = build("adjacency", "adjacency")
+        self.aggregate_out_quantizer = build("aggregate_out", "activation") \
+            if quantize_output else IdentityQuantizer()
+        self._adjacency_cache = _QuantizedAdjacencyCache(self.adjacency_quantizer)
+
+    def forward(self, x: Tensor, graph: Graph) -> Tensor:
+        x = self.input_quantizer(x)
+        weight = self.weight_quantizer(self.linear.weight)
+        transformed = x.matmul(weight)
+        if self.linear.bias is not None:
+            transformed = transformed + self.linear.bias
+        transformed = self.linear_out_quantizer(transformed)
+        adjacency = self._adjacency_cache(graph.normalized_adjacency())
+        aggregated = spmm(adjacency, transformed)
+        return self.aggregate_out_quantizer(aggregated)
+
+    # ------------------------------------------------------------------ #
+    def component_bits(self, prefix: str) -> ComponentBits:
+        bits: ComponentBits = {}
+        if self.quantize_input:
+            bits[f"{prefix}.input"] = _bits_of(self.input_quantizer)
+        bits[f"{prefix}.weight"] = _bits_of(self.weight_quantizer)
+        bits[f"{prefix}.linear_out"] = _bits_of(self.linear_out_quantizer)
+        bits[f"{prefix}.adjacency"] = _bits_of(self.adjacency_quantizer)
+        bits[f"{prefix}.aggregate_out"] = _bits_of(self.aggregate_out_quantizer)
+        return bits
+
+    def bit_operations(self, graph: Graph, incoming_bits: int,
+                       prefix: str) -> tuple[BitOpsCounter, int]:
+        counter = BitOpsCounter()
+        input_bits = _bits_of(self.input_quantizer) if self.quantize_input else incoming_bits
+        transform_bits = max(input_bits, _bits_of(self.weight_quantizer))
+        counter.add(f"{prefix}.transform", self.linear.operation_count(graph.num_nodes),
+                    transform_bits)
+        aggregate_bits = max(_bits_of(self.adjacency_quantizer),
+                             _bits_of(self.linear_out_quantizer))
+        counter.add(f"{prefix}.aggregate",
+                    self.aggregation_operations(graph, self.out_features), aggregate_bits)
+        outgoing = _bits_of(self.aggregate_out_quantizer) if self.quantize_output \
+            else aggregate_bits
+        return counter, outgoing
+
+
+class QuantGINConv(MessagePassing):
+    """GIN convolution with per-component fake quantization.
+
+    Components: ``input`` (first layer only), ``adjacency``,
+    ``aggregate_out``, ``weight_0`` / ``weight_1`` (the two MLP layers) and
+    ``output``.
+    """
+
+    COMPONENTS = ("input", "adjacency", "aggregate_out", "weight_0", "weight_1", "output")
+
+    def __init__(self, in_features: int, out_features: int, bits: ComponentBits,
+                 quantize_input: bool = False,
+                 hidden_features: Optional[int] = None,
+                 quantizer_factory: QuantizerFactory = default_quantizer_factory,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.quantize_input = quantize_input
+        hidden = hidden_features if hidden_features is not None else out_features
+        self.hidden_features = hidden
+
+        def bit(component: str) -> int:
+            return int(bits.get(component, FP32_BITS))
+
+        self.input_quantizer = quantizer_factory(bit("input"), "activation") \
+            if quantize_input else IdentityQuantizer()
+        self.adjacency_quantizer = quantizer_factory(bit("adjacency"), "adjacency")
+        self.aggregate_out_quantizer = quantizer_factory(bit("aggregate_out"), "activation")
+        self.mlp_first = QuantLinear(in_features, hidden, weight_bits=bit("weight_0"),
+                                     output_bits=bit("aggregate_out"),
+                                     quantizer_factory=quantizer_factory, rng=rng)
+        self.mlp_second = QuantLinear(hidden, out_features, weight_bits=bit("weight_1"),
+                                      output_bits=bit("output"),
+                                      quantizer_factory=quantizer_factory, rng=rng)
+        self.activation = ReLU()
+        self.eps = 0.0
+        self._adjacency_cache = _QuantizedAdjacencyCache(self.adjacency_quantizer)
+
+    def forward(self, x: Tensor, graph: Graph) -> Tensor:
+        x = self.input_quantizer(x)
+        adjacency = self._adjacency_cache(graph.adjacency(add_self_loops=False))
+        aggregated = spmm(adjacency, x)
+        combined = x * (1.0 + self.eps) + aggregated
+        combined = self.aggregate_out_quantizer(combined)
+        hidden = self.activation(self.mlp_first(combined))
+        return self.mlp_second(hidden)
+
+    def component_bits(self, prefix: str) -> ComponentBits:
+        bits: ComponentBits = {}
+        if self.quantize_input:
+            bits[f"{prefix}.input"] = _bits_of(self.input_quantizer)
+        bits[f"{prefix}.adjacency"] = _bits_of(self.adjacency_quantizer)
+        bits[f"{prefix}.aggregate_out"] = _bits_of(self.aggregate_out_quantizer)
+        bits[f"{prefix}.weight_0"] = _bits_of(self.mlp_first.weight_quantizer)
+        bits[f"{prefix}.weight_1"] = _bits_of(self.mlp_second.weight_quantizer)
+        bits[f"{prefix}.output"] = _bits_of(self.mlp_second.output_quantizer)
+        return bits
+
+    def bit_operations(self, graph: Graph, incoming_bits: int,
+                       prefix: str) -> tuple[BitOpsCounter, int]:
+        counter = BitOpsCounter()
+        input_bits = _bits_of(self.input_quantizer) if self.quantize_input else incoming_bits
+        aggregate_bits = max(_bits_of(self.adjacency_quantizer), input_bits)
+        counter.add(f"{prefix}.aggregate",
+                    self.aggregation_operations(graph, self.in_features), aggregate_bits)
+        counter.add(f"{prefix}.combine", 2 * graph.num_nodes * self.in_features,
+                    aggregate_bits)
+        first, bits_after_first = self.mlp_first.bit_operations(
+            graph.num_nodes, _bits_of(self.aggregate_out_quantizer), f"{prefix}.mlp0")
+        counter.extend(first)
+        second, outgoing = self.mlp_second.bit_operations(
+            graph.num_nodes, bits_after_first, f"{prefix}.mlp1")
+        counter.extend(second)
+        return counter, outgoing
+
+
+class QuantSAGEConv(MessagePassing):
+    """GraphSAGE convolution with per-component fake quantization.
+
+    Components: ``input`` (first layer only), ``adjacency``,
+    ``aggregate_out``, ``weight_root``, ``weight_neighbour`` and ``output``.
+    """
+
+    COMPONENTS = ("input", "adjacency", "aggregate_out", "weight_root",
+                  "weight_neighbour", "output")
+
+    def __init__(self, in_features: int, out_features: int, bits: ComponentBits,
+                 quantize_input: bool = False,
+                 quantizer_factory: QuantizerFactory = default_quantizer_factory,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.quantize_input = quantize_input
+
+        def bit(component: str) -> int:
+            return int(bits.get(component, FP32_BITS))
+
+        self.input_quantizer = quantizer_factory(bit("input"), "activation") \
+            if quantize_input else IdentityQuantizer()
+        self.adjacency_quantizer = quantizer_factory(bit("adjacency"), "adjacency")
+        self.aggregate_out_quantizer = quantizer_factory(bit("aggregate_out"), "activation")
+        self.linear_root = Linear(in_features, out_features, bias=True, rng=rng)
+        self.linear_neighbour = Linear(in_features, out_features, bias=False, rng=rng)
+        self.weight_root_quantizer = quantizer_factory(bit("weight_root"), "weight")
+        self.weight_neighbour_quantizer = quantizer_factory(bit("weight_neighbour"), "weight")
+        self.output_quantizer = quantizer_factory(bit("output"), "activation")
+        self._adjacency_cache = _QuantizedAdjacencyCache(self.adjacency_quantizer)
+
+    def forward(self, x: Tensor, graph: Graph) -> Tensor:
+        x = self.input_quantizer(x)
+        adjacency = self._adjacency_cache(mean_adjacency(graph))
+        aggregated = self.aggregate_out_quantizer(spmm(adjacency, x))
+        weight_root = self.weight_root_quantizer(self.linear_root.weight)
+        weight_neighbour = self.weight_neighbour_quantizer(self.linear_neighbour.weight)
+        out = x.matmul(weight_root) + self.linear_root.bias \
+            + aggregated.matmul(weight_neighbour)
+        return self.output_quantizer(out)
+
+    def component_bits(self, prefix: str) -> ComponentBits:
+        bits: ComponentBits = {}
+        if self.quantize_input:
+            bits[f"{prefix}.input"] = _bits_of(self.input_quantizer)
+        bits[f"{prefix}.adjacency"] = _bits_of(self.adjacency_quantizer)
+        bits[f"{prefix}.aggregate_out"] = _bits_of(self.aggregate_out_quantizer)
+        bits[f"{prefix}.weight_root"] = _bits_of(self.weight_root_quantizer)
+        bits[f"{prefix}.weight_neighbour"] = _bits_of(self.weight_neighbour_quantizer)
+        bits[f"{prefix}.output"] = _bits_of(self.output_quantizer)
+        return bits
+
+    def bit_operations(self, graph: Graph, incoming_bits: int,
+                       prefix: str) -> tuple[BitOpsCounter, int]:
+        counter = BitOpsCounter()
+        input_bits = _bits_of(self.input_quantizer) if self.quantize_input else incoming_bits
+        aggregate_bits = max(_bits_of(self.adjacency_quantizer), input_bits)
+        counter.add(f"{prefix}.aggregate",
+                    self.aggregation_operations(graph, self.in_features), aggregate_bits)
+        counter.add(f"{prefix}.transform_root",
+                    self.linear_root.operation_count(graph.num_nodes),
+                    max(input_bits, _bits_of(self.weight_root_quantizer)))
+        counter.add(f"{prefix}.transform_neighbour",
+                    self.linear_neighbour.operation_count(graph.num_nodes),
+                    max(_bits_of(self.aggregate_out_quantizer),
+                        _bits_of(self.weight_neighbour_quantizer)))
+        return counter, _bits_of(self.output_quantizer)
+
+
+def _layer_assignment(assignment: BitWidthAssignment, prefix: str) -> ComponentBits:
+    """Extract the ``component -> bits`` mapping for one layer prefix."""
+    marker = prefix + "."
+    return {key[len(marker):]: value for key, value in assignment.items()
+            if key.startswith(marker)}
+
+
+class QuantNodeClassifier(Module):
+    """Quantized counterpart of :class:`~repro.gnn.models.NodeClassifier`."""
+
+    def __init__(self, convs: List[MessagePassing], dropout: float = 0.5,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.convs = ModuleList(convs)
+        self.activation = ReLU()
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, graph: Graph, x: Optional[Tensor] = None) -> Tensor:
+        if x is None:
+            x = Tensor(graph.x)
+        num_layers = len(self.convs)
+        for index, conv in enumerate(self.convs):
+            x = conv(x, graph)
+            if index < num_layers - 1:
+                x = self.activation(x)
+                x = self.dropout(x)
+        return x
+
+    # ------------------------------------------------------------------ #
+    def component_bits(self) -> ComponentBits:
+        bits: ComponentBits = {}
+        for index, conv in enumerate(self.convs):
+            bits.update(conv.component_bits(f"conv{index}"))
+        return bits
+
+    def average_bits(self) -> float:
+        return average_bits(self.component_bits().values())
+
+    def bit_operations(self, graph: Graph) -> BitOpsCounter:
+        counter = BitOpsCounter()
+        incoming = FP32_BITS
+        for index, conv in enumerate(self.convs):
+            layer_counter, incoming = conv.bit_operations(graph, incoming, f"conv{index}")
+            counter.extend(layer_counter)
+        return counter
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_assignment(cls, layer_dims: List[tuple], conv_type: str,
+                        assignment: BitWidthAssignment, dropout: float = 0.5,
+                        quantizer_factory: QuantizerFactory = default_quantizer_factory,
+                        rng: Optional[np.random.Generator] = None) -> "QuantNodeClassifier":
+        """Build a quantized classifier from layer dimensions and a bit assignment.
+
+        ``layer_dims`` is a list of ``(in_features, out_features)`` tuples and
+        ``conv_type`` one of ``"gcn"`` / ``"gin"`` / ``"sage"``.
+        """
+        conv_classes = {"gcn": QuantGCNConv, "gin": QuantGINConv, "sage": QuantSAGEConv}
+        if conv_type not in conv_classes:
+            raise KeyError(f"unknown conv type {conv_type!r}")
+        conv_class = conv_classes[conv_type]
+        convs: List[MessagePassing] = []
+        for index, (fan_in, fan_out) in enumerate(layer_dims):
+            layer_bits = _layer_assignment(assignment, f"conv{index}")
+            convs.append(conv_class(fan_in, fan_out, layer_bits,
+                                    quantize_input=(index == 0),
+                                    quantizer_factory=quantizer_factory, rng=rng))
+        return cls(convs, dropout=dropout, rng=rng)
+
+    @classmethod
+    def from_float(cls, model: NodeClassifier, assignment: BitWidthAssignment,
+                   dropout: float = 0.5,
+                   quantizer_factory: QuantizerFactory = default_quantizer_factory,
+                   rng: Optional[np.random.Generator] = None) -> "QuantNodeClassifier":
+        """Mirror a float :class:`NodeClassifier`, copying its layer dimensions."""
+        layer_dims = []
+        conv_type = None
+        for conv in model.convs:
+            layer_dims.append((conv.in_features, conv.out_features))
+            for float_class, name in ((GCNConv, "gcn"), (GINConv, "gin"), (SAGEConv, "sage")):
+                if isinstance(conv, float_class):
+                    conv_type = name
+        if conv_type is None:
+            raise TypeError("from_float supports GCN / GIN / GraphSAGE convolutions")
+        return cls.from_assignment(layer_dims, conv_type, assignment, dropout=dropout,
+                                   quantizer_factory=quantizer_factory, rng=rng)
+
+
+class QuantGraphClassifier(Module):
+    """Quantized counterpart of :class:`~repro.gnn.models.GraphClassifier`."""
+
+    def __init__(self, in_features: int, hidden_features: int, num_classes: int,
+                 assignment: BitWidthAssignment, num_layers: int = 5,
+                 pooling: str = "max", dropout: float = 0.5,
+                 quantizer_factory: QuantizerFactory = default_quantizer_factory,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        convs: List[MessagePassing] = []
+        for index in range(num_layers):
+            fan_in = in_features if index == 0 else hidden_features
+            layer_bits = _layer_assignment(assignment, f"conv{index}")
+            convs.append(QuantGINConv(fan_in, hidden_features, layer_bits,
+                                      quantize_input=(index == 0),
+                                      quantizer_factory=quantizer_factory, rng=rng))
+        self.convs = ModuleList(convs)
+        self.pooling_name = pooling
+        self._pool = get_pooling(pooling)
+        head_bits = _layer_assignment(assignment, "head0")
+        out_bits = _layer_assignment(assignment, "head1")
+        self.head_hidden = QuantLinear(hidden_features, hidden_features,
+                                       weight_bits=int(head_bits.get("weight", FP32_BITS)),
+                                       output_bits=int(head_bits.get("output", FP32_BITS)),
+                                       quantizer_factory=quantizer_factory, rng=rng)
+        self.head_out = QuantLinear(hidden_features, num_classes,
+                                    weight_bits=int(out_bits.get("weight", FP32_BITS)),
+                                    output_bits=int(out_bits.get("output", FP32_BITS)),
+                                    quantizer_factory=quantizer_factory, rng=rng)
+        self.activation = ReLU()
+        self.dropout = Dropout(dropout, rng=rng)
+        self.hidden_features = hidden_features
+        self.num_classes = num_classes
+
+    def forward(self, batch: GraphBatch, x: Optional[Tensor] = None) -> Tensor:
+        if x is None:
+            x = Tensor(batch.x)
+        for conv in self.convs:
+            x = conv(x, batch)
+            x = self.activation(x)
+        pooled = self._pool(x, batch.batch, batch.num_graphs)
+        hidden = self.activation(self.head_hidden(pooled))
+        hidden = self.dropout(hidden)
+        return self.head_out(hidden)
+
+    def component_bits(self) -> ComponentBits:
+        bits: ComponentBits = {}
+        for index, conv in enumerate(self.convs):
+            bits.update(conv.component_bits(f"conv{index}"))
+        bits.update(self.head_hidden.component_bits("head0"))
+        bits.update(self.head_out.component_bits("head1"))
+        return bits
+
+    def average_bits(self) -> float:
+        return average_bits(self.component_bits().values())
+
+    def bit_operations(self, batch: Graph) -> BitOpsCounter:
+        counter = BitOpsCounter()
+        incoming = FP32_BITS
+        for index, conv in enumerate(self.convs):
+            layer_counter, incoming = conv.bit_operations(batch, incoming, f"conv{index}")
+            counter.extend(layer_counter)
+        num_graphs = getattr(batch, "num_graphs", 1)
+        head_counter, incoming = self.head_hidden.bit_operations(num_graphs, incoming, "head0")
+        counter.extend(head_counter)
+        out_counter, _ = self.head_out.bit_operations(num_graphs, incoming, "head1")
+        counter.extend(out_counter)
+        return counter
+
+
+def uniform_assignment(component_names: List[str], bits: int) -> BitWidthAssignment:
+    """Assign the same bit-width to every named component (uniform QAT baseline)."""
+    return {name: int(bits) for name in component_names}
+
+
+def gcn_component_names(num_layers: int) -> List[str]:
+    """Component names of an ``num_layers``-layer quantized GCN (paper's example)."""
+    names: List[str] = []
+    for index in range(num_layers):
+        components = QuantGCNConv.COMPONENTS if index == 0 else QuantGCNConv.COMPONENTS[1:]
+        names.extend(f"conv{index}.{component}" for component in components)
+    return names
+
+
+def gin_component_names(num_layers: int, with_head: bool = True) -> List[str]:
+    """Component names of a quantized GIN graph classifier."""
+    names: List[str] = []
+    for index in range(num_layers):
+        components = QuantGINConv.COMPONENTS if index == 0 else QuantGINConv.COMPONENTS[1:]
+        names.extend(f"conv{index}.{component}" for component in components)
+    if with_head:
+        names.extend(["head0.weight", "head0.output", "head1.weight", "head1.output"])
+    return names
+
+
+def sage_component_names(num_layers: int) -> List[str]:
+    """Component names of a quantized GraphSAGE node classifier."""
+    names: List[str] = []
+    for index in range(num_layers):
+        components = QuantSAGEConv.COMPONENTS if index == 0 else QuantSAGEConv.COMPONENTS[1:]
+        names.extend(f"conv{index}.{component}" for component in components)
+    return names

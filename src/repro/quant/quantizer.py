@@ -1,0 +1,196 @@
+"""Quantization-aware-training affine quantizer (paper Equations 3 and 4).
+
+``Q(X) = clip(round(X / S) + Z, a, b)`` and ``Q^{-1}(X) = (X - Z) * S``.
+
+The quantizer supports:
+
+* signed (symmetric-range) and unsigned integer grids for any bit-width;
+* observer-based range tracking with either exponential-moving-average
+  min/max or percentile statistics (the latter is what Degree-Quant uses);
+* symmetric mode (zero-point forced to 0) — required when quantizing sparse
+  adjacency values so that structural zeros stay exactly zero;
+* a straight-through estimator for the rounding function, so fake
+  quantization is differentiable for QAT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+
+
+@dataclass
+class QuantizationParameters:
+    """Scale / zero-point pair together with the integer grid bounds."""
+
+    scale: np.ndarray
+    zero_point: np.ndarray
+    qmin: int
+    qmax: int
+    bits: int
+
+    def as_scalars(self) -> tuple[float, float]:
+        return float(np.asarray(self.scale).reshape(-1)[0]), \
+            float(np.asarray(self.zero_point).reshape(-1)[0])
+
+
+def integer_range(bits: int, signed: bool) -> tuple[int, int]:
+    """Integer grid bounds for a given bit-width."""
+    if bits < 1:
+        raise ValueError("bit-width must be at least 1")
+    if signed:
+        return -(2 ** (bits - 1)), 2 ** (bits - 1) - 1
+    return 0, 2 ** bits - 1
+
+
+class AffineQuantizer(Module):
+    """A per-tensor affine quantizer with STE gradients.
+
+    Parameters
+    ----------
+    bits:
+        Integer bit-width of the quantization grid.
+    signed:
+        Use a signed grid (symmetric around zero) instead of ``[0, 2^b - 1]``.
+    symmetric:
+        Force the zero-point to zero.  Mandatory for sparse adjacency values.
+    observer:
+        ``"ema"`` (exponential moving average of min/max), ``"minmax"``
+        (running min/max) or ``"percentile"`` (clipped percentile range, the
+        variant Degree-Quant advocates).
+    momentum:
+        EMA momentum for the ``"ema"`` observer.
+    percentile:
+        Tail fraction clipped on each side by the ``"percentile"`` observer.
+    """
+
+    def __init__(self, bits: int = 8, signed: bool = True, symmetric: bool = False,
+                 observer: str = "ema", momentum: float = 0.1,
+                 percentile: float = 0.001):
+        super().__init__()
+        if observer not in {"ema", "minmax", "percentile"}:
+            raise ValueError(f"unknown observer {observer!r}")
+        self.bits = int(bits)
+        self.signed = signed
+        self.symmetric = symmetric
+        self.observer = observer
+        self.momentum = momentum
+        self.percentile = percentile
+        self.qmin, self.qmax = integer_range(self.bits, signed)
+        self.register_buffer("running_min", np.asarray(0.0, dtype=np.float64))
+        self.register_buffer("running_max", np.asarray(0.0, dtype=np.float64))
+        self.register_buffer("initialized", np.asarray(False))
+
+    # ------------------------------------------------------------------ #
+    # range tracking
+    # ------------------------------------------------------------------ #
+    def observe(self, values: np.ndarray) -> None:
+        """Update the tracked range from a batch of float values."""
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        if values.size == 0:
+            return
+        if self.observer == "percentile":
+            low = np.quantile(values, self.percentile)
+            high = np.quantile(values, 1.0 - self.percentile)
+        else:
+            low = values.min()
+            high = values.max()
+        if not bool(self.initialized):
+            new_min, new_max = low, high
+            self.update_buffer("initialized", np.asarray(True))
+        elif self.observer == "minmax":
+            new_min = min(float(self.running_min), low)
+            new_max = max(float(self.running_max), high)
+        else:  # ema and percentile both smooth with EMA after initialisation
+            new_min = (1 - self.momentum) * float(self.running_min) + self.momentum * low
+            new_max = (1 - self.momentum) * float(self.running_max) + self.momentum * high
+        self.update_buffer("running_min", np.asarray(new_min, dtype=np.float64))
+        self.update_buffer("running_max", np.asarray(new_max, dtype=np.float64))
+
+    def quantization_parameters(self) -> QuantizationParameters:
+        """Current scale / zero-point derived from the tracked range."""
+        low = float(self.running_min)
+        high = float(self.running_max)
+        if not bool(self.initialized):
+            low, high = -1.0, 1.0
+        if self.symmetric:
+            bound = max(abs(low), abs(high), 1e-8)
+            if self.signed:
+                scale = bound / max(self.qmax, 1)
+            else:
+                scale = bound / max(self.qmax, 1)
+            zero_point = 0.0
+        else:
+            low = min(low, 0.0)
+            high = max(high, 0.0)
+            span = max(high - low, 1e-8)
+            scale = span / (self.qmax - self.qmin)
+            zero_point = float(np.clip(np.rint(self.qmin - low / scale),
+                                       self.qmin, self.qmax))
+        return QuantizationParameters(
+            scale=np.asarray(scale, dtype=np.float64),
+            zero_point=np.asarray(zero_point, dtype=np.float64),
+            qmin=self.qmin, qmax=self.qmax, bits=self.bits)
+
+    # ------------------------------------------------------------------ #
+    # quantization
+    # ------------------------------------------------------------------ #
+    def fake_quantize(self, x: Tensor) -> Tensor:
+        """Simulated quantization ``Q^{-1}(Q(x))`` with STE gradients."""
+        if self.training:
+            self.observe(x.data)
+        elif not bool(self.initialized):
+            self.observe(x.data)
+        params = self.quantization_parameters()
+        scale = float(params.scale)
+        zero_point = float(params.zero_point)
+        quantized = (x * (1.0 / scale)).round_ste() + zero_point
+        quantized = quantized.clamp(self.qmin, self.qmax)
+        return (quantized - zero_point) * scale
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fake_quantize(x)
+
+    def quantize_array(self, values: np.ndarray,
+                       update_range: bool = True) -> tuple[np.ndarray, QuantizationParameters]:
+        """Quantize a raw numpy array to integers (no gradient tracking)."""
+        values = np.asarray(values, dtype=np.float64)
+        if update_range or not bool(self.initialized):
+            self.observe(values)
+        params = self.quantization_parameters()
+        scale, zero_point = params.as_scalars()
+        integers = np.clip(np.rint(values / scale) + zero_point, self.qmin, self.qmax)
+        return integers.astype(np.int64), params
+
+    def dequantize_array(self, integers: np.ndarray,
+                         params: Optional[QuantizationParameters] = None) -> np.ndarray:
+        """Map integer values back to floats with the current parameters."""
+        if params is None:
+            params = self.quantization_parameters()
+        scale, zero_point = params.as_scalars()
+        return (np.asarray(integers, dtype=np.float64) - zero_point) * scale
+
+    def __repr__(self) -> str:
+        kind = "symmetric" if self.symmetric else "affine"
+        return (f"AffineQuantizer(bits={self.bits}, {kind}, signed={self.signed}, "
+                f"observer={self.observer!r})")
+
+
+class IdentityQuantizer(Module):
+    """A no-op quantizer used for components kept in full precision (FP32)."""
+
+    bits = 32
+
+    def fake_quantize(self, x: Tensor) -> Tensor:
+        return x
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+    def __repr__(self) -> str:
+        return "IdentityQuantizer()"

@@ -1,0 +1,23 @@
+"""Reverse-mode autodiff tensor engine built on numpy and scipy.sparse.
+
+This package is the computational substrate for the whole reproduction: it
+provides the :class:`~repro.tensor.tensor.Tensor` type with automatic
+differentiation, the functional layer (activations, losses, segment
+reductions) and sparse adjacency support used by the message-passing layers.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor.sparse import SparseTensor, spmm
+from repro.tensor import functional
+from repro.tensor.random import RandomState, seed_all
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "SparseTensor",
+    "spmm",
+    "functional",
+    "RandomState",
+    "seed_all",
+]

@@ -1,0 +1,193 @@
+"""Functional layer: activations, losses and segment reductions.
+
+Everything here operates on :class:`~repro.tensor.tensor.Tensor` and keeps
+the autograd graph intact.  Segment reductions (``segment_sum`` /
+``segment_mean`` / ``segment_max``) implement the global pooling functions
+used for graph-level tasks, mapping node embeddings to per-graph embeddings
+through the batch assignment vector.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+# --------------------------------------------------------------------------- #
+# activations
+# --------------------------------------------------------------------------- #
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
+    mask = x.data > 0
+    data = np.where(mask, x.data, negative_slope * x.data)
+
+    def backward(grad):
+        x._accumulate(grad * np.where(mask, 1.0, negative_slope))
+
+    return Tensor._make(data.astype(np.float32), (x,), backward)
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    mask = x.data > 0
+    exp_part = alpha * (np.exp(np.minimum(x.data, 0.0)) - 1.0)
+    data = np.where(mask, x.data, exp_part)
+
+    def backward(grad):
+        x._accumulate(grad * np.where(mask, 1.0, exp_part + alpha))
+
+    return Tensor._make(data.astype(np.float32), (x,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exponent = shifted.exp()
+    return exponent / exponent.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout: active only during training."""
+    if not training or p <= 0.0:
+        return x
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(np.float32) / keep
+    return x * Tensor(mask)
+
+
+# --------------------------------------------------------------------------- #
+# losses
+# --------------------------------------------------------------------------- #
+def nll_loss(log_probabilities: Tensor, targets: np.ndarray,
+             mask: Optional[np.ndarray] = None) -> Tensor:
+    """Negative log-likelihood over integer class targets.
+
+    ``mask`` selects the rows that participate in the loss (train/val/test
+    masks for transductive node classification).
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    num_rows = log_probabilities.shape[0]
+    row_index = np.arange(num_rows)
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        row_index = row_index[mask]
+        targets = targets[mask]
+    if row_index.size == 0:
+        raise ValueError("nll_loss received an empty selection")
+    picked = log_probabilities[(row_index, targets)]
+    return -picked.mean()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  mask: Optional[np.ndarray] = None) -> Tensor:
+    """Softmax cross-entropy over integer class targets."""
+    return nll_loss(log_softmax(logits, axis=-1), targets, mask=mask)
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray,
+                                     mask: Optional[np.ndarray] = None) -> Tensor:
+    """Numerically-stable multi-label binary cross-entropy."""
+    targets_t = Tensor(np.asarray(targets, dtype=np.float32))
+    # log(1 + exp(x)) computed stably as max(x, 0) + log(1 + exp(-|x|))
+    abs_logits = logits.abs()
+    loss = logits.clamp(0.0, float("inf")) - logits * targets_t \
+        + (Tensor(np.ones(1, dtype=np.float32)) + (-abs_logits).exp()).log()
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        loss = loss[mask]
+    return loss.mean()
+
+
+def mse_loss(prediction: Tensor, target: np.ndarray) -> Tensor:
+    diff = prediction - Tensor(np.asarray(target, dtype=np.float32))
+    return (diff * diff).mean()
+
+
+# --------------------------------------------------------------------------- #
+# segment reductions (global pooling over a batch of graphs)
+# --------------------------------------------------------------------------- #
+def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``x`` into ``num_segments`` buckets given by ``segment_ids``."""
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    data = np.zeros((num_segments,) + x.shape[1:], dtype=np.float32)
+    np.add.at(data, segment_ids, x.data)
+
+    def backward(grad):
+        x._accumulate(grad[segment_ids])
+
+    return Tensor._make(data, (x,), backward)
+
+
+def segment_mean(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float32)
+    counts = np.maximum(counts, 1.0).reshape((-1,) + (1,) * (x.ndim - 1))
+    return segment_sum(x, segment_ids, num_segments) * Tensor(1.0 / counts)
+
+
+def segment_max(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Per-segment maximum; gradient routed to the (first) arg-max element."""
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    data = np.full((num_segments,) + x.shape[1:], -np.inf, dtype=np.float32)
+    np.maximum.at(data, segment_ids, x.data)
+    # Empty segments would keep -inf; clamp them to zero for safety.
+    empty = ~np.isin(np.arange(num_segments), segment_ids)
+    if empty.any():
+        data[empty] = 0.0
+
+    is_max = (x.data == data[segment_ids])
+    # Route the gradient only to the first maximal element per (segment, column).
+    winner = np.zeros_like(x.data, dtype=bool)
+    order = np.argsort(segment_ids, kind="stable")
+    seen: dict[tuple, bool] = {}
+    columns = x.data.shape[1] if x.ndim > 1 else 1
+    for row in order:
+        for col in range(columns):
+            flag = is_max[row, col] if x.ndim > 1 else is_max[row]
+            if not flag:
+                continue
+            key = (segment_ids[row], col)
+            if key in seen:
+                continue
+            seen[key] = True
+            if x.ndim > 1:
+                winner[row, col] = True
+            else:
+                winner[row] = True
+
+    def backward(grad):
+        x._accumulate(grad[segment_ids] * winner)
+
+    return Tensor._make(data, (x,), backward)
+
+
+def scatter_softmax(scores: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Softmax of ``scores`` computed independently within each segment.
+
+    Used by attention-based layers (GAT) where attention coefficients are
+    normalised over each node's incoming edges.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    per_segment_max = np.full((num_segments,) + scores.shape[1:], -np.inf, dtype=np.float32)
+    np.maximum.at(per_segment_max, segment_ids, scores.data)
+    shifted = scores - Tensor(per_segment_max[segment_ids])
+    exponent = shifted.exp()
+    denominator = segment_sum(exponent, segment_ids, num_segments)
+    return exponent / denominator[segment_ids]

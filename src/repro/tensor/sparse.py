@@ -1,0 +1,139 @@
+"""Sparse adjacency support.
+
+Message passing in matrix form is a sparse-dense product ``A @ H``.  The
+adjacency matrix is stored as a scipy CSR matrix wrapped in
+:class:`SparseTensor`; :func:`spmm` differentiates with respect to the dense
+operand (``dL/dH = A.T @ dY``) which is all the GNN layers need because the
+adjacency values themselves are not learnable parameters.
+
+The quantization stack additionally needs access to the raw non-zero values
+of ``A`` (to quantize them) and a way to rebuild a sparse matrix with new
+values, both of which :class:`SparseTensor` exposes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.tensor.tensor import Tensor
+
+
+class SparseTensor:
+    """An immutable wrapper around a ``scipy.sparse.csr_matrix``.
+
+    Parameters
+    ----------
+    matrix:
+        Any scipy sparse matrix (converted to CSR) or a dense numpy array.
+    """
+
+    def __init__(self, matrix: Union[sp.spmatrix, np.ndarray]):
+        if isinstance(matrix, SparseTensor):
+            matrix = matrix.csr
+        if not sp.issparse(matrix):
+            matrix = sp.csr_matrix(np.asarray(matrix, dtype=np.float32))
+        self.csr: sp.csr_matrix = matrix.tocsr().astype(np.float32)
+        self.csr.sum_duplicates()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple:
+        return self.csr.shape
+
+    @property
+    def nnz(self) -> int:
+        return int(self.csr.nnz)
+
+    @property
+    def values(self) -> np.ndarray:
+        """The non-zero values of the matrix (CSR data array)."""
+        return self.csr.data
+
+    @property
+    def row_indices(self) -> np.ndarray:
+        coo = self.csr.tocoo()
+        return coo.row
+
+    @property
+    def col_indices(self) -> np.ndarray:
+        coo = self.csr.tocoo()
+        return coo.col
+
+    def with_values(self, values: np.ndarray) -> "SparseTensor":
+        """Return a new sparse tensor with the same sparsity pattern but new values."""
+        values = np.asarray(values, dtype=np.float32)
+        if values.shape != self.csr.data.shape:
+            raise ValueError(
+                f"expected {self.csr.data.shape[0]} values, got {values.shape}")
+        new = self.csr.copy()
+        new.data = values
+        return SparseTensor(new)
+
+    def to_dense(self) -> np.ndarray:
+        return np.asarray(self.csr.todense(), dtype=np.float32)
+
+    def transpose(self) -> "SparseTensor":
+        return SparseTensor(self.csr.T)
+
+    @property
+    def T(self) -> "SparseTensor":
+        return self.transpose()
+
+    def row_sum(self) -> np.ndarray:
+        """Per-row sum of values (used for degrees and GCN normalisation)."""
+        return np.asarray(self.csr.sum(axis=1)).reshape(-1)
+
+    def __matmul__(self, other):
+        if isinstance(other, Tensor):
+            return spmm(self, other)
+        if isinstance(other, SparseTensor):
+            return SparseTensor(self.csr @ other.csr)
+        return self.csr @ np.asarray(other)
+
+    def __repr__(self) -> str:
+        return f"SparseTensor(shape={self.shape}, nnz={self.nnz})"
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def from_edge_index(edge_index: np.ndarray, num_nodes: int,
+                        edge_weight: Optional[np.ndarray] = None) -> "SparseTensor":
+        """Build an adjacency matrix from a ``(2, num_edges)`` edge index."""
+        edge_index = np.asarray(edge_index)
+        if edge_index.shape[0] != 2:
+            raise ValueError("edge_index must have shape (2, num_edges)")
+        if edge_weight is None:
+            edge_weight = np.ones(edge_index.shape[1], dtype=np.float32)
+        matrix = sp.csr_matrix(
+            (np.asarray(edge_weight, dtype=np.float32),
+             (edge_index[0], edge_index[1])),
+            shape=(num_nodes, num_nodes),
+        )
+        return SparseTensor(matrix)
+
+    @staticmethod
+    def identity(n: int) -> "SparseTensor":
+        return SparseTensor(sp.identity(n, dtype=np.float32, format="csr"))
+
+
+def spmm(adjacency: SparseTensor, dense: Tensor) -> Tensor:
+    """Sparse-dense matrix multiplication ``adjacency @ dense`` with autograd.
+
+    Gradients flow only into the dense operand; the adjacency matrix is
+    treated as a constant of the graph structure.
+    """
+    if not isinstance(adjacency, SparseTensor):
+        adjacency = SparseTensor(adjacency)
+    if not isinstance(dense, Tensor):
+        dense = Tensor(dense)
+
+    data = np.asarray(adjacency.csr @ dense.data, dtype=np.float32)
+    adjacency_t = adjacency.csr.T.tocsr()
+
+    def backward(grad):
+        if dense.requires_grad:
+            dense._accumulate(np.asarray(adjacency_t @ grad, dtype=np.float32))
+
+    return Tensor._make(data, (dense,), backward)

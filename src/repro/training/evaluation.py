@@ -1,0 +1,76 @@
+"""Evaluation metrics: accuracy, masked accuracy and ROC-AUC.
+
+ROC-AUC (used for the OGB-Proteins stand-in, Table 7) is computed with the
+rank-statistic formulation (equivalent to the Mann-Whitney U statistic),
+averaged over tasks for multi-label targets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 accuracy of class logits against integer targets."""
+    predictions = np.asarray(logits).argmax(axis=-1)
+    targets = np.asarray(targets).astype(np.int64)
+    if predictions.shape != targets.shape:
+        raise ValueError("logits and targets describe different numbers of items")
+    return float((predictions == targets).mean())
+
+
+def masked_accuracy(logits: np.ndarray, targets: np.ndarray,
+                    mask: Optional[np.ndarray]) -> float:
+    """Accuracy restricted to the rows selected by a boolean mask."""
+    if mask is None:
+        return accuracy(logits, targets)
+    mask = np.asarray(mask, dtype=bool)
+    if not mask.any():
+        raise ValueError("mask selects no rows")
+    return accuracy(np.asarray(logits)[mask], np.asarray(targets)[mask])
+
+
+def _binary_roc_auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """ROC-AUC for one binary task via the rank statistic."""
+    labels = np.asarray(labels).astype(bool)
+    positives = labels.sum()
+    negatives = labels.size - positives
+    if positives == 0 or negatives == 0:
+        return float("nan")
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(labels.size, dtype=np.float64)
+    ranks[order] = np.arange(1, labels.size + 1)
+    # Average ranks over ties so the statistic is exact for discrete scores.
+    sorted_scores = np.asarray(scores)[order]
+    start = 0
+    while start < labels.size:
+        stop = start
+        while stop + 1 < labels.size and sorted_scores[stop + 1] == sorted_scores[start]:
+            stop += 1
+        if stop > start:
+            ranks[order[start:stop + 1]] = (start + stop + 2) / 2.0
+        start = stop + 1
+    positive_rank_sum = ranks[labels].sum()
+    u_statistic = positive_rank_sum - positives * (positives + 1) / 2.0
+    return float(u_statistic / (positives * negatives))
+
+
+def roc_auc_score(scores: np.ndarray, labels: np.ndarray,
+                  mask: Optional[np.ndarray] = None) -> float:
+    """ROC-AUC, averaged over columns for multi-label targets (NaN tasks skipped)."""
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels)
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        scores = scores[mask]
+        labels = labels[mask]
+    if scores.ndim == 1:
+        return _binary_roc_auc(scores, labels)
+    per_task = [_binary_roc_auc(scores[:, task], labels[:, task])
+                for task in range(scores.shape[1])]
+    valid = [value for value in per_task if not np.isnan(value)]
+    if not valid:
+        raise ValueError("no task had both positive and negative labels")
+    return float(np.mean(valid))

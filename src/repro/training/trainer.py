@@ -1,0 +1,155 @@
+"""Training loops for node-level and graph-level tasks.
+
+The loops are deliberately plain QAT training: Adam, optional weight decay,
+early stopping on a validation mask, and an optional extra penalty term
+(used by the A²Q baseline's memory penalty).  Both the FP32 baselines and
+every quantized variant in the benchmarks run through these functions so
+comparisons differ only in the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.graphs.batch import GraphBatch, iterate_minibatches
+from repro.graphs.graph import Graph
+from repro.nn.module import Module
+from repro.optim import Adam
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor, no_grad
+from repro.training.evaluation import masked_accuracy, roc_auc_score
+
+
+@dataclass
+class NodeTrainingResult:
+    """Summary of one node-classification training run."""
+
+    train_accuracy: float
+    val_accuracy: float
+    test_accuracy: float
+    loss_history: List[float] = field(default_factory=list)
+    best_epoch: int = 0
+
+    def __repr__(self) -> str:
+        return (f"NodeTrainingResult(test={self.test_accuracy:.3f}, "
+                f"val={self.val_accuracy:.3f}, epochs={len(self.loss_history)})")
+
+
+@dataclass
+class GraphTrainingResult:
+    """Summary of one graph-classification training run."""
+
+    train_accuracy: float
+    test_accuracy: float
+    loss_history: List[float] = field(default_factory=list)
+
+
+def _node_loss(model: Module, graph: Graph, mask: np.ndarray, multilabel: bool) -> Tensor:
+    logits = model(graph)
+    if multilabel:
+        return F.binary_cross_entropy_with_logits(logits, graph.y, mask=mask)
+    return F.cross_entropy(logits, graph.y, mask=mask)
+
+
+def evaluate_node_classifier(model: Module, graph: Graph,
+                             mask: Optional[np.ndarray] = None,
+                             multilabel: bool = False) -> float:
+    """Accuracy (or ROC-AUC for multi-label targets) on the selected nodes."""
+    model.eval()
+    with no_grad():
+        logits = model(graph).data
+    if multilabel:
+        return roc_auc_score(logits, graph.y, mask=mask)
+    return masked_accuracy(logits, graph.y, mask=mask)
+
+
+def train_node_classifier(model: Module, graph: Graph, epochs: int = 100,
+                          lr: float = 0.01, weight_decay: float = 5e-4,
+                          multilabel: bool = False,
+                          extra_penalty: Optional[Callable[[Module, Graph], Tensor]] = None,
+                          penalty_weight: float = 0.0,
+                          patience: Optional[int] = None) -> NodeTrainingResult:
+    """Train a node classifier transductively with optional early stopping."""
+    if graph.train_mask is None:
+        raise ValueError("graph has no train_mask")
+    optimizer = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
+    loss_history: List[float] = []
+    best_val = -np.inf
+    best_epoch = 0
+    best_state = None
+    epochs_without_improvement = 0
+
+    for epoch in range(epochs):
+        model.train()
+        model.zero_grad()
+        loss = _node_loss(model, graph, graph.train_mask, multilabel)
+        if extra_penalty is not None and penalty_weight:
+            loss = loss + extra_penalty(model, graph) * float(penalty_weight)
+        loss.backward()
+        optimizer.step()
+        loss_history.append(loss.item())
+
+        if graph.val_mask is not None and graph.val_mask.any():
+            val_accuracy = evaluate_node_classifier(model, graph, graph.val_mask, multilabel)
+            if val_accuracy > best_val:
+                best_val = val_accuracy
+                best_epoch = epoch
+                best_state = model.state_dict()
+                epochs_without_improvement = 0
+            else:
+                epochs_without_improvement += 1
+            if patience is not None and epochs_without_improvement > patience:
+                break
+
+    if best_state is not None:
+        model.load_state_dict(best_state)
+
+    train_accuracy = evaluate_node_classifier(model, graph, graph.train_mask, multilabel)
+    val_accuracy = evaluate_node_classifier(model, graph, graph.val_mask, multilabel) \
+        if graph.val_mask is not None and graph.val_mask.any() else float("nan")
+    test_accuracy = evaluate_node_classifier(model, graph, graph.test_mask, multilabel) \
+        if graph.test_mask is not None and graph.test_mask.any() else float("nan")
+    return NodeTrainingResult(train_accuracy, val_accuracy, test_accuracy,
+                              loss_history, best_epoch)
+
+
+def evaluate_graph_classifier(model: Module, graphs: Sequence[Graph],
+                              batch_size: int = 64) -> float:
+    """Classification accuracy over a list of graphs."""
+    model.eval()
+    correct = 0
+    total = 0
+    with no_grad():
+        for batch in iterate_minibatches(list(graphs), batch_size, shuffle=False):
+            predictions = model(batch).data.argmax(axis=-1)
+            correct += int((predictions == batch.y).sum())
+            total += batch.num_graphs
+    return correct / max(total, 1)
+
+
+def train_graph_classifier(model: Module, train_graphs: Sequence[Graph],
+                           test_graphs: Sequence[Graph], epochs: int = 30,
+                           lr: float = 0.01, batch_size: int = 32,
+                           rng: Optional[np.random.Generator] = None
+                           ) -> GraphTrainingResult:
+    """Train a graph classifier with mini-batched Adam."""
+    if rng is None:
+        rng = np.random.default_rng(0)
+    optimizer = Adam(model.parameters(), lr=lr)
+    loss_history: List[float] = []
+    for _ in range(epochs):
+        model.train()
+        epoch_losses = []
+        for batch in iterate_minibatches(list(train_graphs), batch_size, rng=rng):
+            model.zero_grad()
+            loss = F.cross_entropy(model(batch), batch.y)
+            loss.backward()
+            optimizer.step()
+            epoch_losses.append(float(loss.data))
+        loss_history.append(float(np.mean(epoch_losses)))
+    train_accuracy = evaluate_graph_classifier(model, train_graphs, batch_size)
+    test_accuracy = evaluate_graph_classifier(model, test_graphs, batch_size)
+    return GraphTrainingResult(train_accuracy, test_accuracy, loss_history)

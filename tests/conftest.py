@@ -1,0 +1,54 @@
+"""Shared fixtures: tiny graphs and datasets reused across the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.datasets import load_cora, load_tu_dataset
+from repro.graphs.datasets.synthetic import SBMConfig, generate_sbm_graph
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def tiny_graph() -> Graph:
+    """A deterministic 12-node graph with features, labels and masks."""
+    edges = np.asarray([
+        [0, 1, 1, 2, 2, 3, 4, 5, 5, 6, 7, 8, 8, 9, 10, 11, 0, 4, 6, 10],
+        [1, 0, 2, 1, 3, 2, 5, 4, 6, 5, 8, 7, 9, 8, 11, 10, 4, 0, 10, 6],
+    ])
+    generator = np.random.default_rng(7)
+    x = generator.standard_normal((12, 5)).astype(np.float32)
+    y = np.asarray([0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2])
+    train = np.zeros(12, dtype=bool)
+    train[[0, 4, 8]] = True
+    val = np.zeros(12, dtype=bool)
+    val[[1, 5, 9]] = True
+    test = np.zeros(12, dtype=bool)
+    test[[2, 3, 6, 7, 10, 11]] = True
+    return Graph(x, edges, y=y, train_mask=train, val_mask=val, test_mask=test,
+                 name="tiny")
+
+
+@pytest.fixture(scope="session")
+def small_cora() -> Graph:
+    """A small but realistic citation-style graph (shared, read-only)."""
+    return load_cora(scale=0.08, seed=0)
+
+
+@pytest.fixture(scope="session")
+def sbm_graph() -> Graph:
+    config = SBMConfig(num_nodes=120, num_classes=4, num_features=32,
+                       average_degree=4.0, name="sbm-test")
+    return generate_sbm_graph(config, seed=3)
+
+
+@pytest.fixture(scope="session")
+def tu_graphs():
+    """A small TU-style graph-classification dataset (shared, read-only)."""
+    return load_tu_dataset("imdb-b", num_graphs=24, seed=0)

@@ -1,0 +1,95 @@
+"""Tests for search-space enumeration, random baselines and Pareto fronts."""
+
+import numpy as np
+import pytest
+
+from repro.core.search_space import (
+    assignment_average_bits,
+    bit_width_histogram,
+    enumerate_assignments,
+    pareto_front,
+    random_assignment,
+    sample_assignments,
+)
+
+
+NAMES = ["a", "b", "c"]
+
+
+class TestEnumeration:
+    def test_full_grid_size(self):
+        assignments = list(enumerate_assignments(NAMES, [2, 4, 8]))
+        assert len(assignments) == 27
+
+    def test_limit(self):
+        assert len(list(enumerate_assignments(NAMES, [2, 4, 8], limit=5))) == 5
+
+    def test_paper_grid_size_for_two_layer_gcn(self):
+        from repro.quant.qmodules import gcn_component_names
+        names = gcn_component_names(2)
+        # 3^9 = 19,683 combinations quoted in the paper; enumerate only a prefix.
+        assert len(names) == 9
+        assert len(list(enumerate_assignments(names, [2, 4, 8], limit=100))) == 100
+
+    def test_assignments_cover_all_components(self):
+        for assignment in enumerate_assignments(NAMES, [2, 4], limit=8):
+            assert set(assignment) == set(NAMES)
+
+
+class TestRandomAssignments:
+    def test_values_in_choices(self):
+        rng = np.random.default_rng(0)
+        assignment = random_assignment(NAMES, [2, 4, 8], rng)
+        assert set(assignment.values()) <= {2, 4, 8}
+
+    def test_output_pinning(self):
+        rng = np.random.default_rng(0)
+        assignment = random_assignment(NAMES, [2, 4], rng, output_component="c",
+                                       output_bits=8)
+        assert assignment["c"] == 8
+
+    def test_pinning_unknown_component(self):
+        with pytest.raises(KeyError):
+            random_assignment(NAMES, [2, 4], np.random.default_rng(0),
+                              output_component="z", output_bits=8)
+
+    def test_sampling_unique(self):
+        samples = sample_assignments(NAMES, [2, 4, 8], 10, np.random.default_rng(0))
+        keys = {tuple(sorted(s.items())) for s in samples}
+        assert len(keys) == len(samples) == 10
+
+    def test_average_bits(self):
+        assert assignment_average_bits({"a": 2, "b": 4, "c": 8}) == pytest.approx(14 / 3)
+
+
+class TestParetoFront:
+    def test_dominated_points_excluded(self):
+        points = [(2.0, 0.5), (4.0, 0.8), (8.0, 0.9), (4.0, 0.4), (8.0, 0.7)]
+        front = pareto_front(points)
+        assert 0 in front and 1 in front and 2 in front
+        assert 3 not in front and 4 not in front
+
+    def test_front_is_monotone(self):
+        rng = np.random.default_rng(0)
+        points = [(float(rng.uniform(2, 8)), float(rng.uniform(0, 1))) for _ in range(50)]
+        front = pareto_front(points)
+        ordered = sorted(front, key=lambda i: points[i][0])
+        accuracies = [points[i][1] for i in ordered]
+        assert all(a < b for a, b in zip(accuracies, accuracies[1:]))
+
+    def test_single_point(self):
+        assert pareto_front([(3.0, 0.5)]) == [0]
+
+
+class TestHistogram:
+    def test_counts_sum_to_number_of_assignments(self):
+        assignments = [
+            {"a": 2, "b": 4, "c": 8},
+            {"a": 2, "b": 2, "c": 8},
+            {"a": 4, "b": 4, "c": 4},
+        ]
+        histogram = bit_width_histogram(assignments, NAMES, [2, 4, 8])
+        for name in NAMES:
+            assert sum(histogram[name].values()) == 3
+        assert histogram["a"][2] == 2
+        assert histogram["c"][8] == 2

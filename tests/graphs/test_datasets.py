@@ -1,0 +1,194 @@
+"""Tests for the synthetic dataset generators and the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.datasets import (
+    GRAPH_DATASETS,
+    NODE_DATASETS,
+    dataset_characteristics,
+    load_citation,
+    load_cora,
+    load_csl,
+    load_graph_dataset,
+    load_large_scale,
+    load_node_dataset,
+    load_tu_dataset,
+)
+from repro.graphs.datasets.csl import circulant_skip_link_graph
+from repro.graphs.datasets.synthetic import SBMConfig, generate_sbm_graph
+from repro.graphs.datasets.tu import TU_CHARACTERISTICS, dataset_labels
+
+
+class TestSBMGenerator:
+    def test_reproducible(self):
+        config = SBMConfig(num_nodes=100, num_classes=4, num_features=16)
+        a = generate_sbm_graph(config, seed=5)
+        b = generate_sbm_graph(config, seed=5)
+        np.testing.assert_array_equal(a.edge_index, b.edge_index)
+        np.testing.assert_allclose(a.x, b.x)
+
+    def test_different_seeds_differ(self):
+        config = SBMConfig(num_nodes=100, num_classes=4, num_features=16)
+        a = generate_sbm_graph(config, seed=1)
+        b = generate_sbm_graph(config, seed=2)
+        assert a.num_edges != b.num_edges or not np.array_equal(a.edge_index, b.edge_index)
+
+    def test_all_classes_present(self):
+        config = SBMConfig(num_nodes=60, num_classes=6, num_features=8)
+        graph = generate_sbm_graph(config, seed=0)
+        assert set(np.unique(graph.y)) == set(range(6))
+
+    def test_masks_are_disjoint(self):
+        graph = generate_sbm_graph(SBMConfig(num_nodes=200, num_classes=4), seed=0)
+        assert not (graph.train_mask & graph.val_mask).any()
+        assert not (graph.train_mask & graph.test_mask).any()
+
+    def test_edges_are_undirected(self):
+        graph = generate_sbm_graph(SBMConfig(num_nodes=80, num_classes=3), seed=0)
+        dense = graph.adjacency().to_dense()
+        np.testing.assert_allclose(dense, dense.T)
+
+    def test_homophily_creates_intra_class_edges(self):
+        config = SBMConfig(num_nodes=200, num_classes=4, homophily=0.9,
+                           average_degree=6.0, hub_fraction=0.0)
+        graph = generate_sbm_graph(config, seed=0)
+        src, dst = graph.edge_index
+        same_class = (graph.y[src] == graph.y[dst]).mean()
+        assert same_class > 0.6
+
+    def test_hubs_create_degree_skew(self):
+        with_hubs = SBMConfig(num_nodes=300, num_classes=3, hub_fraction=0.05,
+                              hub_extra_edges=30)
+        without = SBMConfig(num_nodes=300, num_classes=3, hub_fraction=0.0)
+        degree_with = generate_sbm_graph(with_hubs, seed=0).in_degrees().max()
+        degree_without = generate_sbm_graph(without, seed=0).in_degrees().max()
+        assert degree_with > degree_without
+
+
+class TestCitationLoaders:
+    def test_cora_characteristics(self):
+        graph = load_cora(scale=0.1, seed=0)
+        assert graph.num_classes == 7
+        assert graph.name == "cora"
+        assert graph.train_mask is not None
+
+    def test_scale_controls_size(self):
+        small = load_citation("citeseer", scale=0.05, seed=0)
+        large = load_citation("citeseer", scale=0.15, seed=0)
+        assert large.num_nodes > small.num_nodes
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            load_citation("unknown")
+
+    def test_registry_covers_paper_datasets(self):
+        for name in ("cora", "citeseer", "pubmed", "ogb-arxiv", "reddit"):
+            assert name in NODE_DATASETS
+
+    def test_load_node_dataset_dispatch(self):
+        graph = load_node_dataset("cora", scale=0.05, seed=1)
+        assert graph.num_classes == 7
+
+    def test_load_node_dataset_unknown(self):
+        with pytest.raises(KeyError):
+            load_node_dataset("imagenet")
+
+
+class TestLargeScaleLoaders:
+    def test_relative_sizes_preserved(self):
+        products = load_large_scale("ogb-products", scale=0.5, seed=0)
+        arxiv = load_large_scale("ogb-arxiv", scale=0.5, seed=0)
+        assert products.num_nodes > arxiv.num_nodes
+
+    def test_proteins_is_multilabel(self):
+        graph = load_large_scale("ogb-proteins", scale=0.5, seed=0)
+        assert graph.y.ndim == 2
+        assert set(np.unique(graph.y)).issubset({0.0, 1.0})
+
+    def test_unknown_large_dataset(self):
+        with pytest.raises(KeyError):
+            load_large_scale("ogb-mag")
+
+
+class TestTUDatasets:
+    def test_num_graphs_and_classes(self, tu_graphs):
+        assert len(tu_graphs) == 24
+        labels = dataset_labels(tu_graphs)
+        assert set(labels) == {0, 1}
+
+    def test_feature_dimensions_consistent(self, tu_graphs):
+        dims = {graph.num_features for graph in tu_graphs}
+        assert len(dims) == 1
+
+    def test_labels_reflect_structure(self):
+        graphs = load_tu_dataset("imdb-b", num_graphs=40, seed=0)
+        labels = dataset_labels(graphs)
+        densities = np.asarray([g.num_edges / (g.num_nodes * (g.num_nodes - 1))
+                                for g in graphs])
+        assert densities[labels == 1].mean() > densities[labels == 0].mean()
+
+    def test_reddit_m_has_five_classes(self):
+        graphs = load_tu_dataset("reddit-m", num_graphs=25, seed=0)
+        assert set(dataset_labels(graphs)) == {0, 1, 2, 3, 4}
+
+    def test_proteins_has_node_features(self):
+        graphs = load_tu_dataset("proteins", num_graphs=10, seed=0)
+        assert graphs[0].num_features == 3
+
+    def test_registry_contains_all_paper_datasets(self):
+        for name in ("imdb-b", "proteins", "dd", "reddit-b", "reddit-m"):
+            assert name in TU_CHARACTERISTICS
+            assert name in GRAPH_DATASETS
+
+    def test_unknown_tu_dataset(self):
+        with pytest.raises(KeyError):
+            load_tu_dataset("mutag-xxl")
+
+    def test_load_graph_dataset_dispatch(self):
+        graphs = load_graph_dataset("proteins", num_graphs=6, seed=0)
+        assert len(graphs) == 6
+
+
+class TestCSL:
+    def test_circulant_graph_structure(self):
+        graph = circulant_skip_link_graph(num_nodes=11, skip=3, label=0)
+        degrees = graph.in_degrees()
+        assert degrees.max() == 4  # cycle (2) + skip links (2)
+        assert graph.num_nodes == 11
+
+    def test_invalid_skip_rejected(self):
+        with pytest.raises(ValueError):
+            circulant_skip_link_graph(10, 1, 0)
+
+    def test_dataset_size_and_classes(self):
+        graphs = load_csl(num_nodes=21, skip_lengths=(2, 3, 4), copies_per_class=4,
+                          positional_encoding_dim=6, seed=0)
+        assert len(graphs) == 12
+        assert set(dataset_labels(graphs)) == {0, 1, 2}
+
+    def test_positional_encoding_dimension(self):
+        graphs = load_csl(num_nodes=21, skip_lengths=(2, 3), copies_per_class=2,
+                          positional_encoding_dim=8, seed=0)
+        assert all(graph.num_features == 8 for graph in graphs)
+
+    def test_copies_are_permuted(self):
+        graphs = load_csl(num_nodes=15, skip_lengths=(2,), copies_per_class=2,
+                          positional_encoding_dim=4, seed=0)
+        assert not np.array_equal(graphs[0].edge_index, graphs[1].edge_index)
+
+
+class TestRegistry:
+    def test_characteristics_table_complete(self):
+        table = dataset_characteristics()
+        for name in ("cora", "citeseer", "pubmed", "ogb-arxiv", "igb", "ogb-proteins",
+                     "ogb-products", "reddit", "csl", "imdb-b", "proteins", "dd",
+                     "reddit-b", "reddit-m"):
+            assert name in table
+
+    def test_characteristics_match_paper_table2(self):
+        table = dataset_characteristics()
+        assert table["cora"]["num_nodes"] == 2708
+        assert table["citeseer"]["num_classes"] == 6
+        assert table["reddit-m"]["num_classes"] == 5
+        assert table["csl"]["num_graphs"] == 150

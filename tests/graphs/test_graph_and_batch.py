@@ -1,0 +1,120 @@
+"""Tests for the Graph data object, GraphBatch and mini-batching."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, GraphBatch
+from repro.graphs.batch import collate, iterate_minibatches
+
+
+def triangle_graph(label=0):
+    edges = np.asarray([[0, 1, 2, 1, 2, 0], [1, 2, 0, 0, 1, 2]])
+    x = np.eye(3, dtype=np.float32)
+    return Graph(x, edges, y=np.asarray(label))
+
+
+class TestGraph:
+    def test_basic_properties(self, tiny_graph):
+        assert tiny_graph.num_nodes == 12
+        assert tiny_graph.num_edges == 20
+        assert tiny_graph.num_features == 5
+        assert tiny_graph.num_classes == 3
+
+    def test_edge_index_validation(self):
+        with pytest.raises(ValueError):
+            Graph(np.ones((2, 2), dtype=np.float32), np.asarray([0, 1]))
+
+    def test_num_classes_requires_labels(self):
+        graph = Graph(np.ones((2, 2), dtype=np.float32), np.asarray([[0], [1]]))
+        with pytest.raises(ValueError):
+            _ = graph.num_classes
+
+    def test_adjacency_shape_and_nnz(self, tiny_graph):
+        adjacency = tiny_graph.adjacency()
+        assert adjacency.shape == (12, 12)
+        assert adjacency.nnz == tiny_graph.num_edges
+
+    def test_adjacency_with_self_loops(self, tiny_graph):
+        adjacency = tiny_graph.adjacency(add_self_loops=True)
+        dense = adjacency.to_dense()
+        assert np.all(np.diag(dense) >= 1.0)
+
+    def test_adjacency_is_cached(self, tiny_graph):
+        assert tiny_graph.adjacency() is tiny_graph.adjacency()
+
+    def test_normalized_adjacency_row_sums_bounded(self, tiny_graph):
+        dense = tiny_graph.normalized_adjacency().to_dense()
+        assert dense.max() <= 1.0 + 1e-6
+        assert dense.min() >= 0.0
+
+    def test_normalized_adjacency_is_symmetric_for_undirected(self, tiny_graph):
+        dense = tiny_graph.normalized_adjacency().to_dense()
+        np.testing.assert_allclose(dense, dense.T, atol=1e-6)
+
+    def test_gcn_normalization_formula(self):
+        graph = triangle_graph()
+        dense = graph.normalized_adjacency().to_dense()
+        # Every node of the triangle has degree 3 after self loops: entries 1/3.
+        np.testing.assert_allclose(dense, np.full((3, 3), 1.0 / 3.0), atol=1e-6)
+
+    def test_degrees(self, tiny_graph):
+        assert tiny_graph.in_degrees().sum() == tiny_graph.num_edges
+        assert tiny_graph.out_degrees().sum() == tiny_graph.num_edges
+
+    def test_copy_is_deep_for_features(self, tiny_graph):
+        copy = tiny_graph.copy()
+        copy.x[0, 0] = 123.0
+        assert tiny_graph.x[0, 0] != 123.0
+
+    def test_repr(self, tiny_graph):
+        assert "nodes=12" in repr(tiny_graph)
+
+
+class TestGraphBatch:
+    def test_disjoint_union_sizes(self):
+        batch = GraphBatch([triangle_graph(0), triangle_graph(1)])
+        assert batch.num_nodes == 6
+        assert batch.num_edges == 12
+        assert batch.num_graphs == 2
+
+    def test_edge_offsets(self):
+        batch = GraphBatch([triangle_graph(), triangle_graph()])
+        assert batch.edge_index[:, 6:].min() == 3  # second graph's nodes are offset
+
+    def test_batch_vector(self):
+        batch = GraphBatch([triangle_graph(), triangle_graph(), triangle_graph()])
+        np.testing.assert_array_equal(np.bincount(batch.batch), [3, 3, 3])
+
+    def test_labels_concatenated(self):
+        batch = GraphBatch([triangle_graph(0), triangle_graph(1)])
+        np.testing.assert_array_equal(batch.y, [0, 1])
+
+    def test_block_diagonal_adjacency(self):
+        batch = GraphBatch([triangle_graph(), triangle_graph()])
+        dense = batch.adjacency().to_dense()
+        assert dense[:3, 3:].sum() == 0.0
+        assert dense[3:, :3].sum() == 0.0
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            GraphBatch([])
+
+    def test_collate_alias(self):
+        assert isinstance(collate([triangle_graph()]), GraphBatch)
+
+
+class TestMinibatching:
+    def test_covers_all_graphs(self, tu_graphs):
+        batches = iterate_minibatches(tu_graphs, batch_size=7,
+                                      rng=np.random.default_rng(0))
+        assert sum(batch.num_graphs for batch in batches) == len(tu_graphs)
+
+    def test_batch_size_respected(self, tu_graphs):
+        batches = iterate_minibatches(tu_graphs, batch_size=5,
+                                      rng=np.random.default_rng(0))
+        assert all(batch.num_graphs <= 5 for batch in batches)
+
+    def test_no_shuffle_keeps_order(self, tu_graphs):
+        batches = iterate_minibatches(tu_graphs, batch_size=len(tu_graphs), shuffle=False)
+        np.testing.assert_array_equal(batches[0].y,
+                                      [int(graph.y) for graph in tu_graphs])

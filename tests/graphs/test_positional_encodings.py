@@ -1,0 +1,74 @@
+"""Tests for the random-walk positional encoding and the CSL encoding options."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.datasets.csl import circulant_skip_link_graph, load_csl
+from repro.graphs.graph import Graph
+from repro.graphs.transforms import random_walk_positional_encoding
+
+
+def cycle_graph(num_nodes):
+    nodes = np.arange(num_nodes)
+    edges = np.vstack([np.concatenate([nodes, (nodes + 1) % num_nodes]),
+                       np.concatenate([(nodes + 1) % num_nodes, nodes])])
+    return Graph(np.ones((num_nodes, 1), dtype=np.float32), edges)
+
+
+class TestRandomWalkEncoding:
+    def test_requires_positive_steps(self):
+        with pytest.raises(ValueError):
+            random_walk_positional_encoding(cycle_graph(6), steps=0)
+
+    def test_shape_and_range(self):
+        encoded = random_walk_positional_encoding(cycle_graph(8), steps=5,
+                                                  concatenate=False)
+        assert encoded.x.shape == (8, 5)
+        assert (encoded.x >= 0).all() and (encoded.x <= 1).all()
+
+    def test_concatenation(self):
+        encoded = random_walk_positional_encoding(cycle_graph(8), steps=4,
+                                                  concatenate=True)
+        assert encoded.x.shape == (8, 1 + 4)
+
+    def test_cycle_return_probabilities(self):
+        """On a cycle, odd-length walks never return; 2-step returns are 1/2."""
+        encoded = random_walk_positional_encoding(cycle_graph(10), steps=4,
+                                                  concatenate=False)
+        np.testing.assert_allclose(encoded.x[:, 0], 0.0, atol=1e-7)   # 1 step
+        np.testing.assert_allclose(encoded.x[:, 1], 0.5, atol=1e-7)   # 2 steps
+        np.testing.assert_allclose(encoded.x[:, 2], 0.0, atol=1e-7)   # 3 steps
+
+    def test_vertex_transitive_graphs_have_identical_rows(self):
+        graph = circulant_skip_link_graph(num_nodes=13, skip=3, label=0)
+        encoded = random_walk_positional_encoding(graph, steps=6, concatenate=False)
+        np.testing.assert_allclose(encoded.x, np.broadcast_to(encoded.x[0],
+                                                              encoded.x.shape), atol=1e-6)
+
+    def test_distinguishes_csl_skip_lengths(self):
+        """Different skip lengths yield different return-probability signatures."""
+        first = random_walk_positional_encoding(
+            circulant_skip_link_graph(41, 2, 0), steps=12, concatenate=False).x[0]
+        second = random_walk_positional_encoding(
+            circulant_skip_link_graph(41, 9, 1), steps=12, concatenate=False).x[0]
+        assert np.abs(first - second).max() > 1e-3
+
+
+class TestCSLEncodingOptions:
+    def test_default_is_random_walk(self):
+        graphs = load_csl(num_nodes=21, skip_lengths=(2, 3), copies_per_class=1,
+                          positional_encoding_dim=6, seed=0)
+        assert all(g.num_features == 6 for g in graphs)
+        # random-walk features are probabilities
+        assert all((g.x >= 0).all() and (g.x <= 1).all() for g in graphs)
+
+    def test_laplacian_option(self):
+        graphs = load_csl(num_nodes=21, skip_lengths=(2, 3), copies_per_class=1,
+                          positional_encoding_dim=6, positional_encoding="laplacian",
+                          seed=0)
+        assert all(g.num_features == 6 for g in graphs)
+        assert any((g.x < 0).any() for g in graphs)  # eigenvectors take both signs
+
+    def test_unknown_encoding_rejected(self):
+        with pytest.raises(ValueError):
+            load_csl(positional_encoding="sinusoidal")

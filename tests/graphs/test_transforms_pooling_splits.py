@@ -1,0 +1,168 @@
+"""Tests for graph transforms, global pooling and dataset splits."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import pooling
+from repro.graphs.graph import Graph
+from repro.graphs.splits import (
+    k_fold_indices,
+    stratified_k_fold_indices,
+    train_val_test_masks,
+)
+from repro.graphs.transforms import (
+    add_self_loops,
+    degree_one_hot,
+    laplacian_positional_encoding,
+    row_normalize_features,
+    to_undirected,
+)
+from repro.tensor import Tensor
+
+
+def path_graph(num_nodes=6):
+    src = np.arange(num_nodes - 1)
+    edges = np.vstack([np.concatenate([src, src + 1]),
+                       np.concatenate([src + 1, src])])
+    x = np.ones((num_nodes, 2), dtype=np.float32)
+    return Graph(x, edges, y=np.zeros(num_nodes, dtype=np.int64))
+
+
+class TestTransforms:
+    def test_add_self_loops_adds_n_edges(self):
+        graph = path_graph()
+        looped = add_self_loops(graph)
+        assert looped.num_edges == graph.num_edges + graph.num_nodes
+
+    def test_to_undirected_symmetrises(self):
+        edges = np.asarray([[0, 1], [1, 2]])
+        graph = Graph(np.ones((3, 1), dtype=np.float32), edges)
+        undirected = to_undirected(graph)
+        dense = undirected.adjacency().to_dense()
+        np.testing.assert_allclose(dense, dense.T)
+
+    def test_to_undirected_removes_duplicates(self):
+        edges = np.asarray([[0, 1, 0], [1, 0, 1]])
+        graph = Graph(np.ones((2, 1), dtype=np.float32), edges)
+        assert to_undirected(graph).num_edges == 2
+
+    def test_degree_one_hot_shape(self):
+        graph = path_graph()
+        encoded = degree_one_hot(graph)
+        max_degree = int((graph.in_degrees() + graph.out_degrees()).max())
+        assert encoded.x.shape == (graph.num_nodes, max_degree + 1)
+        np.testing.assert_allclose(encoded.x.sum(axis=1), np.ones(graph.num_nodes))
+
+    def test_degree_one_hot_clipping(self):
+        graph = path_graph()
+        encoded = degree_one_hot(graph, max_degree=1)
+        assert encoded.x.shape[1] == 2
+
+    def test_laplacian_pe_dimension(self):
+        graph = path_graph(10)
+        encoded = laplacian_positional_encoding(graph, dim=4, concatenate=False)
+        assert encoded.x.shape == (10, 4)
+
+    def test_laplacian_pe_concatenates(self):
+        graph = path_graph(10)
+        encoded = laplacian_positional_encoding(graph, dim=3, concatenate=True)
+        assert encoded.x.shape == (10, 2 + 3)
+
+    def test_laplacian_pe_is_deterministic(self):
+        graph = path_graph(12)
+        a = laplacian_positional_encoding(graph, dim=4, concatenate=False).x
+        b = laplacian_positional_encoding(graph, dim=4, concatenate=False).x
+        np.testing.assert_allclose(a, b)
+
+    def test_laplacian_pe_distinguishes_structures(self):
+        """Positional encodings differ between a path and a cycle."""
+        path = path_graph(8)
+        nodes = np.arange(8)
+        cycle_edges = np.vstack([np.concatenate([nodes, (nodes + 1) % 8]),
+                                 np.concatenate([(nodes + 1) % 8, nodes])])
+        cycle = Graph(np.ones((8, 2), dtype=np.float32), cycle_edges)
+        pe_path = laplacian_positional_encoding(path, dim=3, concatenate=False).x
+        pe_cycle = laplacian_positional_encoding(cycle, dim=3, concatenate=False).x
+        assert not np.allclose(pe_path, pe_cycle, atol=1e-3)
+
+    def test_row_normalize(self):
+        graph = path_graph()
+        graph.x = np.asarray([[2.0, 2.0]] * graph.num_nodes, dtype=np.float32)
+        normalised = row_normalize_features(graph)
+        np.testing.assert_allclose(normalised.x.sum(axis=1), np.ones(graph.num_nodes))
+
+    def test_row_normalize_handles_zero_rows(self):
+        graph = path_graph()
+        graph.x = np.zeros_like(graph.x)
+        normalised = row_normalize_features(graph)
+        assert np.isfinite(normalised.x).all()
+
+
+class TestPooling:
+    def test_max_pool(self):
+        x = Tensor(np.asarray([[1.0], [5.0], [2.0], [7.0]], dtype=np.float32))
+        batch = np.asarray([0, 0, 1, 1])
+        np.testing.assert_allclose(pooling.global_max_pool(x, batch, 2).data,
+                                   [[5.0], [7.0]])
+
+    def test_mean_pool(self):
+        x = Tensor(np.asarray([[2.0], [4.0], [6.0]], dtype=np.float32))
+        batch = np.asarray([0, 0, 1])
+        np.testing.assert_allclose(pooling.global_mean_pool(x, batch, 2).data,
+                                   [[3.0], [6.0]])
+
+    def test_sum_pool(self):
+        x = Tensor(np.asarray([[1.0], [2.0], [3.0]], dtype=np.float32))
+        batch = np.asarray([0, 1, 1])
+        np.testing.assert_allclose(pooling.global_sum_pool(x, batch, 2).data,
+                                   [[1.0], [5.0]])
+
+    def test_get_pooling_lookup(self):
+        assert pooling.get_pooling("max") is pooling.global_max_pool
+        with pytest.raises(KeyError):
+            pooling.get_pooling("median")
+
+
+class TestSplits:
+    def test_planetoid_split_counts(self):
+        labels = np.repeat(np.arange(4), 50)
+        train, val, test = train_val_test_masks(200, labels, train_per_class=5,
+                                                num_val=40, num_test=80,
+                                                rng=np.random.default_rng(0))
+        assert train.sum() == 20
+        assert val.sum() == 40
+        assert test.sum() == 80
+
+    def test_split_masks_are_disjoint(self):
+        labels = np.repeat(np.arange(3), 30)
+        train, val, test = train_val_test_masks(90, labels, rng=np.random.default_rng(1))
+        assert not (train & val).any()
+        assert not (train & test).any()
+        assert not (val & test).any()
+
+    def test_train_mask_covers_all_classes(self):
+        labels = np.repeat(np.arange(5), 20)
+        train, _, _ = train_val_test_masks(100, labels, train_per_class=3,
+                                           rng=np.random.default_rng(2))
+        assert set(labels[train]) == set(range(5))
+
+    def test_k_fold_partitions_everything(self):
+        folds = k_fold_indices(20, 4, rng=np.random.default_rng(0))
+        assert len(folds) == 4
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test.tolist()) == list(range(20))
+
+    def test_k_fold_train_test_disjoint(self):
+        for train, test in k_fold_indices(15, 3, rng=np.random.default_rng(0)):
+            assert not set(train) & set(test)
+
+    def test_k_fold_requires_two_folds(self):
+        with pytest.raises(ValueError):
+            k_fold_indices(10, 1)
+
+    def test_stratified_folds_balance_classes(self):
+        labels = np.asarray([0] * 20 + [1] * 20)
+        folds = stratified_k_fold_indices(labels, 4, rng=np.random.default_rng(0))
+        for _, test in folds:
+            test_labels = labels[test]
+            assert abs((test_labels == 0).sum() - (test_labels == 1).sum()) <= 1

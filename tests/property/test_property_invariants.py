@@ -1,0 +1,144 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.relaxed_quantizer import RelaxedQuantizer
+from repro.core.search_space import pareto_front
+from repro.quant.bitops import BitOpsCounter, average_bits
+from repro.quant.quantizer import AffineQuantizer
+from repro.tensor import SparseTensor, Tensor, spmm
+from repro.tensor import functional as F
+
+finite_floats = st.floats(min_value=-100.0, max_value=100.0,
+                          allow_nan=False, allow_infinity=False, width=32)
+
+
+class TestTensorProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(hnp.arrays(np.float32, hnp.array_shapes(min_dims=1, max_dims=2, max_side=6),
+                      elements=finite_floats))
+    def test_addition_commutes(self, values):
+        a = Tensor(values)
+        b = Tensor(values[::-1].copy())
+        np.testing.assert_allclose((a + b).data, (b + a).data, rtol=1e-5, atol=1e-5)
+
+    @settings(max_examples=40, deadline=None)
+    @given(hnp.arrays(np.float32, st.tuples(st.integers(1, 6), st.integers(1, 6)),
+                      elements=finite_floats))
+    def test_sum_matches_numpy(self, values):
+        np.testing.assert_allclose(Tensor(values).sum().data, values.sum(),
+                                   rtol=1e-4, atol=1e-3)
+
+    @settings(max_examples=40, deadline=None)
+    @given(hnp.arrays(np.float32, st.tuples(st.integers(1, 5), st.integers(1, 5)),
+                      elements=finite_floats))
+    def test_relu_is_idempotent(self, values):
+        once = Tensor(values).relu()
+        twice = once.relu()
+        np.testing.assert_allclose(once.data, twice.data)
+
+    @settings(max_examples=40, deadline=None)
+    @given(hnp.arrays(np.float32, st.tuples(st.integers(1, 5), st.integers(2, 6)),
+                      elements=finite_floats))
+    def test_softmax_is_probability_distribution(self, values):
+        probabilities = F.softmax(Tensor(values), axis=-1).data
+        assert (probabilities >= 0).all()
+        np.testing.assert_allclose(probabilities.sum(axis=-1), 1.0, rtol=1e-4)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 10), st.integers(1, 5), st.integers(0, 100))
+    def test_spmm_matches_dense_product(self, num_nodes, num_features, seed):
+        rng = np.random.default_rng(seed)
+        dense = (rng.random((num_nodes, num_nodes)) *
+                 (rng.random((num_nodes, num_nodes)) < 0.4)).astype(np.float32)
+        features = rng.standard_normal((num_nodes, num_features)).astype(np.float32)
+        result = spmm(SparseTensor(dense), Tensor(features))
+        np.testing.assert_allclose(result.data, dense @ features, rtol=1e-4, atol=1e-4)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 30), st.integers(1, 4), st.integers(1, 6), st.integers(0, 50))
+    def test_segment_sum_conserves_mass(self, num_rows, num_cols, num_segments, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.standard_normal((num_rows, num_cols)).astype(np.float32)
+        segments = rng.integers(0, num_segments, size=num_rows)
+        pooled = F.segment_sum(Tensor(values), segments, num_segments)
+        np.testing.assert_allclose(pooled.data.sum(), values.sum(), rtol=1e-3, atol=1e-3)
+
+
+class TestQuantizerProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.sampled_from([2, 3, 4, 6, 8, 16]),
+           hnp.arrays(np.float64, st.integers(2, 40),
+                      elements=st.floats(-50, 50, allow_nan=False)))
+    def test_quantized_integers_stay_in_range(self, bits, values):
+        quantizer = AffineQuantizer(bits=bits)
+        integers, params = quantizer.quantize_array(values)
+        assert integers.min() >= params.qmin
+        assert integers.max() <= params.qmax
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.sampled_from([4, 8, 16]),
+           hnp.arrays(np.float64, st.integers(2, 40),
+                      elements=st.floats(-10, 10, allow_nan=False)))
+    def test_dequantization_error_bounded_by_scale(self, bits, values):
+        quantizer = AffineQuantizer(bits=bits)
+        integers, params = quantizer.quantize_array(values)
+        recovered = quantizer.dequantize_array(integers, params)
+        scale, _ = params.as_scalars()
+        span = values.max() - values.min()
+        # Errors are at most one grid step (plus clipping at the range edges).
+        assert np.abs(recovered - values).max() <= scale + 1e-9 or span == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.sampled_from([2, 4, 8, 16]), min_size=1, max_size=4, unique=True),
+           st.integers(0, 100))
+    def test_relaxed_quantizer_expected_bits_within_choices(self, choices, seed):
+        relaxed = RelaxedQuantizer(sorted(choices))
+        relaxed.alpha.data[:] = np.random.default_rng(seed).standard_normal(len(choices))
+        expected = relaxed.expected_bits_value()
+        assert min(choices) - 1e-6 <= expected <= max(choices) + 1e-6
+        assert relaxed.selected_bits() in choices
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(1, 10 ** 6), st.sampled_from([2, 4, 8, 32])),
+                    min_size=1, max_size=10))
+    def test_bitops_counter_total_is_sum(self, records):
+        counter = BitOpsCounter()
+        for operations, bits in records:
+            counter.add("f", operations, bits)
+        assert counter.total_bit_operations == sum(o * b for o, b in records)
+        weighted = counter.operation_weighted_bits()
+        assert min(b for _, b in records) <= weighted <= max(b for _, b in records)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.sampled_from([2, 4, 8, 16, 32]), min_size=1, max_size=12))
+    def test_average_bits_bounded_by_extremes(self, bits):
+        value = average_bits(bits)
+        assert min(bits) <= value <= max(bits)
+
+
+class TestParetoProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.floats(2, 8, allow_nan=False),
+                              st.floats(0, 1, allow_nan=False)),
+                    min_size=1, max_size=30))
+    def test_pareto_points_are_mutually_non_dominated(self, points):
+        front = pareto_front(points)
+        assert front  # never empty
+        for i in front:
+            for j in front:
+                if i == j:
+                    continue
+                dominates = (points[j][0] < points[i][0]) and (points[j][1] > points[i][1])
+                assert not dominates
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.floats(2, 8, allow_nan=False),
+                              st.floats(0, 1, allow_nan=False)),
+                    min_size=1, max_size=30))
+    def test_every_point_dominated_by_some_front_point(self, points):
+        front = pareto_front(points)
+        best_quality = max(points[i][1] for i in front)
+        assert all(point[1] <= best_quality for point in points)

@@ -1,0 +1,151 @@
+"""Tests for the Degree-Quant and A²Q baselines and the complexity table."""
+
+import numpy as np
+import pytest
+
+from repro.quant.a2q import A2QNodeClassifier, A2QQuantizer
+from repro.quant.complexity import complexity_table
+from repro.quant.degree_quant import (
+    DegreeQuantizer,
+    attach_degree_probabilities,
+    degree_protection_probabilities,
+    degree_quant_factory,
+)
+from repro.quant.qmodules import QuantNodeClassifier, gcn_component_names, uniform_assignment
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+
+class TestDegreeProtection:
+    def test_probabilities_monotone_in_degree(self, small_cora):
+        probabilities = degree_protection_probabilities(small_cora, 0.0, 0.2)
+        degrees = small_cora.in_degrees()
+        assert probabilities[degrees.argmax()] >= probabilities[degrees.argmin()]
+
+    def test_probability_bounds(self, small_cora):
+        probabilities = degree_protection_probabilities(small_cora, 0.05, 0.3)
+        assert probabilities.min() >= 0.05 - 1e-9
+        assert probabilities.max() <= 0.3 + 1e-9
+
+    def test_invalid_bounds_rejected(self, small_cora):
+        with pytest.raises(ValueError):
+            degree_protection_probabilities(small_cora, 0.5, 0.1)
+
+    def test_protected_rows_keep_full_precision(self):
+        quantizer = DegreeQuantizer(bits=2, rng=np.random.default_rng(0))
+        quantizer.set_probabilities(np.asarray([1.0, 0.0]))
+        values = np.asarray([[0.731], [0.522]], dtype=np.float32)
+        out = quantizer.fake_quantize(Tensor(values))
+        assert out.data[0, 0] == pytest.approx(0.731, abs=1e-6)   # protected row
+        assert out.data[1, 0] != pytest.approx(0.522, abs=1e-6)   # quantized row
+
+    def test_no_protection_at_inference(self):
+        quantizer = DegreeQuantizer(bits=2, rng=np.random.default_rng(0))
+        quantizer.set_probabilities(np.asarray([1.0, 1.0]))
+        values = np.asarray([[0.731], [0.522]], dtype=np.float32)
+        quantizer.fake_quantize(Tensor(values))
+        quantizer.eval()
+        out = quantizer.fake_quantize(Tensor(values))
+        assert out.data[0, 0] != pytest.approx(0.731, abs=1e-6)
+
+    def test_mismatched_tensor_shape_falls_back_to_plain_quantization(self):
+        quantizer = DegreeQuantizer(bits=4, rng=np.random.default_rng(0))
+        quantizer.set_probabilities(np.ones(10))
+        weight = Tensor(np.random.default_rng(1).standard_normal((3, 3)).astype(np.float32))
+        out = quantizer.fake_quantize(weight)
+        assert out.shape == (3, 3)
+
+    def test_factory_builds_degree_quantizers_for_activations(self):
+        factory = degree_quant_factory()
+        assert isinstance(factory(8, "activation"), DegreeQuantizer)
+        assert not isinstance(factory(8, "weight"), DegreeQuantizer)
+        assert factory(32, "activation").bits == 32
+
+    def test_attach_probabilities_configures_model(self, small_cora):
+        assignment = uniform_assignment(gcn_component_names(2), 4)
+        model = QuantNodeClassifier.from_assignment(
+            [(small_cora.num_features, 8), (8, small_cora.num_classes)], "gcn",
+            assignment, quantizer_factory=degree_quant_factory())
+        configured = attach_degree_probabilities(model, small_cora)
+        assert configured > 0
+        out = model(small_cora)
+        assert np.isfinite(out.data).all()
+
+
+class TestA2Q:
+    def test_quantizer_output_shape(self):
+        quantizer = A2QQuantizer(num_nodes=6)
+        x = Tensor(np.random.default_rng(0).standard_normal((6, 4)).astype(np.float32))
+        assert quantizer(x).shape == (6, 4)
+
+    def test_non_node_tensor_passthrough(self):
+        quantizer = A2QQuantizer(num_nodes=6)
+        x = Tensor(np.ones((3, 4), dtype=np.float32))
+        assert quantizer(x) is x
+
+    def test_effective_bits_clipped(self):
+        quantizer = A2QQuantizer(num_nodes=4, init_bits=4.0, min_bits=2, max_bits=8)
+        quantizer.bit_width.data[:] = 100.0
+        assert quantizer.effective_bits().max() == 8
+
+    def test_memory_penalty_scales_with_bits(self):
+        low = A2QQuantizer(num_nodes=10, init_bits=2.0)
+        high = A2QQuantizer(num_nodes=10, init_bits=8.0)
+        assert float(high.memory_penalty(16).data) > float(low.memory_penalty(16).data)
+
+    def test_penalty_gradient_reaches_bit_widths(self):
+        quantizer = A2QQuantizer(num_nodes=5)
+        quantizer.memory_penalty(8).backward()
+        assert quantizer.bit_width.grad is not None
+
+    def test_classifier_forward_and_parameters(self, small_cora):
+        model = A2QNodeClassifier(
+            [(small_cora.num_features, 8), (8, small_cora.num_classes)],
+            small_cora.num_nodes, rng=np.random.default_rng(0))
+        out = model(small_cora)
+        assert out.shape == (small_cora.num_nodes, small_cora.num_classes)
+        # Quantization parameters grow with the graph size (paper Table 1 point).
+        assert model.num_quantization_parameters() == 2 * 2 * small_cora.num_nodes
+
+    def test_classifier_trains_one_step(self, small_cora):
+        model = A2QNodeClassifier(
+            [(small_cora.num_features, 8), (8, small_cora.num_classes)],
+            small_cora.num_nodes, rng=np.random.default_rng(0))
+        loss = F.cross_entropy(model(small_cora), small_cora.y, mask=small_cora.train_mask)
+        total = loss + model.memory_penalty(small_cora) * 0.1
+        total.backward()
+        grads = [p.grad for p in model.parameters() if p.grad is not None]
+        assert grads
+
+    def test_bit_operations_reflect_average_bits(self, small_cora):
+        model = A2QNodeClassifier(
+            [(small_cora.num_features, 8), (8, small_cora.num_classes)],
+            small_cora.num_nodes)
+        counter = model.bit_operations(small_cora)
+        assert counter.total_bit_operations > 0
+        assert model.average_bits() == pytest.approx(4.0)
+
+
+class TestComplexityTable:
+    def test_three_methods_present(self):
+        table = complexity_table()
+        assert set(table) == {"DQ", "A2Q", "MixQ-GNN"}
+
+    def test_a2q_space_grows_with_nodes(self):
+        table = complexity_table()
+        small = table["A2Q"].space_count(100, 64, 2, 8)
+        large = table["A2Q"].space_count(10000, 64, 2, 8)
+        mixq_small = table["MixQ-GNN"].space_count(100, 64, 2, 8)
+        mixq_large = table["MixQ-GNN"].space_count(10000, 64, 2, 8)
+        # A2Q's overhead above MixQ grows linearly in n (the per-node parameters).
+        assert (large - mixq_large) > (small - mixq_small)
+
+    def test_a2q_fp32_time_grows_with_nodes(self):
+        table = complexity_table()
+        assert table["A2Q"].time_fp32_count(1000, 64, 2) > \
+            table["DQ"].time_fp32_count(1000, 64, 2)
+
+    def test_integer_time_identical_across_methods(self):
+        table = complexity_table()
+        counts = {row.time_int_count(500, 32, 2) for row in table.values()}
+        assert len(counts) == 1

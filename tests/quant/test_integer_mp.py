@@ -1,0 +1,190 @@
+"""Theorem 1 tests: integer message passing equals fake-quantized aggregation.
+
+These are the reproduction's analogue of the paper's
+``test_graph_conv_module.py`` / ``test_graph_iso_module.py`` checks, plus
+property-based tests over random graphs, bit-widths and quantization
+parameters.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quant.integer_mp import (
+    fake_quantized_reference,
+    integer_message_passing,
+    quantized_matmul_dense,
+    quantized_spmm,
+)
+from repro.quant.quantizer import AffineQuantizer
+from repro.tensor.sparse import SparseTensor
+
+
+def random_sparse(num_nodes, density, seed):
+    rng = np.random.default_rng(seed)
+    mask = rng.random((num_nodes, num_nodes)) < density
+    values = rng.random((num_nodes, num_nodes)) * mask
+    return SparseTensor(values.astype(np.float32))
+
+
+class TestDenseTheorem:
+    @pytest.mark.parametrize("bits", [2, 4, 8])
+    def test_scalar_parameters_exact(self, bits):
+        rng = np.random.default_rng(bits)
+        a = rng.random((7, 7)) * (rng.random((7, 7)) < 0.5)
+        x = rng.standard_normal((7, 3))
+        quantizer_a = AffineQuantizer(bits=bits, symmetric=True)
+        quantizer_x = AffineQuantizer(bits=bits)
+        qa, params_a = quantizer_a.quantize_array(a)
+        qx, params_x = quantizer_x.quantize_array(x)
+        sa, za = params_a.as_scalars()
+        sx, zx = params_x.as_scalars()
+        output = quantized_matmul_dense(qa, sa, za, qx, sx, zx)
+        reference = quantizer_a.dequantize_array(qa, params_a) @ \
+            quantizer_x.dequantize_array(qx, params_x)
+        np.testing.assert_allclose(output, reference, rtol=1e-6, atol=1e-6)
+
+    def test_vector_parameters_exact(self):
+        """Per-row scales for A and per-column scales/zero-points for X."""
+        rng = np.random.default_rng(0)
+        qa = rng.integers(-8, 8, size=(5, 5)).astype(np.float64)
+        qx = rng.integers(-8, 8, size=(5, 4)).astype(np.float64)
+        sa = rng.uniform(0.01, 0.2, size=5)
+        za = rng.integers(-2, 3, size=5).astype(np.float64)
+        sx = rng.uniform(0.01, 0.2, size=4)
+        zx = rng.integers(-2, 3, size=4).astype(np.float64)
+        fake_a = (qa - za.reshape(-1, 1)) * sa.reshape(-1, 1)
+        fake_x = (qx - zx.reshape(1, -1)) * sx.reshape(1, -1)
+        reference = fake_a @ fake_x
+        output = quantized_matmul_dense(qa, sa, za, qx, sx, zx)
+        np.testing.assert_allclose(output, reference, rtol=1e-9, atol=1e-9)
+
+    def test_output_quantizer_parameters_applied(self):
+        rng = np.random.default_rng(1)
+        qa = rng.integers(-4, 4, size=(3, 3)).astype(np.float64)
+        qx = rng.integers(-4, 4, size=(3, 2)).astype(np.float64)
+        output = quantized_matmul_dense(qa, 0.1, 0.0, qx, 0.2, 0.0, sy=0.5, zy=3.0)
+        reference = (0.1 * qa) @ (0.2 * qx) / 0.5 + 3.0
+        np.testing.assert_allclose(output, reference, rtol=1e-9)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            quantized_matmul_dense(np.ones((3, 3)), np.ones(2), 0.0,
+                                   np.ones((3, 2)), 1.0, 0.0)
+
+
+class TestSparseTheorem:
+    @pytest.mark.parametrize("bits", [4, 8])
+    def test_matches_fake_quantized_reference(self, bits):
+        adjacency = random_sparse(30, 0.2, seed=bits)
+        features = np.random.default_rng(bits + 1).standard_normal((30, 6)).astype(np.float32)
+        quantizer_a = AffineQuantizer(bits=bits, symmetric=True)
+        quantizer_x = AffineQuantizer(bits=bits)
+        result = integer_message_passing(adjacency, features, quantizer_a, quantizer_x)
+        reference = fake_quantized_reference(adjacency, features, quantizer_a, quantizer_x)
+        np.testing.assert_allclose(result.dequantized_output, reference,
+                                   rtol=1e-5, atol=1e-5)
+
+    def test_gcn_normalized_adjacency(self, small_cora):
+        """The paper's GCN verification: works on a real normalised adjacency."""
+        adjacency = small_cora.normalized_adjacency()
+        quantizer_a = AffineQuantizer(bits=8, symmetric=True)
+        quantizer_x = AffineQuantizer(bits=8)
+        result = integer_message_passing(adjacency, small_cora.x, quantizer_a, quantizer_x)
+        reference = fake_quantized_reference(adjacency, small_cora.x,
+                                             quantizer_a, quantizer_x)
+        np.testing.assert_allclose(result.dequantized_output, reference,
+                                   rtol=1e-5, atol=1e-5)
+
+    def test_gin_unweighted_adjacency(self, small_cora):
+        """The paper's GIN verification: unweighted adjacency, INT4."""
+        adjacency = small_cora.adjacency(add_self_loops=False)
+        quantizer_a = AffineQuantizer(bits=4, symmetric=True)
+        quantizer_x = AffineQuantizer(bits=4)
+        result = integer_message_passing(adjacency, small_cora.x, quantizer_a, quantizer_x)
+        reference = fake_quantized_reference(adjacency, small_cora.x,
+                                             quantizer_a, quantizer_x)
+        np.testing.assert_allclose(result.dequantized_output, reference,
+                                   rtol=1e-5, atol=1e-5)
+
+    def test_integer_product_is_integral(self):
+        adjacency = random_sparse(20, 0.3, seed=3)
+        features = np.random.default_rng(4).standard_normal((20, 5)).astype(np.float32)
+        result = integer_message_passing(adjacency, features,
+                                         AffineQuantizer(bits=8, symmetric=True),
+                                         AffineQuantizer(bits=8))
+        assert result.integer_product.dtype == np.int64
+
+    def test_requires_symmetric_adjacency_quantizer(self):
+        adjacency = random_sparse(10, 0.3, seed=5)
+        features = np.zeros((10, 2), dtype=np.float32)
+        with pytest.raises(ValueError):
+            integer_message_passing(adjacency, features,
+                                    AffineQuantizer(bits=8, symmetric=False),
+                                    AffineQuantizer(bits=8))
+
+    def test_with_output_quantizer(self):
+        adjacency = random_sparse(15, 0.3, seed=6)
+        features = np.random.default_rng(7).standard_normal((15, 4)).astype(np.float32)
+        quantizer_y = AffineQuantizer(bits=8)
+        result = integer_message_passing(adjacency, features,
+                                         AffineQuantizer(bits=8, symmetric=True),
+                                         AffineQuantizer(bits=8), quantizer_y)
+        reference = fake_quantized_reference(adjacency, features,
+                                             AffineQuantizer(bits=8, symmetric=True),
+                                             AffineQuantizer(bits=8))
+        scale = float(result.scale_y)
+        # Dequantized output matches the reference up to the output grid resolution.
+        assert np.abs(result.dequantized_output - reference).max() <= scale + 1e-6
+
+    def test_spmm_requires_sparse_input(self):
+        with pytest.raises(TypeError):
+            quantized_spmm(np.ones((3, 3)), 1.0, np.ones((3, 2)), 1.0, 0.0)
+
+
+class TestTheoremProperty:
+    """Property-based check: the identity holds for arbitrary graphs and widths."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num_nodes=st.integers(min_value=2, max_value=25),
+        num_features=st.integers(min_value=1, max_value=8),
+        bits_a=st.sampled_from([2, 4, 8]),
+        bits_x=st.sampled_from([2, 4, 8]),
+        density=st.floats(min_value=0.05, max_value=0.6),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_integer_equals_fake_quantized(self, num_nodes, num_features, bits_a,
+                                           bits_x, density, seed):
+        rng = np.random.default_rng(seed)
+        mask = rng.random((num_nodes, num_nodes)) < density
+        adjacency = SparseTensor((rng.random((num_nodes, num_nodes)) * mask
+                                  ).astype(np.float32))
+        features = rng.standard_normal((num_nodes, num_features)).astype(np.float32)
+        quantizer_a = AffineQuantizer(bits=bits_a, symmetric=True)
+        quantizer_x = AffineQuantizer(bits=bits_x)
+        result = integer_message_passing(adjacency, features, quantizer_a, quantizer_x)
+        reference = fake_quantized_reference(adjacency, features, quantizer_a, quantizer_x)
+        np.testing.assert_allclose(result.dequantized_output, reference,
+                                   rtol=1e-4, atol=1e-4)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.integers(min_value=1, max_value=10),
+        inner=st.integers(min_value=1, max_value=10),
+        cols=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    def test_dense_identity_with_vector_parameters(self, rows, inner, cols, seed):
+        rng = np.random.default_rng(seed)
+        qa = rng.integers(-8, 8, size=(rows, inner)).astype(np.float64)
+        qx = rng.integers(-8, 8, size=(inner, cols)).astype(np.float64)
+        sa = rng.uniform(0.01, 1.0, size=rows)
+        za = rng.integers(-3, 4, size=rows).astype(np.float64)
+        sx = rng.uniform(0.01, 1.0, size=cols)
+        zx = rng.integers(-3, 4, size=cols).astype(np.float64)
+        fake_a = (qa - za.reshape(-1, 1)) * sa.reshape(-1, 1)
+        fake_x = (qx - zx.reshape(1, -1)) * sx.reshape(1, -1)
+        np.testing.assert_allclose(
+            quantized_matmul_dense(qa, sa, za, qx, sx, zx), fake_a @ fake_x,
+            rtol=1e-8, atol=1e-8)

@@ -1,0 +1,172 @@
+"""Tests for the affine QAT quantizer (Equations 3-4) and its observers."""
+
+import numpy as np
+import pytest
+
+from repro.quant.quantizer import AffineQuantizer, IdentityQuantizer, integer_range
+from repro.tensor import Tensor
+
+
+class TestIntegerRange:
+    def test_signed_ranges(self):
+        assert integer_range(8, signed=True) == (-128, 127)
+        assert integer_range(4, signed=True) == (-8, 7)
+        assert integer_range(2, signed=True) == (-2, 1)
+
+    def test_unsigned_ranges(self):
+        assert integer_range(8, signed=False) == (0, 255)
+        assert integer_range(1, signed=False) == (0, 1)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            integer_range(0, signed=True)
+
+
+class TestQuantizationParameters:
+    def test_scale_covers_observed_range(self):
+        quantizer = AffineQuantizer(bits=8)
+        quantizer.observe(np.asarray([-2.0, 2.0]))
+        params = quantizer.quantization_parameters()
+        scale, _ = params.as_scalars()
+        assert scale == pytest.approx(4.0 / 255, rel=1e-3)
+
+    def test_symmetric_zero_point_is_zero(self):
+        quantizer = AffineQuantizer(bits=8, symmetric=True)
+        quantizer.observe(np.asarray([-1.5, 3.0]))
+        _, zero_point = quantizer.quantization_parameters().as_scalars()
+        assert zero_point == 0.0
+
+    def test_affine_range_includes_zero(self):
+        quantizer = AffineQuantizer(bits=8)
+        quantizer.observe(np.asarray([2.0, 6.0]))
+        params = quantizer.quantization_parameters()
+        scale, zero_point = params.as_scalars()
+        # zero must be representable: dequant(zero_point) == 0
+        assert (0.0 - 0.0) * scale == 0.0
+        assert params.qmin <= zero_point <= params.qmax
+
+    def test_uninitialised_defaults(self):
+        params = AffineQuantizer(bits=4).quantization_parameters()
+        scale, _ = params.as_scalars()
+        assert scale > 0
+
+    def test_unknown_observer_rejected(self):
+        with pytest.raises(ValueError):
+            AffineQuantizer(observer="histogram")
+
+
+class TestObservers:
+    def test_minmax_observer_expands_only(self):
+        quantizer = AffineQuantizer(bits=8, observer="minmax")
+        quantizer.observe(np.asarray([-1.0, 1.0]))
+        quantizer.observe(np.asarray([-0.1, 0.1]))
+        assert float(quantizer.running_min) == pytest.approx(-1.0)
+        assert float(quantizer.running_max) == pytest.approx(1.0)
+
+    def test_ema_observer_tracks_slowly(self):
+        quantizer = AffineQuantizer(bits=8, observer="ema", momentum=0.1)
+        quantizer.observe(np.asarray([-1.0, 1.0]))
+        quantizer.observe(np.asarray([-10.0, 10.0]))
+        assert float(quantizer.running_max) < 10.0
+
+    def test_percentile_observer_clips_outliers(self):
+        values = np.concatenate([np.random.default_rng(0).uniform(-1, 1, 1000),
+                                 np.asarray([100.0])])
+        quantizer = AffineQuantizer(bits=8, observer="percentile", percentile=0.01)
+        quantizer.observe(values)
+        assert float(quantizer.running_max) < 10.0
+
+    def test_empty_observation_ignored(self):
+        quantizer = AffineQuantizer(bits=8)
+        quantizer.observe(np.asarray([]))
+        assert not bool(quantizer.initialized)
+
+
+class TestFakeQuantize:
+    def test_roundtrip_error_bounded_by_scale(self):
+        quantizer = AffineQuantizer(bits=8)
+        values = np.random.default_rng(0).uniform(-1, 1, (50,)).astype(np.float32)
+        out = quantizer.fake_quantize(Tensor(values))
+        scale, _ = quantizer.quantization_parameters().as_scalars()
+        assert np.abs(out.data - values).max() <= scale * 0.51 + 1e-6
+
+    def test_lower_bits_higher_error(self):
+        values = np.random.default_rng(1).uniform(-1, 1, (200,)).astype(np.float32)
+        errors = {}
+        for bits in (2, 4, 8):
+            quantizer = AffineQuantizer(bits=bits)
+            out = quantizer.fake_quantize(Tensor(values))
+            errors[bits] = np.abs(out.data - values).mean()
+        assert errors[2] > errors[4] > errors[8]
+
+    def test_output_lies_on_quantization_grid(self):
+        quantizer = AffineQuantizer(bits=4)
+        values = np.random.default_rng(2).uniform(-1, 1, (30,)).astype(np.float32)
+        out = quantizer.fake_quantize(Tensor(values))
+        params = quantizer.quantization_parameters()
+        scale, zero_point = params.as_scalars()
+        grid_positions = out.data / scale + zero_point
+        np.testing.assert_allclose(grid_positions, np.rint(grid_positions), atol=1e-3)
+
+    def test_ste_gradient_inside_range(self):
+        quantizer = AffineQuantizer(bits=8)
+        values = Tensor(np.random.default_rng(3).uniform(-1, 1, (10,)).astype(np.float32),
+                        requires_grad=True)
+        quantizer.fake_quantize(values).sum().backward()
+        np.testing.assert_allclose(values.grad, np.ones(10), atol=1e-6)
+
+    def test_ste_gradient_clipped_outside_range(self):
+        quantizer = AffineQuantizer(bits=8, observer="minmax")
+        quantizer.observe(np.asarray([-1.0, 1.0]))
+        quantizer.eval()
+        values = Tensor(np.asarray([0.0, 100.0], dtype=np.float32), requires_grad=True)
+        quantizer.fake_quantize(values).sum().backward()
+        assert values.grad[0] == pytest.approx(1.0)
+        assert values.grad[1] == pytest.approx(0.0)
+
+    def test_eval_mode_does_not_update_ranges(self):
+        quantizer = AffineQuantizer(bits=8)
+        quantizer.fake_quantize(Tensor(np.asarray([-1.0, 1.0], dtype=np.float32)))
+        quantizer.eval()
+        before = float(quantizer.running_max)
+        quantizer.fake_quantize(Tensor(np.asarray([-50.0, 50.0], dtype=np.float32)))
+        assert float(quantizer.running_max) == pytest.approx(before)
+
+    def test_training_mode_updates_ranges(self):
+        quantizer = AffineQuantizer(bits=8, observer="minmax")
+        quantizer.fake_quantize(Tensor(np.asarray([-1.0, 1.0], dtype=np.float32)))
+        quantizer.fake_quantize(Tensor(np.asarray([-5.0, 5.0], dtype=np.float32)))
+        assert float(quantizer.running_max) == pytest.approx(5.0)
+
+
+class TestQuantizeArray:
+    def test_integer_output_within_bounds(self):
+        quantizer = AffineQuantizer(bits=4)
+        integers, params = quantizer.quantize_array(
+            np.random.default_rng(0).uniform(-2, 2, 100))
+        assert integers.dtype == np.int64
+        assert integers.min() >= params.qmin
+        assert integers.max() <= params.qmax
+
+    def test_dequantize_roundtrip(self):
+        quantizer = AffineQuantizer(bits=8)
+        values = np.random.default_rng(1).uniform(-3, 3, 50)
+        integers, params = quantizer.quantize_array(values)
+        recovered = quantizer.dequantize_array(integers, params)
+        scale, _ = params.as_scalars()
+        assert np.abs(recovered - values).max() <= scale
+
+    def test_symmetric_preserves_zeros(self):
+        quantizer = AffineQuantizer(bits=8, symmetric=True)
+        values = np.asarray([0.0, 0.5, -0.5, 0.0])
+        integers, params = quantizer.quantize_array(values)
+        recovered = quantizer.dequantize_array(integers, params)
+        assert recovered[0] == 0.0 and recovered[3] == 0.0
+
+
+class TestIdentityQuantizer:
+    def test_identity_passthrough(self):
+        quantizer = IdentityQuantizer()
+        x = Tensor([1.0, 2.0])
+        assert quantizer(x) is x
+        assert quantizer.bits == 32

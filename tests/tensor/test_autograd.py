@@ -1,0 +1,222 @@
+"""Gradient correctness: analytic backward passes checked against finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor import functional as F
+
+
+def numerical_gradient(fn, values: np.ndarray, eps: float = 1e-2) -> np.ndarray:
+    """Central finite differences of a scalar-valued function of one array."""
+    grad = np.zeros_like(values, dtype=np.float64)
+    flat = values.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        upper = fn(values.copy())
+        flat[index] = original - eps
+        lower = fn(values.copy())
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2 * eps)
+    return grad
+
+
+def check_gradient(build, values: np.ndarray, rtol: float = 2e-2, atol: float = 5e-3):
+    """Compare the autograd gradient of ``build`` with finite differences."""
+    tensor = Tensor(values.astype(np.float32), requires_grad=True)
+    output = build(tensor)
+    output.backward()
+    analytic = tensor.grad.astype(np.float64)
+
+    def scalar_fn(array):
+        return float(build(Tensor(array.astype(np.float32))).data)
+
+    numeric = numerical_gradient(scalar_fn, values.astype(np.float64))
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)
+
+
+RNG = np.random.default_rng(42)
+
+
+class TestBasicGradients:
+    def test_add_mul(self):
+        check_gradient(lambda t: ((t * 3.0 + 1.0) * t).sum(), RNG.standard_normal((3, 2)))
+
+    def test_sub_div(self):
+        values = RNG.standard_normal((4,)) + 3.0
+        check_gradient(lambda t: ((t - 1.0) / (t + 5.0)).sum(), values)
+
+    def test_pow(self):
+        check_gradient(lambda t: (t ** 3).sum(), RNG.standard_normal((5,)))
+
+    def test_matmul_left(self):
+        other = Tensor(RNG.standard_normal((3, 2)).astype(np.float32))
+        check_gradient(lambda t: (t @ other).sum(), RNG.standard_normal((2, 3)))
+
+    def test_matmul_right(self):
+        other = Tensor(RNG.standard_normal((4, 3)).astype(np.float32))
+        check_gradient(lambda t: (other @ t).sum(), RNG.standard_normal((3, 2)))
+
+    def test_exp_log(self):
+        values = np.abs(RNG.standard_normal((4,))) + 0.5
+        check_gradient(lambda t: (t.exp() + t.log()).sum(), values)
+
+    def test_sqrt(self):
+        values = np.abs(RNG.standard_normal((4,))) + 0.5
+        check_gradient(lambda t: t.sqrt().sum(), values)
+
+    def test_sigmoid_tanh(self):
+        check_gradient(lambda t: (t.sigmoid() * t.tanh()).sum(),
+                       RNG.standard_normal((6,)))
+
+    def test_relu(self):
+        values = RNG.standard_normal((10,))
+        values[np.abs(values) < 0.1] = 0.5  # keep away from the kink
+        check_gradient(lambda t: (t.relu() * 2.0).sum(), values)
+
+    def test_abs(self):
+        values = RNG.standard_normal((6,))
+        values[np.abs(values) < 0.1] = 0.7
+        check_gradient(lambda t: t.abs().sum(), values)
+
+    def test_broadcast_add_gradient_shapes(self):
+        a = Tensor(np.ones((3, 4), dtype=np.float32), requires_grad=True)
+        b = Tensor(np.ones((4,), dtype=np.float32), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        np.testing.assert_allclose(b.grad, 3.0 * np.ones(4))
+
+
+class TestReductionGradients:
+    def test_sum_axis(self):
+        check_gradient(lambda t: (t.sum(axis=0) ** 2).sum(), RNG.standard_normal((3, 4)))
+
+    def test_mean(self):
+        check_gradient(lambda t: (t.mean(axis=1) ** 2).sum(), RNG.standard_normal((3, 4)))
+
+    def test_max(self):
+        values = RNG.standard_normal((3, 4))
+        check_gradient(lambda t: t.max(axis=1).sum(), values)
+
+    def test_getitem(self):
+        index = np.asarray([0, 2])
+        check_gradient(lambda t: (t[index] ** 2).sum(), RNG.standard_normal((4, 3)))
+
+    def test_reshape_transpose(self):
+        check_gradient(lambda t: (t.reshape(6).T ** 2).sum(), RNG.standard_normal((2, 3)))
+
+    def test_concatenate(self):
+        other = Tensor(RNG.standard_normal((2, 3)).astype(np.float32))
+        check_gradient(lambda t: Tensor.concatenate([t, other], axis=0).sum() * 2.0,
+                       RNG.standard_normal((3, 3)))
+
+
+class TestFunctionalGradients:
+    def test_softmax_gradient(self):
+        check_gradient(lambda t: (F.softmax(t, axis=-1) ** 2).sum(),
+                       RNG.standard_normal((3, 4)))
+
+    def test_log_softmax_gradient(self):
+        check_gradient(lambda t: F.log_softmax(t, axis=-1).sum(),
+                       RNG.standard_normal((2, 5)))
+
+    def test_cross_entropy_gradient(self):
+        targets = np.asarray([1, 0, 2])
+        check_gradient(lambda t: F.cross_entropy(t, targets), RNG.standard_normal((3, 3)))
+
+    def test_leaky_relu_gradient(self):
+        values = RNG.standard_normal((8,))
+        values[np.abs(values) < 0.1] = 0.5
+        check_gradient(lambda t: F.leaky_relu(t, 0.1).sum(), values)
+
+    def test_elu_gradient(self):
+        values = RNG.standard_normal((8,))
+        values[np.abs(values) < 0.1] = 0.5
+        check_gradient(lambda t: F.elu(t).sum(), values)
+
+    def test_bce_with_logits_gradient(self):
+        targets = RNG.integers(0, 2, size=(4, 3)).astype(np.float32)
+        check_gradient(lambda t: F.binary_cross_entropy_with_logits(t, targets),
+                       RNG.standard_normal((4, 3)))
+
+    def test_segment_sum_gradient(self):
+        segments = np.asarray([0, 0, 1, 1, 2])
+        check_gradient(lambda t: (F.segment_sum(t, segments, 3) ** 2).sum(),
+                       RNG.standard_normal((5, 2)))
+
+    def test_segment_mean_gradient(self):
+        segments = np.asarray([0, 1, 1, 2, 2])
+        check_gradient(lambda t: (F.segment_mean(t, segments, 3) ** 2).sum(),
+                       RNG.standard_normal((5, 2)))
+
+    def test_segment_max_gradient(self):
+        segments = np.asarray([0, 0, 1, 1])
+        values = np.asarray([[1.0, 5.0], [2.0, 1.0], [4.0, 0.0], [3.0, 2.0]])
+        check_gradient(lambda t: F.segment_max(t, segments, 2).sum(), values)
+
+
+class TestSTEGradients:
+    def test_round_ste_passes_gradient(self):
+        t = Tensor([0.3, 1.7], requires_grad=True)
+        (t.round_ste() * 2.0).sum().backward()
+        np.testing.assert_allclose(t.grad, [2.0, 2.0])
+
+    def test_floor_ste_passes_gradient(self):
+        t = Tensor([0.3, 1.7], requires_grad=True)
+        t.floor_ste().sum().backward()
+        np.testing.assert_allclose(t.grad, [1.0, 1.0])
+
+    def test_clamp_blocks_gradient_outside_range(self):
+        t = Tensor([-2.0, 0.0, 2.0], requires_grad=True)
+        t.clamp(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 0.0])
+
+
+class TestAutogradMechanics:
+    def test_grad_accumulates_across_uses(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        (t * 2.0 + t * 3.0).sum().backward()
+        np.testing.assert_allclose(t.grad, [5.0, 5.0])
+
+    def test_backward_requires_scalar(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (t * 2.0).backward()
+
+    def test_backward_with_explicit_gradient(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        (t * 2.0).backward(np.asarray([1.0, 10.0]))
+        np.testing.assert_allclose(t.grad, [2.0, 20.0])
+
+    def test_no_grad_disables_tracking(self):
+        t = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            out = t * 2.0
+        assert out._backward is None
+        assert not out.requires_grad
+        assert is_grad_enabled()
+
+    def test_zero_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2.0).sum().backward()
+        assert t.grad is not None
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_diamond_graph_gradient(self):
+        t = Tensor([2.0], requires_grad=True)
+        a = t * 3.0
+        b = t * 4.0
+        (a * b).sum().backward()
+        # d/dt (12 t^2) = 24 t = 48
+        np.testing.assert_allclose(t.grad, [48.0])
+
+    def test_constant_operand_gets_no_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        constant = Tensor([5.0])
+        (t * constant).sum().backward()
+        assert constant.grad is None

@@ -1,0 +1,147 @@
+"""Tests for the functional layer: activations, losses and segment reductions."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+from repro.tensor.random import RandomState, default_generator, seed_all
+
+
+class TestActivations:
+    def test_softmax_rows_sum_to_one(self):
+        logits = Tensor(np.random.default_rng(0).standard_normal((5, 3)).astype(np.float32))
+        np.testing.assert_allclose(F.softmax(logits).data.sum(axis=-1), np.ones(5), rtol=1e-5)
+
+    def test_softmax_is_shift_invariant(self):
+        logits = np.asarray([[1.0, 2.0, 3.0]], dtype=np.float32)
+        a = F.softmax(Tensor(logits)).data
+        b = F.softmax(Tensor(logits + 100.0)).data
+        np.testing.assert_allclose(a, b, rtol=1e-5)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        logits = Tensor(np.random.default_rng(1).standard_normal((4, 6)).astype(np.float32))
+        np.testing.assert_allclose(F.log_softmax(logits).data,
+                                   np.log(F.softmax(logits).data), rtol=1e-4, atol=1e-5)
+
+    def test_leaky_relu_negative_slope(self):
+        x = Tensor([-2.0, 2.0])
+        np.testing.assert_allclose(F.leaky_relu(x, 0.1).data, [-0.2, 2.0], rtol=1e-6)
+
+    def test_elu_continuity_at_zero(self):
+        x = Tensor([-1e-6, 1e-6])
+        values = F.elu(x).data
+        assert abs(values[0] - values[1]) < 1e-4
+
+    def test_dropout_inactive_in_eval(self):
+        x = Tensor(np.ones((10, 10), dtype=np.float32))
+        out = F.dropout(x, 0.5, training=False, rng=np.random.default_rng(0))
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_dropout_preserves_expectation(self):
+        x = Tensor(np.ones((200, 50), dtype=np.float32))
+        out = F.dropout(x, 0.5, training=True, rng=np.random.default_rng(0))
+        assert out.data.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_dropout_zero_probability_is_identity(self):
+        x = Tensor(np.ones((4, 4), dtype=np.float32))
+        out = F.dropout(x, 0.0, training=True, rng=np.random.default_rng(0))
+        assert out is x
+
+
+class TestLosses:
+    def test_cross_entropy_perfect_prediction_is_small(self):
+        logits = Tensor(np.asarray([[10.0, -10.0], [-10.0, 10.0]], dtype=np.float32))
+        loss = F.cross_entropy(logits, np.asarray([0, 1]))
+        assert float(loss.data) < 1e-3
+
+    def test_cross_entropy_uniform_prediction(self):
+        logits = Tensor(np.zeros((4, 5), dtype=np.float32))
+        loss = F.cross_entropy(logits, np.asarray([0, 1, 2, 3]))
+        assert float(loss.data) == pytest.approx(np.log(5), rel=1e-4)
+
+    def test_cross_entropy_respects_mask(self):
+        logits = Tensor(np.asarray([[10.0, -10.0], [10.0, -10.0]], dtype=np.float32))
+        targets = np.asarray([0, 1])  # second row is wrong but masked out
+        mask = np.asarray([True, False])
+        assert float(F.cross_entropy(logits, targets, mask=mask).data) < 1e-3
+
+    def test_nll_empty_mask_raises(self):
+        logits = Tensor(np.zeros((2, 2), dtype=np.float32))
+        with pytest.raises(ValueError):
+            F.nll_loss(F.log_softmax(logits), np.asarray([0, 1]),
+                       mask=np.asarray([False, False]))
+
+    def test_bce_with_logits_matches_manual(self):
+        logits = np.asarray([[0.5, -0.3]], dtype=np.float32)
+        targets = np.asarray([[1.0, 0.0]], dtype=np.float32)
+        loss = F.binary_cross_entropy_with_logits(Tensor(logits), targets)
+        probabilities = 1.0 / (1.0 + np.exp(-logits))
+        manual = -(targets * np.log(probabilities)
+                   + (1 - targets) * np.log(1 - probabilities)).mean()
+        assert float(loss.data) == pytest.approx(manual, rel=1e-4)
+
+    def test_bce_extreme_logits_is_finite(self):
+        logits = Tensor(np.asarray([[60.0, -60.0]], dtype=np.float32))
+        targets = np.asarray([[1.0, 0.0]], dtype=np.float32)
+        assert np.isfinite(float(F.binary_cross_entropy_with_logits(Tensor(logits.data),
+                                                                    targets).data))
+
+    def test_mse_loss(self):
+        prediction = Tensor([1.0, 2.0])
+        assert float(F.mse_loss(prediction, np.asarray([1.0, 4.0])).data) == pytest.approx(2.0)
+
+
+class TestSegmentOps:
+    def test_segment_sum(self):
+        x = Tensor(np.asarray([[1.0], [2.0], [3.0], [4.0]], dtype=np.float32))
+        out = F.segment_sum(x, np.asarray([0, 0, 1, 1]), 2)
+        np.testing.assert_allclose(out.data, [[3.0], [7.0]])
+
+    def test_segment_mean(self):
+        x = Tensor(np.asarray([[2.0], [4.0], [6.0]], dtype=np.float32))
+        out = F.segment_mean(x, np.asarray([0, 0, 1]), 2)
+        np.testing.assert_allclose(out.data, [[3.0], [6.0]])
+
+    def test_segment_max(self):
+        x = Tensor(np.asarray([[1.0, 9.0], [5.0, 2.0], [0.0, 3.0]], dtype=np.float32))
+        out = F.segment_max(x, np.asarray([0, 0, 1]), 2)
+        np.testing.assert_allclose(out.data, [[5.0, 9.0], [0.0, 3.0]])
+
+    def test_segment_max_empty_segment_is_zero(self):
+        x = Tensor(np.asarray([[1.0]], dtype=np.float32))
+        out = F.segment_max(x, np.asarray([0]), 3)
+        np.testing.assert_allclose(out.data[1:], np.zeros((2, 1)))
+
+    def test_segment_mean_empty_segment_is_zero(self):
+        x = Tensor(np.asarray([[4.0]], dtype=np.float32))
+        out = F.segment_mean(x, np.asarray([1]), 2)
+        np.testing.assert_allclose(out.data[0], [0.0])
+
+    def test_scatter_softmax_normalises_per_segment(self):
+        scores = Tensor(np.asarray([[1.0], [2.0], [0.5], [3.0]], dtype=np.float32))
+        segments = np.asarray([0, 0, 1, 1])
+        out = F.scatter_softmax(scores, segments, 2)
+        first = out.data[segments == 0].sum()
+        second = out.data[segments == 1].sum()
+        assert first == pytest.approx(1.0, rel=1e-5)
+        assert second == pytest.approx(1.0, rel=1e-5)
+
+
+class TestRandomState:
+    def test_seed_all_is_deterministic(self):
+        a = seed_all(5).random(3)
+        b = seed_all(5).random(3)
+        np.testing.assert_allclose(a, b)
+
+    def test_default_generator_follows_seed(self):
+        seed_all(7)
+        first = default_generator().random()
+        seed_all(7)
+        second = default_generator().random()
+        assert first == pytest.approx(second)
+
+    def test_spawn_is_independent_of_consumption(self):
+        state = RandomState(3)
+        spawned = state.spawn(offset=2)
+        assert isinstance(spawned, np.random.Generator)

@@ -1,0 +1,102 @@
+"""Tests for SparseTensor and the sparse-dense spmm autograd op."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.tensor import SparseTensor, Tensor, spmm
+
+
+@pytest.fixture
+def dense_matrix():
+    rng = np.random.default_rng(1)
+    matrix = rng.random((6, 6)) * (rng.random((6, 6)) < 0.5)
+    return matrix.astype(np.float32)
+
+
+class TestSparseTensor:
+    def test_construct_from_dense(self, dense_matrix):
+        sparse = SparseTensor(dense_matrix)
+        np.testing.assert_allclose(sparse.to_dense(), dense_matrix, rtol=1e-6)
+
+    def test_construct_from_scipy(self, dense_matrix):
+        sparse = SparseTensor(sp.coo_matrix(dense_matrix))
+        assert sparse.nnz == np.count_nonzero(dense_matrix)
+
+    def test_from_edge_index(self):
+        edge_index = np.asarray([[0, 1, 2], [1, 2, 0]])
+        sparse = SparseTensor.from_edge_index(edge_index, num_nodes=3)
+        dense = sparse.to_dense()
+        assert dense[0, 1] == 1.0 and dense[1, 2] == 1.0 and dense[2, 0] == 1.0
+        assert dense.sum() == 3.0
+
+    def test_from_edge_index_with_weights(self):
+        edge_index = np.asarray([[0, 1], [1, 0]])
+        sparse = SparseTensor.from_edge_index(edge_index, 2, np.asarray([2.0, 3.0]))
+        assert sparse.to_dense()[0, 1] == pytest.approx(2.0)
+        assert sparse.to_dense()[1, 0] == pytest.approx(3.0)
+
+    def test_from_edge_index_shape_validation(self):
+        with pytest.raises(ValueError):
+            SparseTensor.from_edge_index(np.asarray([[0, 1, 2]]), 3)
+
+    def test_with_values_preserves_pattern(self, dense_matrix):
+        sparse = SparseTensor(dense_matrix)
+        new = sparse.with_values(np.ones(sparse.nnz, dtype=np.float32))
+        assert new.nnz == sparse.nnz
+        assert new.to_dense().sum() == pytest.approx(sparse.nnz)
+
+    def test_with_values_wrong_length(self, dense_matrix):
+        sparse = SparseTensor(dense_matrix)
+        with pytest.raises(ValueError):
+            sparse.with_values(np.ones(sparse.nnz + 1))
+
+    def test_transpose(self, dense_matrix):
+        sparse = SparseTensor(dense_matrix)
+        np.testing.assert_allclose(sparse.T.to_dense(), dense_matrix.T, rtol=1e-6)
+
+    def test_row_sum(self, dense_matrix):
+        sparse = SparseTensor(dense_matrix)
+        np.testing.assert_allclose(sparse.row_sum(), dense_matrix.sum(axis=1), rtol=1e-5)
+
+    def test_identity(self):
+        eye = SparseTensor.identity(4)
+        np.testing.assert_allclose(eye.to_dense(), np.eye(4))
+
+    def test_matmul_sparse_sparse(self):
+        a = SparseTensor(np.eye(3, dtype=np.float32) * 2)
+        b = SparseTensor(np.eye(3, dtype=np.float32) * 3)
+        np.testing.assert_allclose((a @ b).to_dense(), np.eye(3) * 6)
+
+    def test_repr(self, dense_matrix):
+        assert "nnz" in repr(SparseTensor(dense_matrix))
+
+
+class TestSpmm:
+    def test_forward_matches_dense(self, dense_matrix):
+        sparse = SparseTensor(dense_matrix)
+        features = Tensor(np.random.default_rng(2).standard_normal((6, 4)).astype(np.float32))
+        np.testing.assert_allclose(spmm(sparse, features).data,
+                                   dense_matrix @ features.data, rtol=1e-5)
+
+    def test_backward_is_transpose_product(self, dense_matrix):
+        sparse = SparseTensor(dense_matrix)
+        features = Tensor(np.random.default_rng(3).standard_normal((6, 3)).astype(np.float32),
+                          requires_grad=True)
+        spmm(sparse, features).sum().backward()
+        expected = dense_matrix.T @ np.ones((6, 3), dtype=np.float32)
+        np.testing.assert_allclose(features.grad, expected, rtol=1e-5)
+
+    def test_gradient_flows_through_chain(self, dense_matrix):
+        sparse = SparseTensor(dense_matrix)
+        features = Tensor(np.ones((6, 2), dtype=np.float32), requires_grad=True)
+        out = spmm(sparse, features * 2.0)
+        (out * out).sum().backward()
+        assert features.grad is not None
+        assert features.grad.shape == (6, 2)
+
+    def test_matmul_operator_dispatch(self, dense_matrix):
+        sparse = SparseTensor(dense_matrix)
+        features = Tensor(np.ones((6, 2), dtype=np.float32))
+        np.testing.assert_allclose((sparse @ features).data,
+                                   spmm(sparse, features).data)

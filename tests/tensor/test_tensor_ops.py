@@ -1,0 +1,182 @@
+"""Unit tests for Tensor arithmetic, reductions and shape manipulation."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor
+
+
+class TestArithmetic:
+    def test_add(self):
+        a = Tensor([1.0, 2.0, 3.0])
+        b = Tensor([4.0, 5.0, 6.0])
+        np.testing.assert_allclose((a + b).data, [5.0, 7.0, 9.0])
+
+    def test_add_scalar(self):
+        a = Tensor([1.0, 2.0])
+        np.testing.assert_allclose((a + 1.5).data, [2.5, 3.5])
+        np.testing.assert_allclose((1.5 + a).data, [2.5, 3.5])
+
+    def test_sub(self):
+        a = Tensor([3.0, 2.0])
+        b = Tensor([1.0, 5.0])
+        np.testing.assert_allclose((a - b).data, [2.0, -3.0])
+        np.testing.assert_allclose((1.0 - a).data, [-2.0, -1.0])
+
+    def test_mul_div(self):
+        a = Tensor([2.0, 4.0])
+        b = Tensor([3.0, 2.0])
+        np.testing.assert_allclose((a * b).data, [6.0, 8.0])
+        np.testing.assert_allclose((a / b).data, [2.0 / 3.0, 2.0], rtol=1e-6)
+
+    def test_neg_pow(self):
+        a = Tensor([2.0, -3.0])
+        np.testing.assert_allclose((-a).data, [-2.0, 3.0])
+        np.testing.assert_allclose((a ** 2).data, [4.0, 9.0])
+
+    def test_matmul(self):
+        a = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3))
+        b = Tensor(np.arange(12, dtype=np.float32).reshape(3, 4))
+        np.testing.assert_allclose((a @ b).data, a.data @ b.data)
+
+    def test_broadcasting_add(self):
+        a = Tensor(np.ones((3, 4), dtype=np.float32))
+        b = Tensor(np.arange(4, dtype=np.float32))
+        assert (a + b).shape == (3, 4)
+
+    def test_pow_requires_scalar(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_comparison_returns_numpy(self):
+        a = Tensor([1.0, 5.0])
+        result = a > 2.0
+        assert isinstance(result, np.ndarray)
+        assert result.tolist() == [False, True]
+
+
+class TestElementwiseFunctions:
+    def test_exp_log_roundtrip(self):
+        a = Tensor([0.5, 1.0, 2.0])
+        np.testing.assert_allclose(a.exp().log().data, a.data, rtol=1e-5)
+
+    def test_sqrt(self):
+        a = Tensor([4.0, 9.0])
+        np.testing.assert_allclose(a.sqrt().data, [2.0, 3.0])
+
+    def test_abs(self):
+        a = Tensor([-1.0, 2.0, -3.0])
+        np.testing.assert_allclose(a.abs().data, [1.0, 2.0, 3.0])
+
+    def test_relu(self):
+        a = Tensor([-1.0, 0.0, 2.0])
+        np.testing.assert_allclose(a.relu().data, [0.0, 0.0, 2.0])
+
+    def test_sigmoid_range(self):
+        a = Tensor(np.linspace(-10, 10, 21, dtype=np.float32))
+        values = a.sigmoid().data
+        assert values.min() > 0.0 and values.max() < 1.0
+
+    def test_tanh(self):
+        a = Tensor([0.0])
+        assert a.tanh().data[0] == pytest.approx(0.0)
+
+    def test_clamp(self):
+        a = Tensor([-5.0, 0.5, 5.0])
+        np.testing.assert_allclose(a.clamp(-1.0, 1.0).data, [-1.0, 0.5, 1.0])
+
+    def test_round_ste_values(self):
+        a = Tensor([0.4, 0.6, -1.5])
+        np.testing.assert_allclose(a.round_ste().data, np.rint(a.data))
+
+    def test_floor_ste_values(self):
+        a = Tensor([0.4, 1.9, -0.1])
+        np.testing.assert_allclose(a.floor_ste().data, [0.0, 1.0, -1.0])
+
+
+class TestReductions:
+    def test_sum_all(self):
+        a = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3))
+        assert a.sum().data == pytest.approx(15.0)
+
+    def test_sum_axis(self):
+        a = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3))
+        np.testing.assert_allclose(a.sum(axis=0).data, [3.0, 5.0, 7.0])
+        np.testing.assert_allclose(a.sum(axis=1, keepdims=True).data, [[3.0], [12.0]])
+
+    def test_mean(self):
+        a = Tensor([[1.0, 3.0], [5.0, 7.0]])
+        assert a.mean().data == pytest.approx(4.0)
+        np.testing.assert_allclose(a.mean(axis=0).data, [3.0, 5.0])
+
+    def test_max_min(self):
+        a = Tensor([[1.0, 9.0], [5.0, 2.0]])
+        assert a.max().data == pytest.approx(9.0)
+        np.testing.assert_allclose(a.max(axis=0).data, [5.0, 9.0])
+        np.testing.assert_allclose(a.min(axis=1).data, [1.0, 2.0])
+
+
+class TestShapeOps:
+    def test_reshape(self):
+        a = Tensor(np.arange(6, dtype=np.float32))
+        assert a.reshape(2, 3).shape == (2, 3)
+        assert a.reshape((3, 2)).shape == (3, 2)
+
+    def test_flatten(self):
+        a = Tensor(np.ones((2, 3), dtype=np.float32))
+        assert a.flatten().shape == (6,)
+
+    def test_transpose(self):
+        a = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3))
+        np.testing.assert_allclose(a.T.data, a.data.T)
+
+    def test_getitem_rows(self):
+        a = Tensor(np.arange(12, dtype=np.float32).reshape(4, 3))
+        np.testing.assert_allclose(a[np.asarray([0, 2])].data, a.data[[0, 2]])
+
+    def test_getitem_fancy_pairs(self):
+        a = Tensor(np.arange(12, dtype=np.float32).reshape(4, 3))
+        picked = a[(np.asarray([0, 1]), np.asarray([2, 0]))]
+        np.testing.assert_allclose(picked.data, [2.0, 3.0])
+
+    def test_concatenate(self):
+        a = Tensor(np.ones((2, 2), dtype=np.float32))
+        b = Tensor(np.zeros((3, 2), dtype=np.float32))
+        assert Tensor.concatenate([a, b], axis=0).shape == (5, 2)
+
+    def test_stack(self):
+        a = Tensor(np.ones(3, dtype=np.float32))
+        b = Tensor(np.zeros(3, dtype=np.float32))
+        assert Tensor.stack([a, b], axis=0).shape == (2, 3)
+
+
+class TestConstructors:
+    def test_zeros_ones_full(self):
+        assert Tensor.zeros((2, 2)).data.sum() == 0
+        assert Tensor.ones((2, 2)).data.sum() == 4
+        assert Tensor.full((2,), 3.0).data.tolist() == [3.0, 3.0]
+
+    def test_eye_arange(self):
+        np.testing.assert_allclose(Tensor.eye(3).data, np.eye(3))
+        np.testing.assert_allclose(Tensor.arange(4).data, [0, 1, 2, 3])
+
+    def test_properties(self):
+        a = Tensor(np.ones((3, 4), dtype=np.float32))
+        assert a.ndim == 2
+        assert a.size == 12
+        assert a.numel() == 12
+        assert len(a) == 3
+
+    def test_detach_and_copy(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        d = a.detach()
+        assert not d.requires_grad
+        c = a.copy()
+        c.data[0] = 99.0
+        assert a.data[0] == pytest.approx(1.0)
+
+    def test_item(self):
+        assert Tensor([3.5]).item() == pytest.approx(3.5)
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2,)" in repr(Tensor([1.0, 2.0]))

@@ -1,0 +1,77 @@
+"""End-to-end integration tests: the full MixQ-GNN pipeline on every task type."""
+
+import numpy as np
+import pytest
+
+from repro.core import MixQNodeClassifier
+from repro.core.build import build_relaxed_node_classifier, layer_dimensions
+from repro.core.selection import search_node_bitwidths
+from repro.experiments.common import run_fp32, run_mixq, run_uniform_qat
+from repro.graphs.datasets import load_cora
+from repro.quant.integer_mp import fake_quantized_reference, integer_message_passing
+from repro.quant.qmodules import QuantNodeClassifier
+from repro.quant.quantizer import AffineQuantizer
+from repro.training.trainer import evaluate_node_classifier, train_node_classifier
+
+
+@pytest.fixture(scope="module")
+def cora():
+    return load_cora(scale=0.1, seed=1)
+
+
+class TestEndToEndPipeline:
+    def test_search_finalize_train_evaluate(self, cora):
+        """The full Figure 7 pipeline: relax, search, select, quantize, train."""
+        dims = layer_dimensions(cora.num_features, 16, cora.num_classes, 2)
+        relaxed = build_relaxed_node_classifier("gcn", dims, (2, 4, 8),
+                                                rng=np.random.default_rng(0))
+        search = search_node_bitwidths(relaxed, cora, lambda_value=0.1, epochs=15)
+
+        quantized = QuantNodeClassifier.from_assignment(dims, "gcn", search.assignment,
+                                                        rng=np.random.default_rng(1))
+        result = train_node_classifier(quantized, cora, epochs=40, lr=0.02)
+        accuracy = evaluate_node_classifier(quantized, cora, cora.test_mask)
+
+        assert accuracy == pytest.approx(result.test_accuracy)
+        assert accuracy > 1.0 / cora.num_classes  # clearly better than chance
+        assert quantized.average_bits() == pytest.approx(search.average_bits, abs=1e-6)
+
+    def test_mixq_beats_chance_and_compresses(self, cora):
+        mixq = MixQNodeClassifier("gcn", cora.num_features, 16, cora.num_classes,
+                                  bit_choices=(2, 4, 8), lambda_value=0.1, seed=0)
+        result = mixq.fit(cora, search_epochs=20, train_epochs=40, lr=0.02)
+        fp32 = run_fp32(cora, "gcn", 16, epochs=40, seed=0)
+        assert result.accuracy > 1.0 / cora.num_classes
+        # Compression: quantized BitOPs strictly below the FP32 BitOPs.
+        assert result.giga_bit_operations < fp32.giga_bit_operations
+        assert result.average_bits < 32
+
+    def test_quantized_training_then_integer_inference(self, cora):
+        """QAT training followed by a Theorem-1 integer aggregation check."""
+        adjacency = cora.normalized_adjacency()
+        quantizer_a = AffineQuantizer(bits=8, symmetric=True)
+        quantizer_x = AffineQuantizer(bits=8)
+        result = integer_message_passing(adjacency, cora.x, quantizer_a, quantizer_x)
+        reference = fake_quantized_reference(adjacency, cora.x, quantizer_a, quantizer_x)
+        np.testing.assert_allclose(result.dequantized_output, reference,
+                                   rtol=1e-5, atol=1e-5)
+
+    def test_lambda_ordering_of_bits(self, cora):
+        """Larger penalty weight never selects (meaningfully) wider bit-widths."""
+        gentle = run_mixq(cora, -1e-8, (2, 4, 8), search_epochs=20, train_epochs=25, seed=0)
+        aggressive = run_mixq(cora, 5.0, (2, 4, 8), search_epochs=20, train_epochs=25, seed=0)
+        assert aggressive.bits <= gentle.bits + 1e-6
+
+    def test_uniform_qat_bitops_scale_with_bits(self, cora):
+        int8 = run_uniform_qat(cora, 8, epochs=10, seed=0)
+        int2 = run_uniform_qat(cora, 2, epochs=10, seed=0)
+        assert int2.giga_bit_operations < int8.giga_bit_operations
+
+    def test_seeded_search_is_reproducible(self, cora):
+        first = MixQNodeClassifier("gcn", cora.num_features, 16, cora.num_classes,
+                                   bit_choices=(2, 4, 8), lambda_value=0.1, seed=3)
+        second = MixQNodeClassifier("gcn", cora.num_features, 16, cora.num_classes,
+                                    bit_choices=(2, 4, 8), lambda_value=0.1, seed=3)
+        assignment_a = first.search(cora, epochs=10).assignment
+        assignment_b = second.search(cora, epochs=10).assignment
+        assert assignment_a == assignment_b
