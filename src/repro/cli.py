@@ -93,11 +93,24 @@ def _command_table(args) -> int:
     from repro.experiments import ablation, node_tables
 
     scale = current_scale()
-    datasets = tuple(args.datasets)
+    if args.datasets:
+        datasets = tuple(args.datasets)
+    else:
+        # table7 runs on the large-scale stand-ins, not the citation graphs.
+        datasets = ("reddit",) if args.name == "table7" else ("cora",)
+    sampled = {"minibatch": args.minibatch, "fanout": args.fanout,
+               "batch_size": args.batch_size}
+    if args.minibatch and args.name not in ("table3", "table7"):
+        print(f"note: --minibatch is only wired into table3/table7; "
+              f"{args.name} runs full-batch", file=sys.stderr)
     if args.name == "table3":
-        results = node_tables.table3_node_classification(datasets=datasets, scale=scale)
+        results = node_tables.table3_node_classification(datasets=datasets, scale=scale,
+                                                         **sampled)
     elif args.name == "table6":
         results = node_tables.table6_graphsage(datasets=datasets, scale=scale)
+    elif args.name == "table7":
+        results = node_tables.table7_large_scale(datasets=datasets, scale=scale,
+                                                 **sampled)
     elif args.name == "table10":
         results = ablation.table10_random_vs_mixq(datasets=datasets, scale=scale)
     else:
@@ -137,8 +150,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     table = subparsers.add_parser("table", help="print one of the paper tables")
     table.add_argument("--name", default="table3",
-                       choices=["table3", "table6", "table10"])
-    table.add_argument("--datasets", nargs="+", default=["cora"])
+                       choices=["table3", "table6", "table7", "table10"])
+    table.add_argument("--datasets", nargs="+", default=None,
+                       help="defaults to cora (table7: reddit)")
+    table.add_argument("--minibatch", action="store_true",
+                       help="train with neighbor-sampled minibatches "
+                            "(table3/table7 runners)")
+    table.add_argument("--fanout", type=int, default=10,
+                       help="neighbours sampled per layer in minibatch mode "
+                            "(<= 0 means unlimited)")
+    table.add_argument("--batch-size", type=int, default=256,
+                       help="seed nodes per minibatch step")
     table.set_defaults(handler=_command_table)
     return parser
 

@@ -18,7 +18,7 @@ default native QAT quantizers, or the Degree-Quant factory for the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -42,6 +42,7 @@ from repro.quant.qmodules import (
     QuantizerFactory,
     default_quantizer_factory,
 )
+from repro.training.minibatch import MinibatchTrainer
 from repro.training.trainer import (
     NodeTrainingResult,
     evaluate_graph_classifier,
@@ -108,14 +109,30 @@ class MixQNodeClassifier:
         return np.random.default_rng(self.seed + offset)
 
     def search(self, graph: Graph, epochs: int = 60, lr: float = 0.01,
-               multilabel: bool = False) -> BitWidthSearchResult:
-        """Stage 3-4 of Figure 7: relaxation and bit-width selection."""
+               multilabel: bool = False, minibatch: bool = False,
+               fanout: Optional[int] = 10,
+               batch_size: int = 256) -> BitWidthSearchResult:
+        """Stage 3-4 of Figure 7: relaxation and bit-width selection.
+
+        ``minibatch=True`` runs the search over neighbor-sampled blocks
+        (``fanout`` neighbours per layer, ``batch_size`` seeds per step);
+        the relaxed quantizers are untouched, so the selected assignment
+        format is identical to the full-batch search.
+        """
         relaxed = build_relaxed_node_classifier(
             self.conv_type, self.layer_dims, self.bit_choices, dropout=self.dropout,
             quantizer_factory=self.quantizer_factory, rng=self._rng(1))
         self._configure_degree_quant(relaxed, graph)
+        sampler = None
+        if minibatch:
+            from repro.graphs.sampling import NeighborSampler
+
+            sampler = NeighborSampler(graph, fanout, batch_size=batch_size,
+                                      num_layers=len(self.layer_dims),
+                                      seed_nodes=graph.train_mask, seed=self.seed)
         self.search_result = search_node_bitwidths(
-            relaxed, graph, self.lambda_value, epochs=epochs, lr=lr, multilabel=multilabel)
+            relaxed, graph, self.lambda_value, epochs=epochs, lr=lr,
+            multilabel=multilabel, sampler=sampler)
         return self.search_result
 
     def finalize(self, assignment: Optional[BitWidthAssignment] = None
@@ -132,15 +149,28 @@ class MixQNodeClassifier:
 
     def fit(self, graph: Graph, search_epochs: int = 60, train_epochs: int = 100,
             lr: float = 0.01, multilabel: bool = False,
-            assignment: Optional[BitWidthAssignment] = None) -> MixQResult:
-        """Full pipeline: search, finalize, QAT training, evaluation."""
+            assignment: Optional[BitWidthAssignment] = None,
+            minibatch: bool = False, fanout: Optional[int] = 10,
+            batch_size: int = 256) -> MixQResult:
+        """Full pipeline: search, finalize, QAT training, evaluation.
+
+        ``minibatch=True`` routes both the bit-width search and the final
+        QAT training through the neighbor-sampling engine; evaluation stays
+        exact (layer-wise full-graph inference).
+        """
         if assignment is None:
-            self.search(graph, epochs=search_epochs, lr=lr, multilabel=multilabel)
+            self.search(graph, epochs=search_epochs, lr=lr, multilabel=multilabel,
+                        minibatch=minibatch, fanout=fanout, batch_size=batch_size)
             assignment = self.search_result.assignment
         model = self.finalize(assignment)
         self._configure_degree_quant(model, graph)
-        result: NodeTrainingResult = train_node_classifier(
-            model, graph, epochs=train_epochs, lr=lr, multilabel=multilabel)
+        if minibatch:
+            trainer = MinibatchTrainer(model, fanouts=fanout, batch_size=batch_size,
+                                       lr=lr, multilabel=multilabel, seed=self.seed)
+            result: NodeTrainingResult = trainer.fit(graph, epochs=train_epochs)
+        else:
+            result = train_node_classifier(
+                model, graph, epochs=train_epochs, lr=lr, multilabel=multilabel)
         counter: BitOpsCounter = model.bit_operations(graph)
         return MixQResult(
             accuracy=result.test_accuracy,

@@ -10,7 +10,7 @@ problem in Equation 7).
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import List
 
 from repro.core.relaxed_quantizer import RelaxedQuantizer
 from repro.nn.module import Module

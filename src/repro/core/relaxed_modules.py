@@ -17,15 +17,17 @@ gradients therefore reach the adjacency relaxation parameters as well.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.relaxed_quantizer import RelaxedQuantizer
-from repro.gnn.message_passing import MessagePassing
+from repro.gnn.message_passing import GraphLike, MessagePassing
+from repro.gnn.models import forward_blocks
 from repro.gnn.sage import mean_adjacency
 from repro.graphs.batch import GraphBatch
 from repro.graphs.graph import Graph
+from repro.graphs.sampling import BlockBatch, target_features
 from repro.graphs.pooling import get_pooling
 from repro.nn.activations import Dropout, ReLU
 from repro.nn.linear import Linear
@@ -189,12 +191,12 @@ class RelaxedGINConv(MessagePassing):
         self.eps = 0.0
         self._relaxed_adjacency = _RelaxedAdjacency(self.adjacency_relaxed)
 
-    def forward(self, x: Tensor, graph: Graph) -> Tensor:
+    def forward(self, x: Tensor, graph: GraphLike) -> Tensor:
         if self.input_relaxed is not None:
             x = self.input_relaxed(x)
         aggregated = self._relaxed_adjacency.aggregate(
             graph.adjacency(add_self_loops=False), x)
-        combined = x * (1.0 + self.eps) + aggregated
+        combined = target_features(x, graph) * (1.0 + self.eps) + aggregated
         combined = self.aggregate_out_relaxed(combined)
         hidden = self.activation(self.mlp_first(combined))
         return self.mlp_second(hidden)
@@ -246,14 +248,14 @@ class RelaxedSAGEConv(MessagePassing):
                                                quantizer_factory, name="output")
         self._relaxed_adjacency = _RelaxedAdjacency(self.adjacency_relaxed)
 
-    def forward(self, x: Tensor, graph: Graph) -> Tensor:
+    def forward(self, x: Tensor, graph: GraphLike) -> Tensor:
         if self.input_relaxed is not None:
             x = self.input_relaxed(x)
         aggregated = self.aggregate_out_relaxed(
             self._relaxed_adjacency.aggregate(mean_adjacency(graph), x))
         weight_root = self.weight_root_relaxed(self.linear_root.weight)
         weight_neighbour = self.weight_neighbour_relaxed(self.linear_neighbour.weight)
-        out = x.matmul(weight_root) + self.linear_root.bias \
+        out = target_features(x, graph).matmul(weight_root) + self.linear_root.bias \
             + aggregated.matmul(weight_neighbour)
         return self.output_relaxed(out)
 
@@ -279,7 +281,9 @@ class RelaxedNodeClassifier(Module):
         self.activation = ReLU()
         self.dropout = Dropout(dropout, rng=rng)
 
-    def forward(self, graph: Graph, x: Optional[Tensor] = None) -> Tensor:
+    def forward(self, graph, x: Optional[Tensor] = None) -> Tensor:
+        if isinstance(graph, BlockBatch):
+            return forward_blocks(self, graph, x)
         if x is None:
             x = Tensor(graph.x)
         num_layers = len(self.convs)

@@ -16,7 +16,7 @@ expected average bit-width trajectory.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -80,27 +80,49 @@ def search_node_bitwidths(model: RelaxedNodeClassifier, graph: Graph,
                           weight_decay: float = 5e-4,
                           mask: Optional[np.ndarray] = None,
                           multilabel: bool = False,
-                          penalty_only_alphas: bool = False) -> BitWidthSearchResult:
-    """Run the relaxed search on a transductive node-classification graph."""
+                          penalty_only_alphas: bool = False,
+                          sampler=None) -> BitWidthSearchResult:
+    """Run the relaxed search on a transductive node-classification graph.
+
+    With a :class:`~repro.graphs.sampling.NeighborSampler` the search epoch
+    iterates neighbor-sampled minibatches instead of the full graph — the
+    relaxed quantizers and the penalty are identical, only the task-loss
+    estimator changes.
+    """
     if mask is None:
         mask = graph.train_mask
+
+    def epoch_steps():
+        if sampler is None:
+            yield graph, mask
+        else:
+            for batch in sampler:
+                yield batch, None
+
     optimizer = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
     loss_history: List[float] = []
     penalty_history: List[float] = []
     bits_history: List[float] = []
     model.train()
     for _ in range(epochs):
-        model.zero_grad()
-        logits = model(graph)
-        if multilabel:
-            task_loss = F.binary_cross_entropy_with_logits(logits, graph.y, mask=mask)
-        else:
-            task_loss = F.cross_entropy(logits, graph.y, mask=mask)
-        penalty = _backward_objective(model, task_loss, lambda_value,
-                                      penalty_only_alphas)
-        optimizer.step()
-        loss_history.append(float(task_loss.data))
-        penalty_history.append(float(penalty.data))
+        step_losses: List[float] = []
+        step_penalties: List[float] = []
+        for data, step_mask in epoch_steps():
+            model.zero_grad()
+            logits = model(data)
+            targets = data.y if step_mask is None else graph.y
+            if multilabel:
+                task_loss = F.binary_cross_entropy_with_logits(logits, targets,
+                                                               mask=step_mask)
+            else:
+                task_loss = F.cross_entropy(logits, targets, mask=step_mask)
+            penalty = _backward_objective(model, task_loss, lambda_value,
+                                          penalty_only_alphas)
+            optimizer.step()
+            step_losses.append(float(task_loss.data))
+            step_penalties.append(float(penalty.data))
+        loss_history.append(float(np.mean(step_losses)))
+        penalty_history.append(float(np.mean(step_penalties)))
         bits_history.append(expected_average_bits(model))
 
     assignment = model.export_assignment()

@@ -13,7 +13,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.mixq import MixQNodeClassifier, MixQResult
-from repro.gnn.models import NodeClassifier, build_node_model
+from repro.gnn.models import build_node_model
 from repro.graphs.graph import Graph
 from repro.quant.a2q import A2QNodeClassifier
 from repro.quant.bitops import FP32_BITS, BitOpsCounter
@@ -25,7 +25,19 @@ from repro.quant.qmodules import (
     uniform_assignment,
 )
 from repro.core.build import layer_dimensions
+from repro.training.minibatch import MinibatchTrainer
 from repro.training.trainer import train_node_classifier
+
+
+def _train(model, graph: Graph, epochs: int, lr: float, multilabel: bool,
+           minibatch: bool, fanout: Optional[int], batch_size: int, seed: int):
+    """Route one training run through the full-batch or minibatch engine."""
+    if minibatch:
+        trainer = MinibatchTrainer(model, fanouts=fanout, batch_size=batch_size,
+                                   lr=lr, multilabel=multilabel, seed=seed)
+        return trainer.fit(graph, epochs=epochs)
+    return train_node_classifier(model, graph, epochs=epochs, lr=lr,
+                                 multilabel=multilabel)
 
 
 @dataclass
@@ -79,13 +91,14 @@ def _architecture_dims(graph: Graph, hidden: int, num_layers: int) -> list:
 
 def run_fp32(graph: Graph, conv_type: str = "gcn", hidden: int = 16,
              num_layers: int = 2, epochs: int = 100, lr: float = 0.02,
-             seed: int = 0, multilabel: bool = False) -> MethodRow:
+             seed: int = 0, multilabel: bool = False, minibatch: bool = False,
+             fanout: Optional[int] = 10, batch_size: int = 256) -> MethodRow:
     """FP32 baseline: accuracy plus the architecture's FP32 BitOPs."""
     rng = np.random.default_rng(seed)
     model = build_node_model(conv_type, graph.num_features, hidden, graph.num_classes,
                              num_layers=num_layers, rng=rng)
-    result = train_node_classifier(model, graph, epochs=epochs, lr=lr,
-                                   multilabel=multilabel)
+    result = _train(model, graph, epochs, lr, multilabel, minibatch, fanout,
+                    batch_size, seed)
     operations = model.operation_count(graph)
     return MethodRow("FP32", [result.test_accuracy], bits=float(FP32_BITS),
                      giga_bit_operations=operations * FP32_BITS / 1e9)
@@ -103,7 +116,8 @@ def run_uniform_qat(graph: Graph, bits: int, conv_type: str = "gcn", hidden: int
                     num_layers: int = 2, epochs: int = 100, lr: float = 0.02,
                     seed: int = 0, multilabel: bool = False,
                     use_degree_quant: bool = False,
-                    method_name: Optional[str] = None) -> MethodRow:
+                    method_name: Optional[str] = None, minibatch: bool = False,
+                    fanout: Optional[int] = 10, batch_size: int = 256) -> MethodRow:
     """Uniform fixed-bit QAT — also used as the DQ baseline when requested."""
     rng = np.random.default_rng(seed)
     assignment = uniform_assignment(_component_names(conv_type, num_layers), bits)
@@ -114,8 +128,8 @@ def run_uniform_qat(graph: Graph, bits: int, conv_type: str = "gcn", hidden: int
         rng=rng, **kwargs)
     if use_degree_quant:
         attach_degree_probabilities(model, graph)
-    result = train_node_classifier(model, graph, epochs=epochs, lr=lr,
-                                   multilabel=multilabel)
+    result = _train(model, graph, epochs, lr, multilabel, minibatch, fanout,
+                    batch_size, seed)
     counter: BitOpsCounter = model.bit_operations(graph)
     name = method_name or (f"DQ INT{bits}" if use_degree_quant else f"QAT INT{bits}")
     return MethodRow(name, [result.test_accuracy], bits=float(bits),
@@ -143,7 +157,8 @@ def run_mixq(graph: Graph, lambda_value: float, bit_choices: Sequence[int] = (2,
              search_epochs: int = 40, train_epochs: int = 100, lr: float = 0.02,
              seed: int = 0, multilabel: bool = False,
              with_degree_quant: bool = False,
-             method_name: Optional[str] = None) -> MethodRow:
+             method_name: Optional[str] = None, minibatch: bool = False,
+             fanout: Optional[int] = 10, batch_size: int = 256) -> MethodRow:
     """MixQ-GNN (optionally combined with the DQ quantizer)."""
     factory_kwargs = {}
     if with_degree_quant:
@@ -154,7 +169,8 @@ def run_mixq(graph: Graph, lambda_value: float, bit_choices: Sequence[int] = (2,
                               lambda_value=lambda_value, seed=seed, **factory_kwargs)
     result: MixQResult = mixq.fit(graph, search_epochs=search_epochs,
                                   train_epochs=train_epochs, lr=lr,
-                                  multilabel=multilabel)
+                                  multilabel=multilabel, minibatch=minibatch,
+                                  fanout=fanout, batch_size=batch_size)
     if method_name is None:
         lambda_label = "-ε" if 0 > lambda_value > -1e-4 else f"{lambda_value:g}"
         method_name = f"MixQ(λ={lambda_label})" + (" + DQ" if with_degree_quant else "")

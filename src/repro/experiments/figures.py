@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -18,13 +18,10 @@ from repro.experiments.common import run_mixq
 from repro.experiments.config import ExperimentScale, QUICK
 from repro.gnn.models import build_node_model
 from repro.graphs.datasets import load_node_dataset
-from repro.graphs.graph import Graph
 from repro.quant.bitops import FP32_BITS
-from repro.quant.integer_mp import integer_message_passing
 from repro.quant.qmodules import (
     QuantNodeClassifier,
     gcn_component_names,
-    uniform_assignment,
 )
 from repro.quant.quantizer import AffineQuantizer
 from repro.tensor.sparse import SparseTensor

@@ -2,13 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.core.build import build_relaxed_graph_classifier
 from repro.core.mixq import MixQGraphClassifier
-from repro.core.selection import search_graph_bitwidths
 from repro.experiments.common import MethodRow
 from repro.experiments.config import ExperimentScale, QUICK
 from repro.gnn.models import GraphClassifier
@@ -23,7 +21,7 @@ from repro.quant.qmodules import (
     gin_component_names,
     uniform_assignment,
 )
-from repro.training.trainer import evaluate_graph_classifier, train_graph_classifier
+from repro.training.trainer import train_graph_classifier
 
 #: Bit-width search spaces per dataset (paper Table 8 caption).
 TABLE8_BIT_CHOICES: Dict[str, Sequence[int]] = {

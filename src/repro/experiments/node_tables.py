@@ -4,8 +4,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.experiments.common import (
     MethodRow,
     merge_seed_rows,
@@ -36,9 +34,18 @@ def _seeded(rows_per_seed: List[List[MethodRow]]) -> List[MethodRow]:
 def table3_node_classification(datasets: Sequence[str] = ("cora", "citeseer", "pubmed"),
                                scale: ExperimentScale = QUICK,
                                bit_choices: Sequence[int] = (2, 4, 8),
-                               lambdas: Sequence[float] = (EPSILON_LAMBDA, 0.1, 1.0)
+                               lambdas: Sequence[float] = (EPSILON_LAMBDA, 0.1, 1.0),
+                               minibatch: bool = False,
+                               fanout: Optional[int] = 10,
+                               batch_size: int = 256
                                ) -> Dict[str, List[MethodRow]]:
-    """Table 3: GCN node classification — FP32, DQ, A²Q and MixQ(λ) per dataset."""
+    """Table 3: GCN node classification — FP32, DQ, A²Q and MixQ(λ) per dataset.
+
+    ``minibatch=True`` trains FP32 / DQ / MixQ through the neighbor-sampling
+    engine with the given per-layer ``fanout``; A²Q keeps its full-batch loop
+    because its per-node quantization state is tied to the full graph.
+    """
+    sampled = {"minibatch": minibatch, "fanout": fanout, "batch_size": batch_size}
     results: Dict[str, List[MethodRow]] = {}
     for dataset in datasets:
         per_seed: List[List[MethodRow]] = []
@@ -46,20 +53,21 @@ def table3_node_classification(datasets: Sequence[str] = ("cora", "citeseer", "p
             graph = _load_citation(dataset, scale, seed)
             rows = [
                 run_fp32(graph, "gcn", scale.hidden_features,
-                         epochs=scale.train_epochs, seed=seed),
+                         epochs=scale.train_epochs, seed=seed, **sampled),
                 run_uniform_qat(graph, 8, "gcn", scale.hidden_features,
                                 epochs=scale.train_epochs, seed=seed,
-                                use_degree_quant=True),
+                                use_degree_quant=True, **sampled),
                 run_uniform_qat(graph, 4, "gcn", scale.hidden_features,
                                 epochs=scale.train_epochs, seed=seed,
-                                use_degree_quant=True),
+                                use_degree_quant=True, **sampled),
                 run_a2q(graph, scale.hidden_features, epochs=scale.train_epochs, seed=seed),
             ]
             for lambda_value in lambdas:
                 rows.append(run_mixq(graph, lambda_value, bit_choices, "gcn",
                                      scale.hidden_features,
                                      search_epochs=scale.search_epochs,
-                                     train_epochs=scale.train_epochs, seed=seed))
+                                     train_epochs=scale.train_epochs, seed=seed,
+                                     **sampled))
             per_seed.append(rows)
         results[dataset] = _seeded(per_seed)
     return results
@@ -136,13 +144,20 @@ def table7_large_scale(datasets: Sequence[str] = ("reddit", "ogb-proteins",
                                                   "ogb-products", "igb"),
                        scale: ExperimentScale = QUICK,
                        bit_choices: Sequence[int] = (2, 4, 8),
-                       lambdas: Sequence[float] = (EPSILON_LAMBDA, 0.1, 1.0)
+                       lambdas: Sequence[float] = (EPSILON_LAMBDA, 0.1, 1.0),
+                       minibatch: bool = False,
+                       fanout: Optional[int] = 10,
+                       batch_size: int = 256
                        ) -> Dict[str, List[MethodRow]]:
     """Table 7: GraphSAGE + MixQ on the large-scale dataset stand-ins.
 
     OGB-Proteins is multi-label and evaluated with ROC-AUC, the others with
-    accuracy — the same metrics the paper reports.
+    accuracy — the same metrics the paper reports.  ``minibatch=True`` is
+    the paper-faithful configuration here: the original experiments run
+    GraphSAGE with neighbour sampling, and it is the only configuration that
+    scales to stand-ins beyond a few thousand nodes.
     """
+    sampled = {"minibatch": minibatch, "fanout": fanout, "batch_size": batch_size}
     results: Dict[str, List[MethodRow]] = {}
     for dataset in datasets:
         multilabel = dataset == "ogb-proteins"
@@ -150,13 +165,14 @@ def table7_large_scale(datasets: Sequence[str] = ("reddit", "ogb-proteins",
         for seed in range(scale.num_seeds):
             graph = load_large_scale(dataset, scale=scale.large_scale, seed=seed)
             rows = [run_fp32(graph, "sage", scale.hidden_features,
-                             epochs=scale.train_epochs, seed=seed, multilabel=multilabel)]
+                             epochs=scale.train_epochs, seed=seed, multilabel=multilabel,
+                             **sampled)]
             for lambda_value in lambdas:
                 rows.append(run_mixq(graph, lambda_value, bit_choices, "sage",
                                      scale.hidden_features,
                                      search_epochs=scale.search_epochs,
                                      train_epochs=scale.train_epochs, seed=seed,
-                                     multilabel=multilabel))
+                                     multilabel=multilabel, **sampled))
             per_seed.append(rows)
         results[dataset] = _seeded(per_seed)
     return results

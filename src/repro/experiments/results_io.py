@@ -10,7 +10,6 @@ its measured tables next to EXPERIMENTS.md.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, List, Sequence, Union
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.graphs.datasets import dataset_characteristics
-from repro.quant.complexity import ComplexityRow, complexity_table
+from repro.quant.complexity import complexity_table
 
 
 def table1_complexity(num_nodes: int = 2708, num_features: int = 1433,

@@ -13,7 +13,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.gnn.message_passing import MessagePassing
+from repro.gnn.message_passing import GraphLike, MessagePassing
 from repro.graphs.graph import Graph
 from repro.nn.linear import Linear
 from repro.tensor.sparse import SparseTensor
@@ -30,13 +30,14 @@ class GCNConv(MessagePassing):
         self.out_features = out_features
         self.linear = Linear(in_features, out_features, bias=bias, rng=rng)
 
-    def adjacency_for(self, graph: Graph) -> SparseTensor:
+    def adjacency_for(self, graph: GraphLike) -> SparseTensor:
+        # Blocks expose the same accessor with degree-renormalised values.
         return graph.normalized_adjacency()
 
     def message(self, x: Tensor) -> Tensor:
         return self.linear(x)
 
-    def forward(self, x: Tensor, graph: Graph) -> Tensor:
+    def forward(self, x: Tensor, graph: GraphLike) -> Tensor:
         return self.propagate(graph, x)
 
     def operation_count(self, graph: Graph) -> int:

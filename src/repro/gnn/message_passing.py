@@ -11,16 +11,28 @@ Sub-classes override whichever piece differs; quantization wrappers in
 :mod:`repro.quant` and :mod:`repro.core` insert quantizers precisely around
 these three functions, which is how the paper defines its per-component
 bit-width search space.
+
+Layers propagate either over a full :class:`~repro.graphs.graph.Graph` or
+over a bipartite :class:`~repro.graphs.sampling.SubgraphBlock` from the
+neighbor-sampling minibatch engine.  A block exposes the same adjacency
+accessors as a graph (``adjacency`` / ``normalized_adjacency``) with shape
+``(num_dst, num_src)``, so aggregation is the same sparse-dense product; the
+only bipartite adaptation is that the update/root term uses the target-side
+slice of the features (:func:`~repro.graphs.sampling.target_features`).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from repro.graphs.graph import Graph
+from repro.graphs.sampling import SubgraphBlock, target_features
 from repro.nn.module import Module
 from repro.tensor.sparse import SparseTensor, spmm
 from repro.tensor.tensor import Tensor
+
+#: What a layer can propagate over.
+GraphLike = Union[Graph, SubgraphBlock]
 
 
 class MessagePassing(Module):
@@ -45,20 +57,25 @@ class MessagePassing(Module):
         return aggregated
 
     # ------------------------------------------------------------------ #
-    def adjacency_for(self, graph: Graph) -> SparseTensor:
+    def adjacency_for(self, graph: GraphLike) -> SparseTensor:
         """Which adjacency this layer propagates over (raw by default)."""
         return graph.adjacency(add_self_loops=False)
 
-    def propagate(self, graph: Graph, x: Tensor,
+    def propagate(self, graph: GraphLike, x: Tensor,
                   adjacency: Optional[SparseTensor] = None) -> Tensor:
-        """Full message-passing step: message, aggregate, update."""
+        """Full message-passing step: message, aggregate, update.
+
+        On a bipartite block the update function receives the target-side
+        rows of ``x`` so root terms stay shape-compatible with the
+        ``(num_dst, ...)`` aggregation output.
+        """
         if adjacency is None:
             adjacency = self.adjacency_for(graph)
         messages = self.message(x)
         aggregated = self.aggregate(adjacency, messages)
-        return self.update(aggregated, x)
+        return self.update(aggregated, target_features(x, graph))
 
-    def forward(self, x: Tensor, graph: Graph) -> Tensor:
+    def forward(self, x: Tensor, graph: GraphLike) -> Tensor:
         return self.propagate(graph, x)
 
     # ------------------------------------------------------------------ #

@@ -23,6 +23,7 @@ from repro.gnn.sage import SAGEConv
 from repro.gnn.tag import TAGConv
 from repro.graphs.batch import GraphBatch
 from repro.graphs.graph import Graph
+from repro.graphs.sampling import BlockBatch
 from repro.graphs.pooling import get_pooling
 from repro.nn.activations import Dropout, ReLU
 from repro.nn.linear import Linear
@@ -30,11 +31,53 @@ from repro.nn.module import Module, ModuleList
 from repro.tensor.tensor import Tensor
 
 
+def forward_blocks(classifier: Module, batch: BlockBatch,
+                   x: Optional[Tensor] = None) -> Tensor:
+    """Run a convolution-stack classifier over a sampled :class:`BlockBatch`.
+
+    Shared by the float, quantized and relaxed node classifiers — they all
+    expose ``convs`` / ``activation`` / ``dropout`` — so minibatch execution
+    is one code path regardless of the quantization wrapper in use.
+    """
+    convs = classifier.convs
+    if len(convs) != batch.num_layers:
+        raise ValueError(f"model has {len(convs)} layers but the batch carries "
+                         f"{batch.num_layers} blocks; sampler fanouts must have "
+                         f"one entry per layer")
+    if x is None:
+        x = Tensor(batch.x)
+    num_layers = len(convs)
+
+    def announce_block(conv, block):
+        # Node-indexed quantizers (Degree-Quant) need the block's global ids
+        # to align their per-node state with block-local rows.  Duck-typed to
+        # keep gnn free of a dependency on the quant package.
+        for module in conv.modules():
+            if hasattr(module, "set_active_block"):
+                module.set_active_block(block)
+
+    for index, (conv, block) in enumerate(zip(convs, batch.blocks)):
+        announce_block(conv, block)
+        try:
+            x = conv(x, block)
+        finally:
+            announce_block(conv, None)
+        if index < num_layers - 1:
+            x = classifier.activation(x)
+            x = classifier.dropout(x)
+    return x
+
+
 class NodeClassifier(Module):
     """Convolution stack for transductive node classification.
 
     The final convolution outputs ``num_classes`` logits directly (matching
     the two-layer GCN formulation the paper quantizes).
+
+    Besides a full :class:`Graph`, the forward pass accepts a
+    :class:`~repro.graphs.sampling.BlockBatch` from the neighbor sampler, in
+    which case layer ``i`` consumes bipartite block ``i`` and the output has
+    one logits row per seed node.
     """
 
     def __init__(self, convs: List[MessagePassing], dropout: float = 0.5,
@@ -46,7 +89,9 @@ class NodeClassifier(Module):
         self.activation = ReLU()
         self.dropout = Dropout(dropout, rng=rng)
 
-    def forward(self, graph: Graph, x: Optional[Tensor] = None) -> Tensor:
+    def forward(self, graph, x: Optional[Tensor] = None) -> Tensor:
+        if isinstance(graph, BlockBatch):
+            return forward_blocks(self, graph, x)
         if x is None:
             x = Tensor(graph.x)
         num_layers = len(self.convs)

@@ -14,15 +14,21 @@ from typing import Optional
 import numpy as np
 import scipy.sparse as sp
 
-from repro.gnn.message_passing import MessagePassing
+from repro.gnn.message_passing import GraphLike, MessagePassing
 from repro.graphs.graph import Graph
+from repro.graphs.sampling import SubgraphBlock, target_features
 from repro.nn.linear import Linear
 from repro.tensor.sparse import SparseTensor
 from repro.tensor.tensor import Tensor
 
 
-def mean_adjacency(graph: Graph) -> SparseTensor:
-    """Row-normalised adjacency ``D^{-1} A`` (mean aggregation)."""
+def mean_adjacency(graph: GraphLike) -> SparseTensor:
+    """Row-normalised adjacency ``D^{-1} A`` (mean aggregation).
+
+    Accepts a full graph or a bipartite block; on a block the division is by
+    the *sampled* degree, which is exactly the degree renormalisation the
+    fanout-capped minibatch engine needs.
+    """
     adjacency = graph.adjacency(add_self_loops=False)
     degree = adjacency.row_sum()
     inverse = np.zeros_like(degree)
@@ -72,15 +78,19 @@ class SAGEConv(MessagePassing):
         self.linear_neighbour = Linear(in_features, out_features, bias=False, rng=rng)
         self._sampling_rng = rng if rng is not None else np.random.default_rng(0)
 
-    def adjacency_for(self, graph: Graph) -> SparseTensor:
+    def adjacency_for(self, graph: GraphLike) -> SparseTensor:
+        if isinstance(graph, SubgraphBlock):
+            # Blocks arrive pre-sampled by the NeighborSampler.
+            return mean_adjacency(graph)
         if self.max_neighbours is not None and self.training:
             return sample_adjacency(graph, self.max_neighbours, self._sampling_rng)
         return mean_adjacency(graph)
 
-    def forward(self, x: Tensor, graph: Graph) -> Tensor:
+    def forward(self, x: Tensor, graph: GraphLike) -> Tensor:
         adjacency = self.adjacency_for(graph)
         aggregated = self.aggregate(adjacency, x)
-        return self.linear_root(x) + self.linear_neighbour(aggregated)
+        return self.linear_root(target_features(x, graph)) \
+            + self.linear_neighbour(aggregated)
 
     def operation_count(self, graph: Graph) -> int:
         aggregate = self.aggregation_operations(graph, self.in_features)

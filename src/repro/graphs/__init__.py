@@ -4,11 +4,15 @@ from repro.graphs.graph import Graph
 from repro.graphs.batch import GraphBatch
 from repro.graphs import transforms
 from repro.graphs import pooling
+from repro.graphs.sampling import BlockBatch, NeighborSampler, SubgraphBlock
 from repro.graphs.splits import train_val_test_masks, k_fold_indices
 
 __all__ = [
     "Graph",
     "GraphBatch",
+    "BlockBatch",
+    "NeighborSampler",
+    "SubgraphBlock",
     "transforms",
     "pooling",
     "train_val_test_masks",

@@ -21,7 +21,6 @@ See DESIGN.md ("Environment substitutions") for the per-dataset mapping.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

@@ -24,7 +24,6 @@ from typing import List, Optional
 import numpy as np
 
 from repro.gnn.message_passing import MessagePassing
-from repro.gnn.models import NodeClassifier
 from repro.graphs.graph import Graph
 from repro.nn.activations import Dropout, ReLU
 from repro.nn.module import Module, ModuleList, Parameter

@@ -25,22 +25,22 @@ class ComplexityRow:
     def space_count(self, num_nodes: int, num_features: int, num_layers: int,
                     bits: float) -> float:
         """Evaluate the space formula for concrete sizes (number of stored values)."""
-        n, f, l, b = num_nodes, num_features, num_layers, bits
+        n, f, depth, b = num_nodes, num_features, num_layers, bits
         if self.method == "DQ":
-            return l + b * n * f * l / 32.0
+            return depth + b * n * f * depth / 32.0
         if self.method == "A2Q":
-            return n * l + b * n * f * l / 32.0
-        return l + b * n * f * l / 32.0  # MixQ-GNN
+            return n * depth + b * n * f * depth / 32.0
+        return depth + b * n * f * depth / 32.0  # MixQ-GNN
 
     def time_fp32_count(self, num_nodes: int, num_features: int, num_layers: int) -> float:
-        n, f, l = num_nodes, num_features, num_layers
+        n, f, depth = num_nodes, num_features, num_layers
         if self.method == "A2Q":
-            return n * f * l
-        return f * l  # DQ and MixQ-GNN
+            return n * f * depth
+        return f * depth  # DQ and MixQ-GNN
 
     def time_int_count(self, num_nodes: int, num_features: int, num_layers: int) -> float:
-        n, f, l = num_nodes, num_features, num_layers
-        return (n * n * f + n * f * f) * l
+        n, f, depth = num_nodes, num_features, num_layers
+        return (n * n * f + n * f * f) * depth
 
 
 def complexity_table() -> Dict[str, ComplexityRow]:

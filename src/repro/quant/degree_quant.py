@@ -49,6 +49,12 @@ class DegreeQuantizer(AffineQuantizer):
     :meth:`set_probabilities` (usually via :func:`attach_degree_probabilities`)
     and only apply to tensors whose first dimension equals the number of
     nodes — weights and graph-level tensors fall back to plain quantization.
+
+    In minibatch mode the activation rows are block-local, so
+    :meth:`set_active_block` (called by
+    :func:`~repro.gnn.models.forward_blocks` before every layer) tells the
+    quantizer which global node ids the rows of the current tensor carry;
+    the per-node probabilities are then gathered for exactly those nodes.
     """
 
     def __init__(self, bits: int = 8, signed: bool = True, symmetric: bool = False,
@@ -58,16 +64,36 @@ class DegreeQuantizer(AffineQuantizer):
                          observer="percentile", percentile=percentile)
         self.probabilities: Optional[np.ndarray] = None
         self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._block = None
 
     def set_probabilities(self, probabilities: np.ndarray) -> None:
         self.probabilities = np.asarray(probabilities, dtype=np.float64)
 
+    def set_active_block(self, block) -> None:
+        """Align protection with a bipartite block's node ids (None to clear)."""
+        self._block = block
+
+    def _row_probabilities(self, num_rows: int) -> Optional[np.ndarray]:
+        if self.probabilities is None:
+            return None
+        if self._block is not None:
+            # Source rows start with the target rows, so matching num_src
+            # first is safe even when the two sides coincide.
+            if num_rows == self._block.num_src:
+                return self.probabilities[self._block.src_nodes]
+            if num_rows == self._block.num_dst:
+                return self.probabilities[self._block.dst_nodes]
+            return None
+        if num_rows != self.probabilities.shape[0]:
+            return None
+        return self.probabilities
+
     def fake_quantize(self, x: Tensor) -> Tensor:
         quantized = super().fake_quantize(x)
-        if (not self.training or self.probabilities is None
-                or x.shape[0] != self.probabilities.shape[0]):
+        probabilities = self._row_probabilities(x.shape[0]) if self.training else None
+        if probabilities is None:
             return quantized
-        protected = (self._rng.random(x.shape[0]) < self.probabilities)
+        protected = (self._rng.random(x.shape[0]) < probabilities)
         if not protected.any():
             return quantized
         mask = protected.astype(np.float32).reshape(-1, *([1] * (x.ndim - 1)))

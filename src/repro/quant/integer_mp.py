@@ -26,7 +26,7 @@ from typing import Optional, Union
 
 import numpy as np
 
-from repro.quant.quantizer import AffineQuantizer, QuantizationParameters
+from repro.quant.quantizer import AffineQuantizer
 from repro.tensor.sparse import SparseTensor
 
 VectorOrScalar = Union[float, np.ndarray]

@@ -27,11 +27,12 @@ import numpy as np
 
 from repro.gnn.gcn import GCNConv
 from repro.gnn.gin import GINConv
-from repro.gnn.message_passing import MessagePassing
-from repro.gnn.models import GraphClassifier, NodeClassifier
+from repro.gnn.message_passing import GraphLike, MessagePassing
+from repro.gnn.models import NodeClassifier, forward_blocks
 from repro.gnn.sage import SAGEConv, mean_adjacency
 from repro.graphs.batch import GraphBatch
 from repro.graphs.graph import Graph
+from repro.graphs.sampling import BlockBatch, target_features
 from repro.graphs.pooling import get_pooling
 from repro.nn.activations import Dropout, ReLU
 from repro.nn.linear import Linear
@@ -158,7 +159,7 @@ class QuantGCNConv(MessagePassing):
             if quantize_output else IdentityQuantizer()
         self._adjacency_cache = _QuantizedAdjacencyCache(self.adjacency_quantizer)
 
-    def forward(self, x: Tensor, graph: Graph) -> Tensor:
+    def forward(self, x: Tensor, graph: GraphLike) -> Tensor:
         x = self.input_quantizer(x)
         weight = self.weight_quantizer(self.linear.weight)
         transformed = x.matmul(weight)
@@ -235,11 +236,11 @@ class QuantGINConv(MessagePassing):
         self.eps = 0.0
         self._adjacency_cache = _QuantizedAdjacencyCache(self.adjacency_quantizer)
 
-    def forward(self, x: Tensor, graph: Graph) -> Tensor:
+    def forward(self, x: Tensor, graph: GraphLike) -> Tensor:
         x = self.input_quantizer(x)
         adjacency = self._adjacency_cache(graph.adjacency(add_self_loops=False))
         aggregated = spmm(adjacency, x)
-        combined = x * (1.0 + self.eps) + aggregated
+        combined = target_features(x, graph) * (1.0 + self.eps) + aggregated
         combined = self.aggregate_out_quantizer(combined)
         hidden = self.activation(self.mlp_first(combined))
         return self.mlp_second(hidden)
@@ -306,13 +307,13 @@ class QuantSAGEConv(MessagePassing):
         self.output_quantizer = quantizer_factory(bit("output"), "activation")
         self._adjacency_cache = _QuantizedAdjacencyCache(self.adjacency_quantizer)
 
-    def forward(self, x: Tensor, graph: Graph) -> Tensor:
+    def forward(self, x: Tensor, graph: GraphLike) -> Tensor:
         x = self.input_quantizer(x)
         adjacency = self._adjacency_cache(mean_adjacency(graph))
         aggregated = self.aggregate_out_quantizer(spmm(adjacency, x))
         weight_root = self.weight_root_quantizer(self.linear_root.weight)
         weight_neighbour = self.weight_neighbour_quantizer(self.linear_neighbour.weight)
-        out = x.matmul(weight_root) + self.linear_root.bias \
+        out = target_features(x, graph).matmul(weight_root) + self.linear_root.bias \
             + aggregated.matmul(weight_neighbour)
         return self.output_quantizer(out)
 
@@ -361,7 +362,9 @@ class QuantNodeClassifier(Module):
         self.activation = ReLU()
         self.dropout = Dropout(dropout, rng=rng)
 
-    def forward(self, graph: Graph, x: Optional[Tensor] = None) -> Tensor:
+    def forward(self, graph, x: Optional[Tensor] = None) -> Tensor:
+        if isinstance(graph, BlockBatch):
+            return forward_blocks(self, graph, x)
         if x is None:
             x = Tensor(graph.x)
         num_layers = len(self.convs)

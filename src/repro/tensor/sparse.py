@@ -72,6 +72,23 @@ class SparseTensor:
         new.data = values
         return SparseTensor(new)
 
+    def index_select(self, dim: int, index: np.ndarray) -> "SparseTensor":
+        """Select rows (``dim=0``) or columns (``dim=1``) by integer index.
+
+        The selection is a single vectorized CSR slice, which is what makes
+        bipartite block extraction in :mod:`repro.graphs.sampling` scale-free:
+        cost is proportional to the non-zeros of the selected rows/columns,
+        never to the full matrix.  Indices may repeat and reorder.
+        """
+        index = np.asarray(index, dtype=np.int64)
+        if index.ndim != 1:
+            raise ValueError("index must be a 1-D integer array")
+        if dim == 0:
+            return SparseTensor(self.csr[index])
+        if dim == 1:
+            return SparseTensor(self.csr[:, index])
+        raise ValueError(f"dim must be 0 or 1, got {dim}")
+
     def to_dense(self) -> np.ndarray:
         return np.asarray(self.csr.todense(), dtype=np.float32)
 

@@ -9,9 +9,12 @@ from repro.training.trainer import (
     evaluate_node_classifier,
     evaluate_graph_classifier,
 )
+from repro.training.minibatch import MinibatchTrainer, layerwise_inference
 from repro.training.cross_validation import cross_validate_graph_classifier
 
 __all__ = [
+    "MinibatchTrainer",
+    "layerwise_inference",
     "accuracy",
     "masked_accuracy",
     "roc_auc_score",

@@ -14,7 +14,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.graphs.batch import GraphBatch, iterate_minibatches
+from repro.graphs.batch import iterate_minibatches
 from repro.graphs.graph import Graph
 from repro.nn.module import Module
 from repro.optim import Adam

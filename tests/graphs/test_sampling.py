@@ -1,0 +1,159 @@
+"""Neighbor sampler: determinism, fanout caps, renumbering, renormalisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.sampling import (
+    BlockBatch,
+    NeighborSampler,
+    SubgraphBlock,
+    target_features,
+)
+from repro.tensor.sparse import SparseTensor
+from repro.tensor.tensor import Tensor
+
+
+def _block_edges(block: SubgraphBlock) -> set:
+    """Sampled edges in global ids."""
+    return set(zip(block.dst_nodes[block.edge_rows].tolist(),
+                   block.src_nodes[block.edge_cols].tolist()))
+
+
+# --------------------------------------------------------------------------- #
+# SparseTensor.index_select
+# --------------------------------------------------------------------------- #
+class TestIndexSelect:
+    def test_row_selection_matches_dense(self, sbm_graph):
+        adjacency = sbm_graph.adjacency()
+        index = np.asarray([5, 3, 3, 100])
+        selected = adjacency.index_select(0, index)
+        assert selected.shape == (4, sbm_graph.num_nodes)
+        np.testing.assert_allclose(selected.to_dense(),
+                                   adjacency.to_dense()[index])
+
+    def test_column_selection_matches_dense(self, sbm_graph):
+        adjacency = sbm_graph.adjacency()
+        index = np.asarray([0, 7, 2])
+        selected = adjacency.index_select(1, index)
+        np.testing.assert_allclose(selected.to_dense(),
+                                   adjacency.to_dense()[:, index])
+
+    def test_invalid_dim_rejected(self):
+        with pytest.raises(ValueError):
+            SparseTensor(np.eye(3)).index_select(2, np.asarray([0]))
+
+
+# --------------------------------------------------------------------------- #
+# NeighborSampler
+# --------------------------------------------------------------------------- #
+class TestNeighborSampler:
+    def test_seeded_determinism(self, sbm_graph):
+        batches_a = list(NeighborSampler(sbm_graph, [4, 4], batch_size=32, seed=11))
+        batches_b = list(NeighborSampler(sbm_graph, [4, 4], batch_size=32, seed=11))
+        assert len(batches_a) == len(batches_b) > 1
+        for a, b in zip(batches_a, batches_b):
+            np.testing.assert_array_equal(a.seed_nodes, b.seed_nodes)
+            for block_a, block_b in zip(a.blocks, b.blocks):
+                np.testing.assert_array_equal(block_a.src_nodes, block_b.src_nodes)
+                assert _block_edges(block_a) == _block_edges(block_b)
+
+    def test_different_seeds_differ(self, sbm_graph):
+        a = next(iter(NeighborSampler(sbm_graph, [3, 3], batch_size=32, seed=0)))
+        b = next(iter(NeighborSampler(sbm_graph, [3, 3], batch_size=32, seed=1)))
+        assert not np.array_equal(a.seed_nodes, b.seed_nodes)
+
+    def test_fanout_caps_respected(self, sbm_graph):
+        fanout = 3
+        sampler = NeighborSampler(sbm_graph, [fanout, fanout], batch_size=16, seed=2)
+        for batch in sampler:
+            for block in batch.blocks:
+                per_row = np.bincount(block.edge_rows, minlength=block.num_dst)
+                assert per_row.max(initial=0) <= fanout
+
+    def test_sampled_edges_exist_in_graph(self, sbm_graph):
+        dense = sbm_graph.adjacency().to_dense()
+        batch = next(iter(NeighborSampler(sbm_graph, [4, 4], batch_size=16, seed=3)))
+        for block in batch.blocks:
+            for u, v in _block_edges(block):
+                assert dense[u, v] != 0.0
+
+    def test_renumbering_round_trips(self, sbm_graph):
+        batch = next(iter(NeighborSampler(sbm_graph, [4, 4], batch_size=16, seed=4)))
+        inner, outer = batch.blocks
+        # Targets are a prefix of sources on every block.
+        for block in batch.blocks:
+            np.testing.assert_array_equal(block.src_nodes[:block.num_dst],
+                                          block.dst_nodes)
+            assert np.unique(block.src_nodes).size == block.num_src
+        # Consecutive blocks chain: the inner block produces exactly the
+        # sources the outer block consumes.
+        np.testing.assert_array_equal(inner.dst_nodes, outer.src_nodes)
+        np.testing.assert_array_equal(outer.dst_nodes, batch.seed_nodes)
+        # Features and labels line up with the global ids.
+        np.testing.assert_array_equal(batch.x, sbm_graph.x[inner.src_nodes])
+        np.testing.assert_array_equal(batch.y, sbm_graph.y[batch.seed_nodes])
+
+    def test_unlimited_fanout_keeps_every_neighbour(self, sbm_graph):
+        dense = sbm_graph.adjacency().to_dense()
+        batch = next(iter(NeighborSampler(sbm_graph, [None, None],
+                                          batch_size=16, seed=5)))
+        block = batch.blocks[-1]
+        for local_row, node in enumerate(block.dst_nodes):
+            neighbours = set(np.flatnonzero(dense[node]).tolist())
+            sampled = {int(block.src_nodes[c])
+                       for c in block.edge_cols[block.edge_rows == local_row]}
+            assert sampled == neighbours
+
+    def test_mean_degree_renormalisation(self, sbm_graph):
+        batch = next(iter(NeighborSampler(sbm_graph, [2, 2], batch_size=16, seed=6)))
+        from repro.gnn.sage import mean_adjacency
+
+        for block in batch.blocks:
+            rows = mean_adjacency(block).row_sum()
+            sampled_rows = np.bincount(block.edge_rows, minlength=block.num_dst) > 0
+            np.testing.assert_allclose(rows[sampled_rows], 1.0, rtol=1e-5)
+
+    def test_gcn_norm_exact_at_unlimited_fanout(self, sbm_graph):
+        batch = next(iter(NeighborSampler(sbm_graph, [None, None],
+                                          batch_size=24, seed=7)))
+        full = sbm_graph.normalized_adjacency().to_dense()
+        for block in batch.blocks:
+            sliced = full[np.ix_(block.dst_nodes, block.src_nodes)]
+            np.testing.assert_allclose(block.normalized_adjacency().to_dense(),
+                                       sliced, atol=1e-6)
+            # All mass of those rows lives inside the block's columns.
+            np.testing.assert_allclose(block.normalized_adjacency().row_sum(),
+                                       full[block.dst_nodes].sum(axis=1), atol=1e-6)
+
+    def test_scalar_fanout_broadcasts(self, sbm_graph):
+        sampler = NeighborSampler(sbm_graph, 4, num_layers=3, batch_size=8, seed=8)
+        batch = sampler.sample(np.asarray([0, 1, 2]))
+        assert batch.num_layers == 3
+
+    def test_len_counts_batches(self, sbm_graph):
+        sampler = NeighborSampler(sbm_graph, [2], batch_size=7, seed=9)
+        assert len(sampler) == -(-sampler.seed_nodes.size // 7)
+        assert len(list(sampler)) == len(sampler)
+
+
+# --------------------------------------------------------------------------- #
+# target_features / BlockBatch
+# --------------------------------------------------------------------------- #
+def test_target_features_slices_blocks_only(sbm_graph):
+    batch = next(iter(NeighborSampler(sbm_graph, [3, 3], batch_size=16, seed=10)))
+    block = batch.blocks[0]
+    x = Tensor(np.random.default_rng(0).standard_normal(
+        (block.num_src, 4)).astype(np.float32))
+    sliced = target_features(x, block)
+    assert sliced.shape == (block.num_dst, 4)
+    np.testing.assert_array_equal(sliced.data, x.data[:block.num_dst])
+    assert target_features(x, sbm_graph) is x
+
+
+def test_block_batch_reports_input_nodes(sbm_graph):
+    batch = next(iter(NeighborSampler(sbm_graph, [3, 3], batch_size=16, seed=12)))
+    assert isinstance(batch, BlockBatch)
+    np.testing.assert_array_equal(batch.input_nodes, batch.blocks[0].src_nodes)
+    assert batch.x.shape == (batch.input_nodes.size, sbm_graph.num_features)
