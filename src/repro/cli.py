@@ -1,41 +1,54 @@
 """Command-line interface for the MixQ-GNN reproduction.
 
-Three sub-commands cover the everyday workflows::
+Five sub-commands cover the everyday workflows::
 
     python -m repro.cli search  --dataset cora --lambda 0.1 --out assignment.json
     python -m repro.cli train   --dataset cora --assignment assignment.json
     python -m repro.cli table   --name table3 --datasets cora
+    python -m repro.cli export  --dataset cora --uniform-bits 8 --out artifact.npz
+    python -m repro.cli predict --artifact artifact.npz --dataset cora
 
 ``search`` runs the differentiable bit-width search and stores the selected
 assignment; ``train`` quantization-aware-trains a model from a stored (or
 uniform) assignment and reports accuracy / bits / GBitOPs; ``table`` runs
-one of the paper-table experiment runners at the quick scale and prints it.
+one of the paper-table experiment runners at the quick scale and prints it;
+``export`` QAT-trains and writes a self-contained integer deployment
+artifact (npz + json sidecar); ``predict`` serves requests from a saved
+artifact with integer arithmetic — full-graph or memory-bounded
+neighbor-sampled blocks — and reports per-request latency and BitOPs.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
+import numpy as np
+
+from repro.core.build import layer_dimensions
 from repro.core.mixq import MixQNodeClassifier
 from repro.experiments.common import format_table
 from repro.experiments.config import current_scale
 from repro.experiments.results_io import load_assignment, save_assignment, save_mixq_result
 from repro.graphs.datasets import NODE_DATASETS, load_node_dataset
-from repro.quant.degree_quant import degree_quant_factory
+from repro.quant.degree_quant import DegreeQuantizer, attach_degree_probabilities, \
+    degree_quant_factory
 from repro.quant.qmodules import (
+    QuantNodeClassifier,
     default_quantizer_factory,
     gcn_component_names,
+    gin_component_names,
     sage_component_names,
     uniform_assignment,
 )
 
 
-def _add_common_model_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_common_model_arguments(parser: argparse.ArgumentParser,
+                                convs: Sequence[str] = ("gcn", "sage")) -> None:
     parser.add_argument("--dataset", default="cora", choices=sorted(NODE_DATASETS),
                         help="node-classification dataset stand-in")
-    parser.add_argument("--conv", default="gcn", choices=["gcn", "sage"],
+    parser.add_argument("--conv", default="gcn", choices=list(convs),
                         help="layer family to quantize")
     parser.add_argument("--hidden", type=int, default=16, help="hidden width")
     parser.add_argument("--layers", type=int, default=2, help="number of layers")
@@ -44,6 +57,14 @@ def _add_common_model_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="random seed")
     parser.add_argument("--degree-quant", action="store_true",
                         help="use Degree-Quant quantizers (MixQ + DQ)")
+
+
+def _component_names(conv: str, num_layers: int) -> List[str]:
+    if conv == "gcn":
+        return gcn_component_names(num_layers)
+    if conv == "sage":
+        return sage_component_names(num_layers)
+    return gin_component_names(num_layers, with_head=False)
 
 
 def _build_mixq(args, graph, lambda_value: float) -> MixQNodeClassifier:
@@ -75,9 +96,8 @@ def _command_train(args) -> int:
     if args.assignment:
         assignment = load_assignment(args.assignment)
     else:
-        names = gcn_component_names(args.layers) if args.conv == "gcn" \
-            else sage_component_names(args.layers)
-        assignment = uniform_assignment(names, args.uniform_bits)
+        assignment = uniform_assignment(_component_names(args.conv, args.layers),
+                                        args.uniform_bits)
     mixq = _build_mixq(args, graph, lambda_value=0.0)
     result = mixq.fit(graph, train_epochs=args.epochs, assignment=assignment)
     print(f"test accuracy      : {result.accuracy:.3f}")
@@ -118,6 +138,114 @@ def _command_table(args) -> int:
     for dataset, rows in results.items():
         print(format_table(f"{args.name} — {dataset}", rows))
         print()
+    return 0
+
+
+def _train_for_export(dataset: str, conv: str, hidden: int, layers: int,
+                      scale: float, seed: int, assignment, epochs: int,
+                      lr: float, degree_quant: bool):
+    """The deterministic QAT run behind ``repro export``.
+
+    Shared with the test suite so the in-memory fake-quantized reference the
+    exported artifact must match can be reconstructed exactly.
+    Returns ``(graph, model, test_accuracy)`` with the model in eval mode.
+    """
+    from repro.training.trainer import evaluate_node_classifier, train_node_classifier
+
+    graph = load_node_dataset(dataset, scale=scale, seed=seed)
+    factory = degree_quant_factory() if degree_quant else default_quantizer_factory
+    model = QuantNodeClassifier.from_assignment(
+        layer_dimensions(graph.num_features, hidden, graph.num_classes, layers),
+        conv, assignment, quantizer_factory=factory,
+        rng=np.random.default_rng(seed))
+    if any(isinstance(module, DegreeQuantizer) for module in model.modules()):
+        attach_degree_probabilities(model, graph)
+    train_node_classifier(model, graph, epochs=epochs, lr=lr)
+    model.eval()
+    accuracy = evaluate_node_classifier(model, graph, graph.test_mask)
+    return graph, model, accuracy
+
+
+def _command_export(args) -> int:
+    from repro.serving import QuantizedArtifact
+
+    if args.assignment:
+        assignment = load_assignment(args.assignment)
+    else:
+        assignment = uniform_assignment(_component_names(args.conv, args.layers),
+                                        args.uniform_bits)
+    graph, model, accuracy = _train_for_export(
+        args.dataset, args.conv, args.hidden, args.layers, args.scale, args.seed,
+        assignment, args.epochs, args.lr, args.degree_quant)
+
+    artifact = QuantizedArtifact.from_model(model, metadata={
+        "dataset": args.dataset, "scale": args.scale, "seed": args.seed,
+        "hidden": args.hidden, "test_accuracy": float(accuracy),
+        "degree_quant": bool(args.degree_quant)})
+    npz_path, json_path = artifact.save(args.out)
+    print(artifact.summary())
+    print(f"test accuracy      : {accuracy:.3f}")
+    print(f"average bit-width  : {artifact.metadata['average_bits']:.2f}")
+    print(f"arrays written to  : {npz_path}")
+    print(f"sidecar written to : {json_path}")
+    return 0
+
+
+def _command_predict(args) -> int:
+    from repro.serving import BlockSession, FullGraphSession, QuantizedArtifact, \
+        ServingEngine
+
+    graph = load_node_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    artifact = QuantizedArtifact.load(args.artifact)
+    if artifact.num_features != graph.num_features:
+        print(f"artifact expects {artifact.num_features} features but "
+              f"{args.dataset} (scale {args.scale}) has {graph.num_features}; "
+              f"pass the export-time --dataset/--scale/--seed", file=sys.stderr)
+        return 1
+
+    if args.mode == "full":
+        session = FullGraphSession(artifact, graph)
+    else:
+        fanout = None if args.fanout <= 0 else args.fanout
+        session = BlockSession(artifact, graph, fanouts=fanout,
+                               batch_size=args.batch_size, seed=args.seed)
+
+    if args.nodes:
+        nodes = np.asarray(args.nodes, dtype=np.int64)
+    elif args.split == "all" or getattr(graph, f"{args.split}_mask") is None:
+        nodes = np.arange(graph.num_nodes, dtype=np.int64)
+    else:
+        nodes = np.flatnonzero(getattr(graph, f"{args.split}_mask"))
+    if nodes.size == 0:
+        print("no nodes to predict", file=sys.stderr)
+        return 1
+
+    engine = ServingEngine(session, max_batch_size=args.batch_size)
+    num_requests = min(max(1, args.requests), nodes.size)
+    for chunk in np.array_split(nodes, num_requests):
+        engine.submit(chunk)
+    results = engine.flush()
+
+    print(f"{artifact.summary()}  mode={args.mode}")
+    print(f"{'request':>8} {'nodes':>6} {'latency ms':>11} {'GBitOPs':>9}")
+    for result in results:
+        print(f"{result.request_id:>8} {result.nodes.shape[0]:>6} "
+              f"{result.latency_seconds * 1e3:>11.2f} "
+              f"{result.giga_bit_operations:>9.4f}")
+    stats = engine.stats
+    print(f"served {stats.nodes} nodes in {stats.requests} requests / "
+          f"{stats.micro_batches} micro-batches "
+          f"({stats.throughput():.0f} nodes/s, "
+          f"{stats.giga_bit_operations:.4f} GBitOPs)")
+
+    logits = np.concatenate([result.logits for result in results], axis=0)
+    classes = logits.argmax(axis=1)
+    if graph.y is not None and graph.y.ndim == 1:
+        accuracy = float((classes == graph.y[nodes]).mean())
+        print(f"accuracy on served nodes: {accuracy:.3f}")
+    if args.out:
+        np.savez(args.out, nodes=nodes, logits=logits, classes=classes)
+        print(f"logits written to {args.out}")
     return 0
 
 
@@ -162,6 +290,61 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("--batch-size", type=int, default=256,
                        help="seed nodes per minibatch step")
     table.set_defaults(handler=_command_table)
+
+    export = subparsers.add_parser(
+        "export", help="QAT-train and export an integer serving artifact",
+        description="Quantization-aware-train a model from a stored (or uniform) "
+                    "bit-width assignment and export the integer deployment "
+                    "artifact (npz + json sidecar) consumed by `repro predict`.")
+    _add_common_model_arguments(export, convs=("gcn", "sage", "gin"))
+    export.add_argument("--assignment", default="",
+                        help="JSON assignment produced by the search command")
+    export.add_argument("--uniform-bits", type=int, default=8,
+                        help="uniform bit-width when no assignment file is given "
+                             "(default: 8)")
+    export.add_argument("--epochs", type=int, default=100,
+                        help="QAT training epochs (default: 100)")
+    export.add_argument("--lr", type=float, default=0.01,
+                        help="QAT learning rate (default: 0.01)")
+    export.add_argument("--out", required=True,
+                        help="artifact path; writes <out>.npz and <out>.json")
+    export.set_defaults(handler=_command_export)
+
+    predict = subparsers.add_parser(
+        "predict", help="serve integer predictions from a saved artifact",
+        description="Load a `repro export` artifact and serve seed-node requests "
+                    "with integer arithmetic.  The default block mode samples each "
+                    "request's receptive field (never materialising the full "
+                    "adjacency); full mode runs the classic whole-graph engine.")
+    predict.add_argument("--artifact", required=True,
+                         help="artifact path written by `repro export`")
+    predict.add_argument("--dataset", default="cora", choices=sorted(NODE_DATASETS),
+                         help="graph to serve against (default: cora; must match "
+                              "the export-time dataset/scale/seed)")
+    predict.add_argument("--scale", type=float, default=0.2,
+                         help="dataset down-scaling factor (default: 0.2)")
+    predict.add_argument("--seed", type=int, default=0,
+                         help="dataset / sampler random seed (default: 0)")
+    predict.add_argument("--mode", default="block", choices=["block", "full"],
+                         help="serving backend (default: block)")
+    predict.add_argument("--fanout", type=int, default=10,
+                         help="neighbours sampled per layer in block mode "
+                              "(default: 10; <= 0 keeps every neighbour, which "
+                              "matches full-graph logits exactly)")
+    predict.add_argument("--batch-size", type=int, default=256,
+                         help="seed nodes per coalesced micro-batch (default: 256)")
+    predict.add_argument("--nodes", type=int, nargs="+", default=None,
+                         help="explicit seed node ids to serve")
+    predict.add_argument("--split", default="test",
+                         choices=["train", "val", "test", "all"],
+                         help="serve this node split when --nodes is not given "
+                              "(default: test)")
+    predict.add_argument("--requests", type=int, default=1,
+                         help="split the served nodes into this many requests to "
+                              "exercise coalescing (default: 1)")
+    predict.add_argument("--out", default="",
+                         help="write served nodes/logits/classes to this npz file")
+    predict.set_defaults(handler=_command_predict)
     return parser
 
 

@@ -321,6 +321,19 @@ class NeighborSampler:
         y = None if self.graph.y is None else self.graph.y[seeds]
         return BlockBatch(blocks, x, y, seeds)
 
+    def iter_batches(self, seeds: np.ndarray) -> Iterator[BlockBatch]:
+        """Yield :class:`BlockBatch` es for an explicit seed list, in order.
+
+        Unlike iteration over the sampler (which walks its configured
+        ``seed_nodes``, shuffled per epoch), this serves an arbitrary
+        request: the seeds are chunked into ``batch_size`` micro-batches
+        without reordering, so concatenating the per-batch outputs lines up
+        with the request.  Used by the serving engine's block backend.
+        """
+        seeds = np.asarray(seeds, dtype=np.int64).reshape(-1)
+        for start in range(0, seeds.shape[0], self.batch_size):
+            yield self.sample(seeds[start:start + self.batch_size])
+
     # ------------------------------------------------------------------ #
     def __iter__(self) -> Iterator[BlockBatch]:
         order = self.seed_nodes

@@ -9,6 +9,10 @@ The public surface mirrors the decomposition of the paper:
 * :mod:`repro.quant.degree_quant` / :mod:`repro.quant.a2q` — the two prior
   methods the paper compares against (DQ and A²Q).
 * :mod:`repro.quant.bitops` — the BitOPs efficiency metric (Section 5.1).
+
+Deployment-time integer execution lives in :mod:`repro.serving`
+(:class:`~repro.serving.QuantizedArtifact` + inference sessions);
+:class:`IntegerGCNInference` remains here as a deprecated alias.
 """
 
 from repro.quant.quantizer import AffineQuantizer, QuantizationParameters

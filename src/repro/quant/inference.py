@@ -1,186 +1,87 @@
-"""End-to-end integer inference for quantized GCN architectures (Figure 7, stage 5).
+"""Deprecated: integer GCN inference, superseded by :mod:`repro.serving`.
 
-Quantization-aware training in :mod:`repro.quant.qmodules` simulates
-quantization with float "fake-quantized" values.  At deployment the paper
-removes the simulation and executes the message passing with integer
-arithmetic, using Theorem 1 to fuse the quantization parameters of the
-adjacency, the features and the output into per-layer constants.
+The end-to-end integer inference engine (Figure 7, stage 5) now lives in
+the serving subsystem — :class:`repro.serving.QuantizedArtifact` for the
+export step and :class:`repro.serving.FullGraphSession` /
+:class:`repro.serving.BlockSession` for execution, generalized beyond GCN
+to GraphSAGE and GIN and wired into the ``repro export`` / ``repro
+predict`` CLI.
 
-:class:`IntegerGCNInference` performs that conversion for a trained
-:class:`~repro.quant.qmodules.QuantNodeClassifier` built from GCN layers:
+:class:`IntegerGCNInference` is kept as a thin alias over the GCN
+full-graph path so existing imports and call sites keep working; new code
+should export an artifact and open a session instead::
 
-* weights are stored as INT matrices with their (symmetric) scales;
-* node features / activations are quantized to INT at every layer boundary
-  using the ranges observed during QAT;
-* the sparse aggregation runs as an integer sparse-dense product followed by
-  the rank-one corrections of Theorem 1;
-* only the final logits are returned in floating point.
-
-The engine exists to demonstrate and test numerical parity: its outputs match
-the fake-quantized QAT model to float32 round-off (see
-``tests/quant/test_integer_inference.py``), which is exactly the guarantee
-Theorem 1 provides.
+    artifact = QuantizedArtifact.from_model(model)
+    logits = FullGraphSession(artifact, graph).predict()
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+import warnings
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.quant.bitops import BitOpsCounter
-from repro.quant.integer_mp import quantized_spmm
 from repro.quant.qmodules import QuantGCNConv, QuantNodeClassifier
-from repro.quant.quantizer import AffineQuantizer, IdentityQuantizer, QuantizationParameters
+from repro.serving.artifact import LayerPlan, QuantizedArtifact
+from repro.serving.session import FullGraphSession
 
+__all__ = ["IntegerGCNInference"]
 
-@dataclass
-class _LayerPlan:
-    """Pre-extracted integer execution plan for one GCN layer."""
-
-    weight_int: np.ndarray
-    weight_scale: float
-    bias: Optional[np.ndarray]
-    input_params: Optional[QuantizationParameters]
-    linear_out_params: Optional[QuantizationParameters]
-    adjacency_params: Optional[QuantizationParameters]
-    aggregate_out_params: Optional[QuantizationParameters]
-    weight_bits: int
-    adjacency_bits: int
-
-
-def _parameters_of(quantizer) -> Optional[QuantizationParameters]:
-    """Quantization parameters of an :class:`AffineQuantizer`, None for identity."""
-    if isinstance(quantizer, IdentityQuantizer) or not isinstance(quantizer, AffineQuantizer):
-        return None
-    return quantizer.quantization_parameters()
-
-
-def _quantize_with(params: QuantizationParameters, values: np.ndarray) -> np.ndarray:
-    scale, zero_point = params.as_scalars()
-    return np.clip(np.rint(values / scale) + zero_point, params.qmin, params.qmax)
-
-
-def _dequantize_with(params: QuantizationParameters, integers: np.ndarray) -> np.ndarray:
-    scale, zero_point = params.as_scalars()
-    return (integers - zero_point) * scale
+_DEPRECATION_MESSAGE = (
+    "IntegerGCNInference is deprecated; export a repro.serving.QuantizedArtifact "
+    "and open a FullGraphSession (or BlockSession) instead")
 
 
 class IntegerGCNInference:
-    """Integer-arithmetic inference engine for a quantized GCN node classifier.
+    """Deprecated alias over the serving subsystem's GCN full-graph path.
 
-    Build it from a trained model with :meth:`from_quantized_model`, then call
-    :meth:`predict` (float logits) or :meth:`predict_classes`.
+    Build it from a trained model with :meth:`from_quantized_model`, then
+    call :meth:`predict` (float logits) or :meth:`predict_classes` — the
+    original engine's API, now delegating to
+    :class:`~repro.serving.FullGraphSession`.
     """
 
-    def __init__(self, layer_plans: List[_LayerPlan]):
+    def __init__(self, layer_plans: Sequence[LayerPlan],
+                 _warn: bool = True):
+        if _warn:
+            warnings.warn(_DEPRECATION_MESSAGE, DeprecationWarning, stacklevel=2)
         if not layer_plans:
             raise ValueError("the inference engine needs at least one layer")
-        self.layer_plans = layer_plans
+        self.layer_plans: List[LayerPlan] = list(layer_plans)
+        self._artifact = QuantizedArtifact(conv_type="gcn", layers=self.layer_plans)
 
     # ------------------------------------------------------------------ #
     @classmethod
     def from_quantized_model(cls, model: QuantNodeClassifier) -> "IntegerGCNInference":
         """Extract integer weights and fused quantization parameters from a model.
 
-        Only GCN-style layers are supported (the architecture Theorem 1 is
-        verified on in the paper); the model should be trained (its observers
-        initialised) and in eval mode.
+        Only GCN layers are accepted, matching the original engine; use
+        :meth:`repro.serving.QuantizedArtifact.from_model` for GraphSAGE and
+        GIN support.
         """
-        plans: List[_LayerPlan] = []
+        warnings.warn(_DEPRECATION_MESSAGE, DeprecationWarning, stacklevel=2)
         for conv in model.convs:
             if not isinstance(conv, QuantGCNConv):
                 raise TypeError("IntegerGCNInference supports QuantGCNConv layers only")
-            weight = conv.linear.weight.data.astype(np.float64)
-            weight_quantizer = conv.weight_quantizer
-            if isinstance(weight_quantizer, AffineQuantizer):
-                weight_int, weight_params = weight_quantizer.quantize_array(
-                    weight, update_range=False)
-                weight_scale, _ = weight_params.as_scalars()
-                weight_bits = weight_params.bits
-            else:
-                weight_int = weight
-                weight_scale = 1.0
-                weight_bits = 32
-            bias = None if conv.linear.bias is None else conv.linear.bias.data.copy()
-            plans.append(_LayerPlan(
-                weight_int=np.asarray(weight_int, dtype=np.float64),
-                weight_scale=float(weight_scale),
-                bias=bias,
-                input_params=_parameters_of(conv.input_quantizer),
-                linear_out_params=_parameters_of(conv.linear_out_quantizer),
-                adjacency_params=_parameters_of(conv.adjacency_quantizer),
-                aggregate_out_params=_parameters_of(conv.aggregate_out_quantizer),
-                weight_bits=weight_bits,
-                adjacency_bits=int(getattr(conv.adjacency_quantizer, "bits", 32)),
-            ))
-        return cls(plans)
+        artifact = QuantizedArtifact.from_model(model)
+        return cls(artifact.layers, _warn=False)
 
     # ------------------------------------------------------------------ #
+    def _session(self, graph: Graph) -> FullGraphSession:
+        return FullGraphSession(self._artifact, graph)
+
     def predict(self, graph: Graph) -> np.ndarray:
         """Float logits computed through integer matrix arithmetic."""
-        adjacency = graph.normalized_adjacency()
-        activations = graph.x.astype(np.float64)
-        last = len(self.layer_plans) - 1
-        for index, plan in enumerate(self.layer_plans):
-            # --- input quantization (first layer only, per the paper) -------
-            if plan.input_params is not None:
-                activations = _dequantize_with(
-                    plan.input_params, _quantize_with(plan.input_params, activations))
-
-            # --- linear transform with the integer weight -------------------
-            transformed = activations @ (plan.weight_int * plan.weight_scale)
-            if plan.bias is not None:
-                transformed = transformed + plan.bias
-            if plan.linear_out_params is not None:
-                transformed_int = _quantize_with(plan.linear_out_params, transformed)
-                params_x = plan.linear_out_params
-            else:
-                transformed_int = transformed
-                params_x = None
-
-            # --- aggregation via Theorem 1 ----------------------------------
-            if plan.adjacency_params is not None and params_x is not None:
-                scale_a, _ = plan.adjacency_params.as_scalars()
-                scale_x, zero_x = params_x.as_scalars()
-                adjacency_int = adjacency.with_values(
-                    _quantize_with(plan.adjacency_params,
-                                   adjacency.values.astype(np.float64)).astype(np.float32))
-                aggregated = quantized_spmm(adjacency_int, scale_a, transformed_int,
-                                            scale_x, zero_x)
-            else:
-                dequantized = transformed if params_x is None else \
-                    _dequantize_with(params_x, transformed_int)
-                aggregated = np.asarray(adjacency.csr @ dequantized, dtype=np.float64)
-
-            if plan.aggregate_out_params is not None:
-                aggregated = _dequantize_with(
-                    plan.aggregate_out_params,
-                    _quantize_with(plan.aggregate_out_params, aggregated))
-
-            activations = aggregated
-            if index != last:
-                activations = np.maximum(activations, 0.0)  # ReLU between layers
-        return activations
+        return self._session(graph).predict()
 
     def predict_classes(self, graph: Graph) -> np.ndarray:
         """Arg-max class predictions."""
-        return self.predict(graph).argmax(axis=1)
+        return self._session(graph).predict_classes()
 
-    def bit_operations(self, graph: Graph) -> BitOpsCounter:
+    def bit_operations(self, graph: Graph,
+                       nodes: Optional[Sequence[int]] = None) -> BitOpsCounter:
         """BitOPs of one integer inference pass (mirrors the QAT model's count)."""
-        counter = BitOpsCounter()
-        nnz = graph.adjacency(add_self_loops=True).nnz
-        for index, plan in enumerate(self.layer_plans):
-            out_features = plan.weight_int.shape[1]
-            in_features = plan.weight_int.shape[0]
-            transform_bits = plan.weight_bits
-            counter.add(f"layer{index}.transform",
-                        2 * graph.num_nodes * in_features * out_features, transform_bits)
-            aggregate_bits = plan.adjacency_bits if plan.linear_out_params is None \
-                else max(plan.adjacency_bits, plan.linear_out_params.bits)
-            counter.add(f"layer{index}.aggregate", 2 * nnz * out_features,
-                        min(aggregate_bits, 32))
-        return counter
+        return self._session(graph).bit_operations(nodes)

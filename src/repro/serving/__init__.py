@@ -1,0 +1,49 @@
+"""Unified export + inference-session API for quantized serving.
+
+The deployment story of the paper (Figure 7, stage 5 / Theorem 1) as a
+subsystem decoupled from training:
+
+* :class:`QuantizedArtifact` — a self-contained, serializable deployment
+  artifact exported from a trained quantized classifier (``save()`` /
+  ``load()`` as npz + json sidecar).
+* :class:`FullGraphSession` / :class:`BlockSession` — integer inference
+  backends sharing one layer executor; the block backend serves per-request
+  through fanout-bounded :class:`~repro.graphs.sampling.NeighborSampler`
+  blocks and never materialises the full adjacency.
+* :class:`ServingEngine` — request coalescing, micro-batching and
+  per-request BitOPs / latency accounting.
+
+The CLI front ends are ``repro export`` and ``repro predict``.
+"""
+
+from repro.serving.artifact import (
+    LayerPlan,
+    QUANTIZER_SLOTS,
+    QuantizedArtifact,
+    WEIGHT_SLOTS,
+    WeightPlan,
+    artifact_paths,
+)
+from repro.serving.engine import EngineStats, RequestResult, ServingEngine
+from repro.serving.session import (
+    BlockSession,
+    FullGraphSession,
+    InferenceSession,
+    SessionRun,
+)
+
+__all__ = [
+    "QuantizedArtifact",
+    "LayerPlan",
+    "WeightPlan",
+    "WEIGHT_SLOTS",
+    "QUANTIZER_SLOTS",
+    "artifact_paths",
+    "InferenceSession",
+    "FullGraphSession",
+    "BlockSession",
+    "SessionRun",
+    "ServingEngine",
+    "RequestResult",
+    "EngineStats",
+]

@@ -1,0 +1,459 @@
+"""Inference sessions: integer execution of a :class:`QuantizedArtifact`.
+
+Two backends share one layer executor:
+
+* :class:`FullGraphSession` runs every layer over the whole graph — the
+  classic Theorem-1 engine (previously ``repro.quant.IntegerGCNInference``,
+  now generalized beyond GCN to GraphSAGE and GIN).
+* :class:`BlockSession` routes the same integer message passing through
+  seeded :class:`~repro.graphs.sampling.NeighborSampler` blocks, so a
+  request for ``N`` seed nodes touches only their fanout-bounded receptive
+  field and the full (normalised) adjacency is never materialised.  The
+  *block* adjacency is quantized with the artifact's stored Theorem-1
+  constants, which at unlimited fanout makes block serving numerically
+  identical to the full-graph engine (the block operators are exact row
+  slices of the full operators).
+
+Both quantize activations onto the artifact's stored integer grids, run the
+sparse aggregation as an int64 sparse-dense product plus the rank-one
+corrections of Theorem 1 (:func:`~repro.quant.integer_mp.quantized_spmm`),
+and return float logits plus per-run BitOPs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.gnn.sage import mean_adjacency
+from repro.graphs.graph import Graph
+from repro.graphs.sampling import Fanout, NeighborSampler, SubgraphBlock
+from repro.quant.bitops import BitOpsCounter
+from repro.quant.integer_mp import quantized_spmm
+from repro.quant.quantizer import QuantizationParameters
+from repro.serving.artifact import LayerPlan, QuantizedArtifact
+from repro.tensor.sparse import SparseTensor
+
+GraphLike = Union[Graph, SubgraphBlock]
+
+
+def _quantize_with(params: QuantizationParameters, values: np.ndarray) -> np.ndarray:
+    scale, zero_point = params.as_scalars()
+    return np.clip(np.rint(values / scale) + zero_point, params.qmin, params.qmax)
+
+
+def _dequantize_with(params: QuantizationParameters, integers: np.ndarray) -> np.ndarray:
+    scale, zero_point = params.as_scalars()
+    return (integers - zero_point) * scale
+
+
+def _fake_quantize(params: Optional[QuantizationParameters],
+                   values: np.ndarray) -> np.ndarray:
+    if params is None:
+        return values
+    return _dequantize_with(params, _quantize_with(params, values))
+
+
+def _target_rows(x: np.ndarray, graph_like: GraphLike) -> np.ndarray:
+    """Target-side activations: ``x[:num_dst]`` on a block, ``x`` on a graph."""
+    if isinstance(graph_like, SubgraphBlock):
+        return x[:graph_like.num_dst]
+    return x
+
+
+@dataclass
+class SessionRun:
+    """One serving pass: logits plus the work it took to produce them."""
+
+    logits: np.ndarray
+    bit_operations: BitOpsCounter
+    num_seeds: int
+    num_input_nodes: int
+    num_edges: int
+    seconds: float
+
+    def giga_bit_operations(self) -> float:
+        return self.bit_operations.giga_bit_operations()
+
+
+class InferenceSession:
+    """Protocol base of the serving backends.
+
+    A session is bound to an artifact and a graph; :meth:`run` executes one
+    request and reports logits, BitOPs and touched-work statistics, while
+    :meth:`predict` / :meth:`predict_classes` are the plain-output
+    conveniences.  Subclasses implement :meth:`run`.
+    """
+
+    #: True when one :meth:`run` costs the same regardless of the request
+    #: size (a full-graph pass): the serving engine then serves a whole
+    #: flush with a single run instead of splitting it into micro-batches.
+    request_invariant_cost = False
+
+    def __init__(self, artifact: QuantizedArtifact, graph: Graph):
+        if not artifact.layers:
+            raise ValueError("the inference session needs at least one layer")
+        self.artifact = artifact
+        self.graph = graph
+        # Request-invariant operators of the bound graph, built once per
+        # session: the layer's aggregation operator and its (fake-)quantized
+        # variants.  Block operators are per-request and bypass these.
+        self._operator_cache: dict = {}
+        self._quantized_cache: dict = {}
+
+    # ------------------------------------------------------------------ #
+    def run(self, nodes: Optional[Sequence[int]] = None) -> SessionRun:
+        raise NotImplementedError
+
+    def predict(self, nodes: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Float logits for the requested nodes (all nodes by default)."""
+        return self.run(nodes).logits
+
+    def predict_classes(self, nodes: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Arg-max class predictions for the requested nodes."""
+        return self.predict(nodes).argmax(axis=1)
+
+    def bit_operations(self, nodes: Optional[Sequence[int]] = None) -> BitOpsCounter:
+        """BitOPs of one serving pass for the requested nodes."""
+        return self.run(nodes).bit_operations
+
+    # ------------------------------------------------------------------ #
+    # request-invariant operators
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _build_operator(conv_type: str, graph_like: GraphLike) -> SparseTensor:
+        """The aggregation operator a conv family applies to a graph view."""
+        if conv_type == "gcn":
+            return graph_like.normalized_adjacency()
+        if conv_type == "sage":
+            return mean_adjacency(graph_like)
+        return graph_like.adjacency(add_self_loops=False)
+
+    def _layer_operator(self, conv_type: str, graph_like: GraphLike) -> SparseTensor:
+        if isinstance(graph_like, SubgraphBlock):
+            return self._build_operator(conv_type, graph_like)
+        # full-graph views are always the session's bound graph -> memoise
+        if conv_type not in self._operator_cache:
+            self._operator_cache[conv_type] = self._build_operator(conv_type,
+                                                                   graph_like)
+        return self._operator_cache[conv_type]
+
+    def _quantized_operator(self, adjacency: SparseTensor,
+                            params: QuantizationParameters,
+                            fake: bool) -> SparseTensor:
+        """Adjacency on the artifact's stored grid (integer or fake-quantized).
+
+        Cached per source-operator identity: the stored reference keeps the
+        source alive so an ``id()`` key can never be reused by a different
+        reallocated operator, and eviction keeps per-request block operators
+        from accumulating.
+        """
+        key = (id(adjacency), id(params), fake)
+        entry = self._quantized_cache.get(key)
+        if entry is None or entry[0] is not adjacency or entry[1] is not params:
+            integers = _quantize_with(params, adjacency.values.astype(np.float64))
+            values = _dequantize_with(params, integers) if fake else integers
+            quantized = adjacency.with_values(values.astype(np.float32))
+            entry = (adjacency, params, quantized)
+            self._quantized_cache[key] = entry
+            while len(self._quantized_cache) > 8:
+                self._quantized_cache.pop(next(iter(self._quantized_cache)))
+        return entry[2]
+
+    def _aggregate(self, adjacency: SparseTensor,
+                   adjacency_params: Optional[QuantizationParameters],
+                   x: np.ndarray, x_int: Optional[np.ndarray],
+                   x_params: Optional[QuantizationParameters]) -> np.ndarray:
+        """``A @ X`` through Theorem 1 when both operands carry integer grids.
+
+        Falls back to a float sparse-dense product (with the adjacency still
+        on its fake-quantized grid, matching the QAT model) when either side
+        is kept in full precision.
+        """
+        if adjacency_params is not None and x_params is not None and x_int is not None:
+            scale_a, _ = adjacency_params.as_scalars()
+            scale_x, zero_x = x_params.as_scalars()
+            return quantized_spmm(
+                self._quantized_operator(adjacency, adjacency_params, fake=False),
+                scale_a, x_int, scale_x, zero_x)
+        if adjacency_params is not None:
+            adjacency = self._quantized_operator(adjacency, adjacency_params,
+                                                 fake=True)
+        return np.asarray(adjacency.csr @ x, dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+    # BitOPs accounting (shared by execution and the arithmetic counters)
+    # ------------------------------------------------------------------ #
+    def _count_layer(self, plan: LayerPlan, index: int, n_src: int, n_dst: int,
+                     nnz: int, counter: BitOpsCounter,
+                     incoming: Optional[QuantizationParameters]
+                     ) -> Optional[QuantizationParameters]:
+        """Append one layer's BitOPs records; returns its outgoing params."""
+        if plan.conv_type == "gcn":
+            weight = plan.weights["weight"]
+            counter.add(f"layer{index}.transform",
+                        2 * n_src * plan.in_features * plan.out_features,
+                        weight.bits)
+            linear_out = plan.params("linear_out")
+            aggregate_bits = plan.slot_bits("adjacency") if linear_out is None \
+                else max(plan.slot_bits("adjacency"), linear_out.bits)
+            counter.add(f"layer{index}.aggregate",
+                        2 * nnz * plan.out_features, min(aggregate_bits, 32))
+            return plan.params("aggregate_out")
+
+        params_x = plan.params("input") if plan.params("input") is not None \
+            else incoming
+        x_bits = 32 if params_x is None else params_x.bits
+        aggregate_bits = min(max(plan.slot_bits("adjacency"), x_bits), 32)
+        if plan.conv_type == "sage":
+            root = plan.weights["root"]
+            neighbour = plan.weights["neighbour"]
+            counter.add(f"layer{index}.aggregate",
+                        2 * nnz * plan.in_features, aggregate_bits)
+            counter.add(f"layer{index}.transform_root",
+                        2 * n_dst * plan.in_features * plan.out_features,
+                        min(max(x_bits, root.bits), 32))
+            counter.add(f"layer{index}.transform_neighbour",
+                        2 * n_dst * plan.in_features * plan.out_features,
+                        min(max(plan.slot_bits("aggregate_out"), neighbour.bits),
+                            32))
+            return plan.params("output")
+
+        mlp0 = plan.weights["mlp0"]
+        mlp1 = plan.weights["mlp1"]
+        hidden_features = mlp0.integers.shape[1]
+        counter.add(f"layer{index}.aggregate",
+                    2 * nnz * plan.in_features, aggregate_bits)
+        counter.add(f"layer{index}.combine",
+                    2 * n_dst * plan.in_features, aggregate_bits)
+        counter.add(f"layer{index}.mlp0",
+                    2 * n_dst * plan.in_features * hidden_features,
+                    min(max(plan.slot_bits("aggregate_out"), mlp0.bits), 32))
+        counter.add(f"layer{index}.mlp1",
+                    2 * n_dst * hidden_features * plan.out_features,
+                    min(max(plan.slot_bits("mlp0_out"), mlp1.bits), 32))
+        return plan.params("mlp1_out")
+
+    # ------------------------------------------------------------------ #
+    def _forward(self, layer_graphs: Sequence[GraphLike], x: np.ndarray,
+                 counter: BitOpsCounter) -> Tuple[np.ndarray, int]:
+        """Run the artifact's layer stack over per-layer graph views.
+
+        Returns the logits of the target side of the last layer and the
+        total number of edges (messages) touched.
+        """
+        plans = self.artifact.layers
+        if len(layer_graphs) != len(plans):
+            raise ValueError(f"artifact has {len(plans)} layers but "
+                             f"{len(layer_graphs)} graph views were given")
+        incoming: Optional[QuantizationParameters] = None
+        edges = 0
+        last = len(plans) - 1
+        for index, (plan, graph_like) in enumerate(zip(plans, layer_graphs)):
+            x, incoming, layer_edges = self._run_layer(plan, graph_like, x,
+                                                       incoming, counter, index)
+            edges += layer_edges
+            if index != last:
+                x = np.maximum(x, 0.0)  # ReLU between layers
+        return x, edges
+
+    def _run_layer(self, plan: LayerPlan, graph_like: GraphLike, x: np.ndarray,
+                   incoming: Optional[QuantizationParameters],
+                   counter: BitOpsCounter, index: int
+                   ) -> Tuple[np.ndarray, Optional[QuantizationParameters], int]:
+        if plan.conv_type == "gcn":
+            runner = self._run_gcn
+        elif plan.conv_type == "sage":
+            runner = self._run_sage
+        elif plan.conv_type == "gin":
+            runner = self._run_gin
+        else:
+            raise ValueError(f"unknown conv type {plan.conv_type!r}")
+        return runner(plan, graph_like, x, incoming, counter, index)
+
+    # ------------------------------------------------------------------ #
+    def _run_gcn(self, plan: LayerPlan, graph_like: GraphLike, x: np.ndarray,
+                 incoming: Optional[QuantizationParameters],
+                 counter: BitOpsCounter, index: int):
+        x = _fake_quantize(plan.params("input"), x)
+        weight = plan.weights["weight"]
+        transformed = x @ weight.dequantized()
+        if weight.bias is not None:
+            transformed = transformed + weight.bias
+
+        linear_out = plan.params("linear_out")
+        transformed_int = None
+        if linear_out is not None:
+            transformed_int = _quantize_with(linear_out, transformed)
+            transformed = _dequantize_with(linear_out, transformed_int)
+
+        adjacency = self._layer_operator("gcn", graph_like)
+        aggregated = self._aggregate(adjacency, plan.params("adjacency"),
+                                     transformed, transformed_int, linear_out)
+        aggregate_out = plan.params("aggregate_out")
+        aggregated = _fake_quantize(aggregate_out, aggregated)
+
+        self._count_layer(plan, index, x.shape[0], aggregated.shape[0],
+                          adjacency.nnz, counter, incoming)
+        return aggregated, aggregate_out, adjacency.nnz
+
+    def _run_sage(self, plan: LayerPlan, graph_like: GraphLike, x: np.ndarray,
+                  incoming: Optional[QuantizationParameters],
+                  counter: BitOpsCounter, index: int):
+        params_x = plan.params("input") if plan.params("input") is not None \
+            else incoming
+        x_int = None
+        if params_x is not None:
+            x_int = _quantize_with(params_x, x)
+            x = _dequantize_with(params_x, x_int)
+
+        adjacency = self._layer_operator("sage", graph_like)
+        aggregated = self._aggregate(adjacency, plan.params("adjacency"),
+                                     x, x_int, params_x)
+        aggregated = _fake_quantize(plan.params("aggregate_out"), aggregated)
+
+        root = plan.weights["root"]
+        out = _target_rows(x, graph_like) @ root.dequantized()
+        if root.bias is not None:
+            out = out + root.bias
+        out = out + aggregated @ plan.weights["neighbour"].dequantized()
+        output = plan.params("output")
+        out = _fake_quantize(output, out)
+
+        self._count_layer(plan, index, x.shape[0], aggregated.shape[0],
+                          adjacency.nnz, counter, incoming)
+        return out, output, adjacency.nnz
+
+    def _run_gin(self, plan: LayerPlan, graph_like: GraphLike, x: np.ndarray,
+                 incoming: Optional[QuantizationParameters],
+                 counter: BitOpsCounter, index: int):
+        params_x = plan.params("input") if plan.params("input") is not None \
+            else incoming
+        x_int = None
+        if params_x is not None:
+            x_int = _quantize_with(params_x, x)
+            x = _dequantize_with(params_x, x_int)
+
+        adjacency = self._layer_operator("gin", graph_like)
+        aggregated = self._aggregate(adjacency, plan.params("adjacency"),
+                                     x, x_int, params_x)
+        combined = _target_rows(x, graph_like) * (1.0 + plan.eps) + aggregated
+        combined = _fake_quantize(plan.params("aggregate_out"), combined)
+
+        mlp0 = plan.weights["mlp0"]
+        hidden = combined @ mlp0.dequantized()
+        if mlp0.bias is not None:
+            hidden = hidden + mlp0.bias
+        hidden = _fake_quantize(plan.params("mlp0_out"), hidden)
+        hidden = np.maximum(hidden, 0.0)  # the MLP's internal ReLU
+
+        mlp1 = plan.weights["mlp1"]
+        out = hidden @ mlp1.dequantized()
+        if mlp1.bias is not None:
+            out = out + mlp1.bias
+        mlp1_out = plan.params("mlp1_out")
+        out = _fake_quantize(mlp1_out, out)
+
+        self._count_layer(plan, index, x.shape[0], combined.shape[0],
+                          adjacency.nnz, counter, incoming)
+        return out, mlp1_out, adjacency.nnz
+
+
+class FullGraphSession(InferenceSession):
+    """Integer inference over the whole graph (every layer, every node)."""
+
+    request_invariant_cost = True
+
+    def run(self, nodes: Optional[Sequence[int]] = None) -> SessionRun:
+        start = time.perf_counter()
+        counter = BitOpsCounter()
+        x = self.graph.x.astype(np.float64)
+        logits, edges = self._forward([self.graph] * self.artifact.num_layers,
+                                      x, counter)
+        if nodes is not None:
+            nodes = np.asarray(nodes, dtype=np.int64)
+            logits = logits[nodes]
+            num_seeds = int(nodes.shape[0])
+        else:
+            num_seeds = self.graph.num_nodes
+        return SessionRun(logits=logits, bit_operations=counter,
+                          num_seeds=num_seeds,
+                          num_input_nodes=self.graph.num_nodes,
+                          num_edges=edges,
+                          seconds=time.perf_counter() - start)
+
+    def bit_operations(self, nodes: Optional[Sequence[int]] = None) -> BitOpsCounter:
+        """BitOPs of one full-graph pass, derived from the layer plans and the
+        graph structure without executing any layer.
+
+        A full-graph pass always computes every node, so its cost does not
+        depend on ``nodes`` (accepted for interface compatibility).
+        """
+        counter = BitOpsCounter()
+        num_nodes = self.graph.num_nodes
+        incoming: Optional[QuantizationParameters] = None
+        for index, plan in enumerate(self.artifact.layers):
+            add_self_loops = plan.conv_type == "gcn"
+            nnz = self.graph.adjacency(add_self_loops=add_self_loops).nnz
+            incoming = self._count_layer(plan, index, num_nodes, num_nodes,
+                                         nnz, counter, incoming)
+        return counter
+
+
+class BlockSession(InferenceSession):
+    """Integer inference over sampled receptive-field blocks.
+
+    Parameters
+    ----------
+    artifact / graph:
+        The deployment artifact and the graph to serve requests against.
+    fanouts:
+        Per-layer neighbour caps (innermost first); an ``int`` broadcasts
+        over the artifact's layers, ``None`` / non-positive keeps every
+        neighbour — with unlimited fanout block serving matches the
+        full-graph engine to float round-off.
+    batch_size:
+        Seed nodes per sampled micro-batch inside one :meth:`run`.
+    seed:
+        Seed of the sampler's private generator (edge sampling only; seed
+        order is never shuffled, so logits line up with the request).
+    """
+
+    def __init__(self, artifact: QuantizedArtifact, graph: Graph,
+                 fanouts: Union[Fanout, Sequence[Fanout]] = None,
+                 batch_size: int = 1024, seed: int = 0):
+        super().__init__(artifact, graph)
+        self.batch_size = int(batch_size)
+        self.sampler = NeighborSampler(
+            graph, fanouts, batch_size=self.batch_size,
+            num_layers=artifact.num_layers,
+            seed_nodes=np.arange(graph.num_nodes, dtype=np.int64),
+            shuffle=False, seed=seed)
+
+    def run(self, nodes: Optional[Sequence[int]] = None) -> SessionRun:
+        start = time.perf_counter()
+        seeds = np.arange(self.graph.num_nodes, dtype=np.int64) if nodes is None \
+            else np.asarray(nodes, dtype=np.int64).reshape(-1)
+        if seeds.shape[0] == 0:
+            return SessionRun(
+                logits=np.zeros((0, self.artifact.num_classes)),
+                bit_operations=BitOpsCounter(), num_seeds=0, num_input_nodes=0,
+                num_edges=0, seconds=time.perf_counter() - start)
+        counter = BitOpsCounter()
+        pieces: List[np.ndarray] = []
+        input_nodes = 0
+        edges = 0
+        for batch in self.sampler.iter_batches(seeds):
+            logits, batch_edges = self._forward(batch.blocks,
+                                                batch.x.astype(np.float64), counter)
+            pieces.append(logits)
+            input_nodes += int(batch.input_nodes.shape[0])
+            edges += batch_edges
+        logits = pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=0)
+        return SessionRun(logits=logits, bit_operations=counter,
+                          num_seeds=int(seeds.shape[0]),
+                          num_input_nodes=input_nodes, num_edges=edges,
+                          seconds=time.perf_counter() - start)

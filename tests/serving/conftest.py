@@ -1,0 +1,41 @@
+"""Shared fixtures for the serving test suite: trained quantized models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.quant.qmodules import (
+    QuantNodeClassifier,
+    gcn_component_names,
+    gin_component_names,
+    sage_component_names,
+    uniform_assignment,
+)
+from repro.training.trainer import train_node_classifier
+
+CONV_TYPES = ("gcn", "sage", "gin")
+
+_COMPONENT_NAMES = {
+    "gcn": lambda layers: gcn_component_names(layers),
+    "sage": lambda layers: sage_component_names(layers),
+    "gin": lambda layers: gin_component_names(layers, with_head=False),
+}
+
+
+def train_quantized(conv_type: str, graph, bits: int = 8, hidden: int = 16,
+                    epochs: int = 12, seed: int = 0) -> QuantNodeClassifier:
+    """A small trained (observers initialised) quantized classifier."""
+    assignment = uniform_assignment(_COMPONENT_NAMES[conv_type](2), bits)
+    model = QuantNodeClassifier.from_assignment(
+        [(graph.num_features, hidden), (hidden, graph.num_classes)], conv_type,
+        assignment, dropout=0.0, rng=np.random.default_rng(seed))
+    train_node_classifier(model, graph, epochs=epochs, lr=0.02)
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="session")
+def served_models(small_cora):
+    """One trained int8 model per supported conv family (shared, read-only)."""
+    return {conv: train_quantized(conv, small_cora) for conv in CONV_TYPES}

@@ -1,0 +1,130 @@
+"""End-to-end and argparse-snapshot tests for `repro export` / `repro predict`."""
+
+import argparse
+
+import numpy as np
+import pytest
+
+from repro.cli import _train_for_export, build_parser, main
+from repro.quant.qmodules import gcn_component_names, uniform_assignment
+
+
+def _subcommands(parser):
+    action = next(a for a in parser._actions
+                  if isinstance(a, argparse._SubParsersAction))
+    return action.choices
+
+
+def _option_snapshot(subparser):
+    """(default, help) of every option — a version-stable argparse snapshot."""
+    return {", ".join(action.option_strings): (action.default, action.help)
+            for action in subparser._actions
+            if action.option_strings and action.option_strings != ["-h", "--help"]}
+
+
+class TestEndToEnd:
+    def test_export_then_predict_matches_qat_logits(self, tmp_path):
+        """Acceptance: file-served logits == in-memory fake-quantized QAT."""
+        artifact_path = tmp_path / "artifact.npz"
+        logits_path = tmp_path / "logits.npz"
+        common = ["--dataset", "cora", "--scale", "0.05", "--seed", "0"]
+        assert main(["export", *common, "--epochs", "6", "--uniform-bits", "8",
+                     "--out", str(artifact_path)]) == 0
+        assert artifact_path.exists()
+        assert artifact_path.with_suffix(".json").exists()
+
+        # block mode, unlimited fanout: exact integer serving from the file
+        assert main(["predict", *common, "--artifact", str(artifact_path),
+                     "--mode", "block", "--fanout", "0", "--split", "all",
+                     "--requests", "3", "--out", str(logits_path)]) == 0
+
+        # reconstruct the exact QAT model the export command trained
+        graph, model, _ = _train_for_export(
+            "cora", "gcn", 16, 2, 0.05, 0,
+            uniform_assignment(gcn_component_names(2), 8),
+            epochs=6, lr=0.01, degree_quant=False)
+        reference = model(graph).data
+
+        payload = np.load(logits_path)
+        np.testing.assert_array_equal(payload["nodes"],
+                                      np.arange(graph.num_nodes))
+        np.testing.assert_allclose(payload["logits"], reference,
+                                   rtol=1e-3, atol=1e-3)
+        np.testing.assert_array_equal(payload["classes"],
+                                      payload["logits"].argmax(axis=1))
+
+    def test_predict_full_mode_and_node_list(self, tmp_path, capsys):
+        artifact_path = tmp_path / "artifact"
+        common = ["--dataset", "cora", "--scale", "0.05", "--seed", "0"]
+        main(["export", *common, "--epochs", "3", "--uniform-bits", "4",
+              "--out", str(artifact_path)])
+        capsys.readouterr()
+        assert main(["predict", *common, "--artifact", str(artifact_path),
+                     "--mode", "full", "--nodes", "0", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "GBitOPs" in out
+        assert "served 3 nodes" in out
+
+    def test_predict_clamps_request_count(self, tmp_path, capsys):
+        artifact_path = tmp_path / "artifact"
+        common = ["--dataset", "cora", "--scale", "0.05", "--seed", "0"]
+        main(["export", *common, "--epochs", "2", "--out", str(artifact_path)])
+        capsys.readouterr()
+        # more requests than nodes, and a non-positive count, both clamp
+        assert main(["predict", *common, "--artifact", str(artifact_path),
+                     "--nodes", "0", "1", "--requests", "7"]) == 0
+        assert main(["predict", *common, "--artifact", str(artifact_path),
+                     "--nodes", "0", "--requests", "0"]) == 0
+
+    def test_predict_rejects_mismatched_graph(self, tmp_path, capsys):
+        artifact_path = tmp_path / "artifact"
+        main(["export", "--dataset", "cora", "--scale", "0.05", "--epochs", "2",
+              "--out", str(artifact_path)])
+        code = main(["predict", "--artifact", str(artifact_path),
+                     "--dataset", "cora", "--scale", "0.1"])
+        assert code == 1
+        assert "features" in capsys.readouterr().err
+
+
+class TestParserSnapshot:
+    def test_subcommand_set(self):
+        assert set(_subcommands(build_parser())) == \
+            {"search", "train", "table", "export", "predict"}
+
+    def test_export_options_snapshot(self):
+        snapshot = _option_snapshot(_subcommands(build_parser())["export"])
+        assert set(snapshot) == {
+            "--dataset", "--conv", "--hidden", "--layers", "--scale", "--seed",
+            "--degree-quant", "--assignment", "--uniform-bits", "--epochs",
+            "--lr", "--out"}
+        assert snapshot["--conv"][0] == "gcn"
+        assert snapshot["--uniform-bits"][0] == 8
+        assert snapshot["--epochs"][0] == 100
+        assert snapshot["--lr"][0] == pytest.approx(0.01)
+        # export serves every conv family the serving layer plans support
+        conv_action = next(
+            action for action
+            in _subcommands(build_parser())["export"]._actions
+            if action.option_strings == ["--conv"])
+        assert list(conv_action.choices) == ["gcn", "sage", "gin"]
+
+    def test_predict_options_snapshot(self):
+        snapshot = _option_snapshot(_subcommands(build_parser())["predict"])
+        assert set(snapshot) == {
+            "--artifact", "--dataset", "--scale", "--seed", "--mode",
+            "--fanout", "--batch-size", "--nodes", "--split", "--requests",
+            "--out"}
+        assert snapshot["--mode"][0] == "block"
+        assert snapshot["--fanout"][0] == 10
+        assert snapshot["--batch-size"][0] == 256
+        assert snapshot["--split"][0] == "test"
+        assert snapshot["--requests"][0] == 1
+
+    def test_predict_help_documents_defaults(self):
+        # collapse argparse's terminal-width wrapping before matching
+        help_text = " ".join(
+            _subcommands(build_parser())["predict"].format_help().split())
+        assert "default: 10" in help_text      # --fanout
+        assert "default: 256" in help_text     # --batch-size
+        assert "default: block" in help_text   # --mode
+        assert "unlimited" in help_text or "every neighbour" in help_text

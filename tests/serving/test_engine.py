@@ -1,0 +1,113 @@
+"""Tests for the coalescing serving engine and the deprecated shim."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.quant.inference import IntegerGCNInference
+from repro.serving import FullGraphSession, QuantizedArtifact, ServingEngine
+
+
+@pytest.fixture(scope="module")
+def gcn_session(served_models, small_cora):
+    return FullGraphSession(QuantizedArtifact.from_model(served_models["gcn"]),
+                            small_cora)
+
+
+class TestServingEngine:
+    def test_coalesced_requests_match_direct_serving(self, gcn_session):
+        engine = ServingEngine(gcn_session, max_batch_size=4)
+        requests = [np.asarray([0, 1, 2, 3, 4]), np.asarray([9]),
+                    np.arange(10, 17)]
+        ids = [engine.submit(nodes) for nodes in requests]
+        results = engine.flush()
+
+        assert [result.request_id for result in results] == ids
+        for result, nodes in zip(results, requests):
+            np.testing.assert_array_equal(result.nodes, nodes)
+            # the full-graph session is deterministic, so coalesced micro-
+            # batching must not change any request's logits
+            np.testing.assert_array_equal(result.logits,
+                                          gcn_session.predict(nodes))
+            assert result.latency_seconds >= 0.0
+            assert result.giga_bit_operations > 0.0
+            assert result.classes.shape == nodes.shape
+
+    def test_stats_accumulate(self, gcn_session):
+        engine = ServingEngine(gcn_session, max_batch_size=8)
+        engine.submit([0, 1, 2])
+        engine.submit([3])
+        results = engine.flush()
+        assert engine.stats.requests == 2
+        assert engine.stats.nodes == 4
+        assert engine.stats.micro_batches == 1  # 4 seeds coalesced into one
+        assert engine.stats.giga_bit_operations == pytest.approx(
+            sum(result.giga_bit_operations for result in results))
+        assert engine.stats.throughput() > 0.0
+
+    def test_flush_without_requests(self, gcn_session):
+        assert ServingEngine(gcn_session).flush() == []
+
+    def test_predict_keeps_backlog_pending(self, gcn_session):
+        engine = ServingEngine(gcn_session, max_batch_size=16)
+        engine.submit([5, 6])
+        logits = engine.predict([0, 1, 2])
+        np.testing.assert_array_equal(logits, gcn_session.predict([0, 1, 2]))
+        assert engine.pending == 1  # the submitted request is still queued
+        assert len(engine.flush()) == 1
+
+    def test_full_graph_flush_runs_once(self, gcn_session):
+        # a full-graph pass costs the same whatever the request size, so the
+        # engine must not re-run it per micro-batch
+        engine = ServingEngine(gcn_session, max_batch_size=4)
+        engine.submit(np.arange(13))
+        engine.submit([20, 21])
+        engine.flush()
+        assert engine.stats.micro_batches == 1
+
+    def test_block_flush_micro_batches(self, served_models, small_cora):
+        from repro.serving import BlockSession
+        session = BlockSession(QuantizedArtifact.from_model(served_models["gcn"]),
+                               small_cora, fanouts=None, batch_size=4)
+        engine = ServingEngine(session, max_batch_size=4)
+        engine.submit(np.arange(10))
+        engine.flush()
+        assert engine.stats.micro_batches == 3  # ceil(10 / 4)
+
+    def test_rejects_bad_inputs(self, gcn_session):
+        engine = ServingEngine(gcn_session)
+        with pytest.raises(ValueError):
+            engine.submit([])
+        with pytest.raises(ValueError):
+            ServingEngine(gcn_session, max_batch_size=0)
+
+    def test_rejects_out_of_range_nodes_at_submission(self, gcn_session):
+        engine = ServingEngine(gcn_session)
+        engine.submit([0, 1])  # a valid request is already pending
+        num_nodes = gcn_session.graph.num_nodes
+        with pytest.raises(ValueError):
+            engine.submit([0, num_nodes])
+        with pytest.raises(ValueError):
+            engine.submit([-1])
+        # the malformed submissions must not poison the pending flush
+        assert engine.pending == 1
+        assert len(engine.flush()) == 1
+
+
+class TestDeprecatedShim:
+    def test_alias_still_serves_gcn(self, served_models, small_cora):
+        with pytest.warns(DeprecationWarning):
+            engine = IntegerGCNInference.from_quantized_model(served_models["gcn"])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            session_logits = FullGraphSession(
+                QuantizedArtifact.from_model(served_models["gcn"]),
+                small_cora).predict()
+            np.testing.assert_array_equal(engine.predict(small_cora),
+                                          session_logits)
+
+    def test_alias_rejects_non_gcn(self, served_models):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                IntegerGCNInference.from_quantized_model(served_models["sage"])
