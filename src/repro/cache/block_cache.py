@@ -1,0 +1,204 @@
+"""Shared block cache for neighbor-sampled receptive fields.
+
+Both halves of the system resample identical neighbourhoods over and over:
+the serving-side :class:`~repro.serving.session.BlockSession` rebuilds the
+receptive field of every ``repro predict`` request, and the training-side
+:class:`~repro.training.minibatch.MinibatchTrainer` resamples the same
+low-degree neighbourhoods every epoch.  :class:`BlockCache` is the one
+store both consumers share, holding three kinds of entries in a single
+size-bounded LRU:
+
+* **raw rows** — a node's full adjacency row (the
+  :meth:`~repro.tensor.sparse.SparseTensor.index_select` slice), valid for
+  every fanout, hop and rng-epoch because nothing random touched it;
+* **sampled rows** — a node's fanout-capped row, keyed by
+  ``(node, fanout, hop, rng-epoch)``; reusable only while the sampler stays
+  in the same rng-epoch and explicitly invalidated when it advances;
+* **batches** — whole :class:`~repro.graphs.sampling.BlockBatch` objects
+  keyed by the exact seed list, so a byte-identical repeat request is
+  served without rebuilding (or re-quantizing) anything.
+
+The contract that makes caching safe is established in
+:mod:`repro.graphs.sampling`: a node's sampled neighbourhood is a pure
+function of ``(sampler seed, rng-epoch, hop, node)``, never of batch
+composition or iteration order.  A cache therefore can only change *when*
+a row is computed, not *what* it contains — cached and uncached paths are
+bit-identical, which the parity harness in ``tests/cache`` asserts.
+
+A cache binds to one sampler configuration (one graph, one sampler seed):
+entries are keyed by node ids and sampler-local quantities only.  The
+consumers (:class:`MinibatchTrainer`, :class:`BlockSession`) each build a
+private cache, which keeps that invariant without bookkeeping.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cache.lru import CacheStats, LRUCache
+
+#: Kind tags returned by :meth:`BlockCache.get_rows`.
+ROW_FINAL = "final"
+ROW_RAW = "raw"
+
+#: Fixed per-entry bookkeeping overhead added to array payloads.
+_ENTRY_OVERHEAD = 96
+
+
+def _rows_nbytes(cols: np.ndarray, weights: np.ndarray) -> int:
+    return int(cols.nbytes) + int(weights.nbytes) + _ENTRY_OVERHEAD
+
+
+def _batch_nbytes(batch: Any) -> int:
+    """Approximate footprint of a BlockBatch (duck-typed, no import cycle)."""
+    total = _ENTRY_OVERHEAD + int(batch.x.nbytes)
+    if batch.y is not None:
+        total += int(batch.y.nbytes)
+    for block in batch.blocks:
+        for name in ("dst_nodes", "src_nodes", "edge_rows", "edge_cols",
+                     "edge_weight", "dst_inv_sqrt", "src_inv_sqrt",
+                     "row_scale"):
+            total += int(getattr(block, name).nbytes)
+    return total
+
+
+class BlockCache:
+    """Seeded, size-bounded LRU over per-seed sampled rows and block batches.
+
+    Parameters
+    ----------
+    max_entries:
+        Entry-count bound of the underlying LRU.
+    max_bytes:
+        Optional byte budget over the summed array payloads.
+    """
+
+    def __init__(self, max_entries: int = 65536,
+                 max_bytes: Optional[int] = None):
+        self._lru = LRUCache(max_entries, max_bytes=max_bytes)
+        # One logical hit/miss per *row or batch lookup* (a probe that falls
+        # through from the sampled-row key to the raw-row key still counts
+        # once), so hit_rate() reads as "fraction of work served from cache".
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------ #
+    # per-seed rows
+    # ------------------------------------------------------------------ #
+    def get_rows(self, nodes: np.ndarray, fanout: Optional[int], hop: int,
+                 epoch: int) -> List[Optional[Tuple[str, np.ndarray, np.ndarray]]]:
+        """Resolve each node's row for ``(fanout, hop, epoch)``.
+
+        Returns one entry per node: ``None`` on a miss,
+        ``(ROW_FINAL, cols, weights)`` when the cached row is directly
+        usable, or ``(ROW_RAW, cols, weights)`` when a raw row was found
+        but still needs the fanout cap applied (its length exceeds
+        ``fanout``).
+        """
+        results: List[Optional[Tuple[str, np.ndarray, np.ndarray]]] = []
+        hits = misses = 0
+        # One hop probes every target: hold both locks across the loop so
+        # the per-node get_quiet calls re-enter instead of re-contending.
+        with self._lock, self._lru.lock:
+            for node in nodes:
+                node = int(node)
+                entry = None
+                if fanout is not None:
+                    entry = self._lru.get_quiet(
+                        ("blk", node, fanout, hop, epoch), None)
+                if entry is not None:
+                    hits += 1
+                    results.append((ROW_FINAL, entry[0], entry[1]))
+                    continue
+                entry = self._lru.get_quiet(("row", node), None)
+                if entry is None:
+                    misses += 1
+                    results.append(None)
+                    continue
+                hits += 1
+                cols, weights = entry
+                if fanout is not None and cols.shape[0] > fanout:
+                    results.append((ROW_RAW, cols, weights))
+                else:
+                    results.append((ROW_FINAL, cols, weights))
+            self._hits += hits
+            self._misses += misses
+        return results
+
+    def put_raw_rows(self, nodes: Sequence[int],
+                     rows: Sequence[Tuple[np.ndarray, np.ndarray]]) -> None:
+        """Store full adjacency rows (epoch/fanout/hop independent)."""
+        self._lru.put_many([
+            (("row", int(node)), (cols, weights), _rows_nbytes(cols, weights))
+            for node, (cols, weights) in zip(nodes, rows)])
+
+    def put_capped_rows(self, nodes: Sequence[int], fanout: int, hop: int,
+                        epoch: int,
+                        rows: Sequence[Tuple[np.ndarray, np.ndarray]]) -> None:
+        """Store fanout-capped rows under their ``(node, fanout, hop, epoch)``
+        key; dropped wholesale when the rng-epoch advances."""
+        self._lru.put_many([
+            (("blk", int(node), fanout, hop, epoch), (cols, weights),
+             _rows_nbytes(cols, weights))
+            for node, (cols, weights) in zip(nodes, rows)])
+
+    # ------------------------------------------------------------------ #
+    # whole batches
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _batch_key(seeds: np.ndarray, fanouts: Sequence[Optional[int]],
+                   epoch: int) -> Tuple:
+        return ("bat", seeds.tobytes(), tuple(fanouts), epoch)
+
+    def get_batch(self, seeds: np.ndarray, fanouts: Sequence[Optional[int]],
+                  epoch: int) -> Optional[Any]:
+        """A previously built batch for the exact same seed list, or None."""
+        batch = self._lru.get_quiet(self._batch_key(seeds, fanouts, epoch), None)
+        with self._lock:
+            if batch is None:
+                self._misses += 1
+            else:
+                self._hits += 1
+        return batch
+
+    def put_batch(self, seeds: np.ndarray, fanouts: Sequence[Optional[int]],
+                  epoch: int, batch: Any) -> None:
+        self._lru.put(self._batch_key(seeds, fanouts, epoch), batch,
+                      _batch_nbytes(batch))
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def invalidate_epochs(self, current_epoch: int) -> int:
+        """Explicitly evict sampled rows and batches of *other* rng-epochs.
+
+        Raw rows survive: they carry no randomness.  Returns the number of
+        entries dropped.  Called by the sampler whenever it advances its
+        rng-epoch (one advance per training epoch).
+        """
+        return self._lru.evict_where(
+            lambda key: key[0] in ("blk", "bat") and key[-1] != current_epoch)
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def stats(self) -> CacheStats:
+        """Logical hit/miss counters plus the store's size/eviction counters."""
+        store = self._lru.stats()
+        with self._lock:
+            return CacheStats(hits=self._hits, misses=self._misses,
+                              evictions=store.evictions, entries=store.entries,
+                              bytes=store.bytes)
+
+    def hit_rate(self) -> float:
+        return self.stats().hit_rate()
+
+    def __repr__(self) -> str:
+        return f"BlockCache({self.stats()!r})"

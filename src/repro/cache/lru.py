@@ -1,0 +1,198 @@
+"""A thread-safe, size-bounded LRU cache with hit/miss/eviction accounting.
+
+The cache subsystem sits on the hot path of both halves of the system (the
+neighbor sampler during training, the block session during serving), so the
+store itself is deliberately boring: an :class:`collections.OrderedDict`
+under one lock, bounded by an entry count and optionally by a byte budget.
+Batch operations (:meth:`get_many` / :meth:`put_many`) amortise the lock
+over a whole minibatch of per-seed lookups.
+
+Every mutation keeps the running counters consistent, and :meth:`stats`
+returns an immutable snapshot, so concurrent readers never observe a
+half-updated view — the property the serving concurrency tests pin down.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable snapshot of a cache's lifetime counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    entries: int = 0
+    bytes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 before any lookup)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (f"CacheStats(hits={self.hits}, misses={self.misses}, "
+                f"evictions={self.evictions}, entries={self.entries}, "
+                f"bytes={self.bytes}, hit_rate={self.hit_rate():.3f})")
+
+
+class LRUCache:
+    """Least-recently-used mapping bounded by entries and (optionally) bytes.
+
+    Parameters
+    ----------
+    max_entries:
+        Hard cap on the number of stored entries (must be positive).
+    max_bytes:
+        Optional cap on the summed per-entry sizes.  Sizes are whatever the
+        caller reports at :meth:`put` time (typically ``ndarray.nbytes``);
+        the cache never inspects values.
+    """
+
+    def __init__(self, max_entries: int, max_bytes: Optional[int] = None):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive when given")
+        self.max_entries = int(max_entries)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        self._lock = threading.RLock()
+        self._store: "OrderedDict[Hashable, Tuple[Any, int]]" = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._store
+
+    @property
+    def lock(self) -> threading.RLock:
+        """The store's re-entrant lock.  Hold it around a run of calls
+        (e.g. many :meth:`get_quiet` probes) to amortise acquisition —
+        nested calls re-enter without contention."""
+        return self._lock
+
+    @property
+    def nbytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(hits=self._hits, misses=self._misses,
+                              evictions=self._evictions,
+                              entries=len(self._store), bytes=self._bytes)
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``, marking it most recently used on a hit."""
+        with self._lock:
+            return self._get_locked(key, default)
+
+    def get_many(self, keys: Sequence[Hashable],
+                 default: Any = None) -> List[Any]:
+        """One locked pass over ``keys``; missing keys yield ``default``."""
+        with self._lock:
+            return [self._get_locked(key, default) for key in keys]
+
+    def get_quiet(self, key: Hashable, default: Any = None) -> Any:
+        """Like :meth:`get` (recency updated) but without touching the
+        hit/miss counters — for callers doing their own logical counting."""
+        with self._lock:
+            entry = self._store.get(key)
+            if entry is None:
+                return default
+            self._store.move_to_end(key)
+            return entry[0]
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key`` without touching recency or hit/miss counters."""
+        with self._lock:
+            entry = self._store.get(key)
+            return default if entry is None else entry[0]
+
+    def put(self, key: Hashable, value: Any, nbytes: int = 0) -> None:
+        """Insert/replace ``key`` as most recently used, then enforce bounds."""
+        with self._lock:
+            self._put_locked(key, value, nbytes)
+
+    def put_many(self, items: Sequence[Tuple[Hashable, Any, int]]) -> None:
+        """Insert many ``(key, value, nbytes)`` triples under one lock."""
+        with self._lock:
+            for key, value, nbytes in items:
+                self._put_locked(key, value, nbytes)
+
+    def pop(self, key: Hashable, default: Any = None) -> Any:
+        with self._lock:
+            entry = self._store.pop(key, None)
+            if entry is None:
+                return default
+            self._bytes -= entry[1]
+            return entry[0]
+
+    def clear(self) -> None:
+        """Drop every entry (counted as evictions); counters keep running."""
+        with self._lock:
+            self._evictions += len(self._store)
+            self._store.clear()
+            self._bytes = 0
+
+    def evict_where(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Evict every entry whose *key* satisfies ``predicate``; returns the
+        number removed.  Used for explicit epoch invalidation."""
+        with self._lock:
+            doomed = [key for key in self._store if predicate(key)]
+            for key in doomed:
+                _, nbytes = self._store.pop(key)
+                self._bytes -= nbytes
+            self._evictions += len(doomed)
+            return len(doomed)
+
+    def keys(self) -> List[Hashable]:
+        """Keys from least to most recently used (a snapshot copy)."""
+        with self._lock:
+            return list(self._store.keys())
+
+    # ------------------------------------------------------------------ #
+    def _get_locked(self, key: Hashable, default: Any) -> Any:
+        entry = self._store.get(key)
+        if entry is None:
+            self._misses += 1
+            return default
+        self._hits += 1
+        self._store.move_to_end(key)
+        return entry[0]
+
+    def _put_locked(self, key: Hashable, value: Any, nbytes: int) -> None:
+        nbytes = int(nbytes)
+        if self.max_bytes is not None and nbytes > self.max_bytes:
+            # Refuse entries that could never fit: admitting one would only
+            # wipe the rest of the cache and still leave us over budget.
+            # The store is left untouched (an existing value survives).
+            return
+        previous = self._store.pop(key, None)
+        if previous is not None:
+            self._bytes -= previous[1]
+        self._store[key] = (value, nbytes)
+        self._bytes += nbytes
+        while len(self._store) > self.max_entries or (
+                self.max_bytes is not None and self._bytes > self.max_bytes):
+            _, (_, dropped) = self._store.popitem(last=False)
+            self._bytes -= dropped
+            self._evictions += 1

@@ -205,10 +205,16 @@ def _command_predict(args) -> int:
 
     if args.mode == "full":
         session = FullGraphSession(artifact, graph)
+        if args.cache_size:
+            print("note: --cache-size only applies to block mode",
+                  file=sys.stderr)
     else:
         fanout = None if args.fanout <= 0 else args.fanout
+        cache_bytes = int(args.cache_mb * 1e6) if args.cache_mb > 0 else None
         session = BlockSession(artifact, graph, fanouts=fanout,
-                               batch_size=args.batch_size, seed=args.seed)
+                               batch_size=args.batch_size, seed=args.seed,
+                               cache_size=args.cache_size,
+                               cache_bytes=cache_bytes)
 
     if args.nodes:
         nodes = np.asarray(args.nodes, dtype=np.int64)
@@ -220,11 +226,14 @@ def _command_predict(args) -> int:
         print("no nodes to predict", file=sys.stderr)
         return 1
 
-    engine = ServingEngine(session, max_batch_size=args.batch_size)
+    engine = ServingEngine(session, max_batch_size=args.batch_size,
+                           workers=args.workers)
     num_requests = min(max(1, args.requests), nodes.size)
-    for chunk in np.array_split(nodes, num_requests):
-        engine.submit(chunk)
-    results = engine.flush()
+    results = []
+    for _ in range(max(1, args.repeat)):
+        for chunk in np.array_split(nodes, num_requests):
+            engine.submit(chunk)
+        results = engine.flush()
 
     print(f"{artifact.summary()}  mode={args.mode}")
     print(f"{'request':>8} {'nodes':>6} {'latency ms':>11} {'GBitOPs':>9}")
@@ -236,7 +245,16 @@ def _command_predict(args) -> int:
     print(f"served {stats.nodes} nodes in {stats.requests} requests / "
           f"{stats.micro_batches} micro-batches "
           f"({stats.throughput():.0f} nodes/s, "
-          f"{stats.giga_bit_operations:.4f} GBitOPs)")
+          f"{stats.giga_bit_operations:.4f} GBitOPs, "
+          f"workers={args.workers})")
+    cache_stats = getattr(session, "cache_stats", lambda: None)()
+    if cache_stats is not None:
+        print(f"block cache: {cache_stats.hits} hits / "
+              f"{cache_stats.misses} misses "
+              f"(hit rate {cache_stats.hit_rate():.1%}), "
+              f"{cache_stats.entries} entries / "
+              f"{cache_stats.bytes / 1e6:.2f} MB, "
+              f"{cache_stats.evictions} evictions")
 
     logits = np.concatenate([result.logits for result in results], axis=0)
     classes = logits.argmax(axis=1)
@@ -342,6 +360,22 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--requests", type=int, default=1,
                          help="split the served nodes into this many requests to "
                               "exercise coalescing (default: 1)")
+    predict.add_argument("--cache-size", type=int, default=0,
+                         help="block-cache entries for block mode (default: 0 = "
+                              "off); repeat/overlapping requests reuse sampled "
+                              "receptive fields with bit-identical logits")
+    predict.add_argument("--cache-mb", type=float, default=256.0,
+                         help="byte budget in MB for the --cache-size cache "
+                              "(default: 256; <= 0 means entry-bounded only; "
+                              "no effect unless --cache-size > 0) — "
+                              "whole-batch entries embed feature rows, so "
+                              "diverse traffic needs a byte bound too")
+    predict.add_argument("--workers", type=int, default=1,
+                         help="thread-pool width for micro-batches inside one "
+                              "flush (default: 1 = synchronous)")
+    predict.add_argument("--repeat", type=int, default=1,
+                         help="serve the request set this many times (warms the "
+                              "block cache; stats accumulate; default: 1)")
     predict.add_argument("--out", default="",
                          help="write served nodes/logits/classes to this npz file")
     predict.set_defaults(handler=_command_predict)

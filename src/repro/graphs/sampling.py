@@ -15,6 +15,20 @@ is applied with one random-key sort over the extracted non-zeros, and node
 renumbering uses a reusable global->local lookup table.  No Python-level
 per-node loops.
 
+The random keys are *counter-based*: each edge's key is a SplitMix64 hash of
+``(sampler seed, rng-epoch, hop, target node, edge position)`` rather than a
+draw from a sequential generator stream.  A node's sampled neighbourhood is
+therefore a pure function of those five values — independent of batch
+composition, batch order, or how many batches were drawn before it.  That is
+what makes seeded runs reproducible regardless of iteration order, and what
+lets a :class:`~repro.cache.BlockCache` reuse per-seed rows with *bit
+identical* results: a cache can only change when a row is computed, never
+what it contains.  The rng-epoch advances once per ``__iter__`` epoch (so
+training still resamples every epoch, and cached sampled rows are explicitly
+invalidated), while explicit :meth:`NeighborSampler.sample` /
+:meth:`NeighborSampler.iter_batches` calls — the serving path — stay in the
+current epoch and enjoy warm caches across requests.
+
 Degree renormalisation keeps sampled operators unbiased:
 
 * the mean (GraphSAGE) operator divides each row by its *sampled* degree;
@@ -29,7 +43,8 @@ training with ``fanout=None`` numerically identical to full-batch training.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Union
+import threading
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -38,8 +53,48 @@ from repro.graphs.graph import Graph
 from repro.tensor.sparse import SparseTensor
 from repro.tensor.tensor import Tensor
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cache stores blocks)
+    from repro.cache import BlockCache
+
 #: A per-layer fanout: ``None`` means unlimited (keep every neighbour).
 Fanout = Optional[int]
+
+# --------------------------------------------------------------------------- #
+# Counter-based random keys (SplitMix64).  Integer overflow wraps, which is
+# exactly the arithmetic the mixer wants; numpy only warns for *scalar*
+# overflow, so the salt helpers below work on 1-element arrays.
+# --------------------------------------------------------------------------- #
+_MIX_INCREMENT = np.uint64(0x9E3779B97F4A7C15)
+_MIX_MULTIPLIER_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_MULTIPLIER_2 = np.uint64(0x94D049BB133111EB)
+
+
+def _mix64(values: np.ndarray) -> np.ndarray:
+    """SplitMix64 finaliser: avalanche a uint64 array element-wise."""
+    values = values + _MIX_INCREMENT
+    values = (values ^ (values >> np.uint64(30))) * _MIX_MULTIPLIER_1
+    values = (values ^ (values >> np.uint64(27))) * _MIX_MULTIPLIER_2
+    return values ^ (values >> np.uint64(31))
+
+
+def _salt(seed: int, epoch: int, hop: int) -> np.uint64:
+    """One uint64 salt chaining (seed, rng-epoch, hop)."""
+    value = _mix64(np.array([seed % (1 << 64)], dtype=np.uint64))
+    value = _mix64(value ^ np.uint64(epoch % (1 << 64)))
+    value = _mix64(value ^ np.uint64(hop % (1 << 64)))
+    return value[0]
+
+
+def _edge_keys(node_ids: np.ndarray, positions: np.ndarray,
+               salt: np.uint64) -> np.ndarray:
+    """Per-edge uint64 sort keys: a pure function of (salt, node, position).
+
+    ``node_ids`` is the *global* target id of each edge and ``positions``
+    the edge's index within its row, so a row's keys never depend on which
+    other rows share the batch.
+    """
+    base = _mix64(node_ids.astype(np.uint64) ^ salt)
+    return _mix64(base + positions.astype(np.uint64))
 
 
 class SubgraphBlock:
@@ -224,13 +279,23 @@ class NeighborSampler:
     shuffle:
         Reshuffle the seed order every epoch (deterministic given ``seed``).
     seed:
-        Seed of the private generator driving shuffling and edge sampling.
+        Seed of the shuffle generator and of the counter-based edge-sampling
+        hash.  Edge sampling consumes no sequential rng state: a node's
+        sampled neighbourhood depends only on ``(seed, rng-epoch, hop,
+        node)``, never on iteration order.
+    cache:
+        Optional :class:`~repro.cache.BlockCache` consulted before touching
+        the adjacency.  The cache must be private to one sampler
+        configuration (its keys carry no graph/seed identity).  Cached and
+        uncached sampling are bit-identical.
     """
 
     def __init__(self, graph: Graph, fanouts: Union[Fanout, Sequence[Fanout]],
                  batch_size: int = 512, num_layers: Optional[int] = None,
                  seed_nodes: Optional[np.ndarray] = None,
-                 shuffle: bool = True, seed: int = 0):
+                 shuffle: bool = True, seed: int = 0,
+                 cache: Optional["BlockCache"] = None,
+                 cache_batches: bool = True):
         self.graph = graph
         if not isinstance(fanouts, (list, tuple)):
             fanouts = [fanouts] * (num_layers if num_layers is not None else 1)
@@ -242,7 +307,16 @@ class NeighborSampler:
         if self.batch_size <= 0:
             raise ValueError("batch_size must be positive")
         self.shuffle = shuffle
+        self.seed = int(seed)
         self._rng = np.random.default_rng(seed)
+        #: Counter mixed into every edge-sampling key; advanced once per
+        #: ``__iter__`` epoch so training resamples, left alone by the
+        #: explicit :meth:`sample` / :meth:`iter_batches` serving path.
+        self.rng_epoch = 0
+        self.cache = cache
+        #: Store whole BlockBatches (worth it for serving, where identical
+        #: requests repeat; training batches never repeat within an epoch).
+        self.cache_batches = cache_batches
 
         if seed_nodes is None:
             seed_nodes = graph.train_mask if graph.train_mask is not None \
@@ -258,30 +332,115 @@ class NeighborSampler:
         self._row_weight = row_weight.astype(np.float32)
         gcn_degree = row_weight + 1.0  # self loop weight of D^{-1/2}(A+I)D^{-1/2}
         self._inv_sqrt = (1.0 / np.sqrt(gcn_degree)).astype(np.float32)
-        # Reusable global->local renumbering table (reset after every hop).
-        self._lookup = np.full(graph.num_nodes, -1, dtype=np.int64)
+        # Reusable global->local renumbering table (reset after every hop),
+        # thread-local so concurrent serving workers never share scratch.
+        self._scratch = threading.local()
 
     # ------------------------------------------------------------------ #
-    def _sample_hop(self, targets: np.ndarray, fanout: Fanout) -> SubgraphBlock:
-        """Sample one bipartite block for ``targets`` (vectorized CSR ops)."""
-        sub = self._adjacency.index_select(0, targets).csr
-        counts = np.diff(sub.indptr)
-        cols = sub.indices
-        weights = sub.data
-        rows_local = np.repeat(np.arange(targets.shape[0], dtype=np.int64), counts)
+    def _lookup_table(self) -> np.ndarray:
+        table = getattr(self._scratch, "lookup", None)
+        if table is None or table.shape[0] != self.graph.num_nodes:
+            table = np.full(self.graph.num_nodes, -1, dtype=np.int64)
+            self._scratch.lookup = table
+        return table
 
-        if fanout is not None and counts.size and int(counts.max()) > fanout:
-            # Random-key top-k per row: sort (row, random key) and keep the
-            # first `fanout` entries of every row — a uniform sample without
-            # replacement, all rows at once.
-            keys = self._rng.random(cols.shape[0])
-            order = np.lexsort((keys, rows_local))
-            starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
-            position = np.arange(cols.shape[0]) - np.repeat(starts, counts)
-            selected = order[position < fanout]
-            rows_local = rows_local[selected]
-            cols = cols[selected]
-            weights = weights[selected]
+    def _raw_rows(self, targets: np.ndarray
+                  ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flat (cols, weights, counts) of the targets' full adjacency rows."""
+        sub = self._adjacency.index_select(0, targets).csr
+        counts = np.diff(sub.indptr).astype(np.int64)
+        return sub.indices.astype(np.int64), sub.data, counts
+
+    def _cap_rows(self, node_ids: np.ndarray, cols: np.ndarray,
+                  weights: np.ndarray, counts: np.ndarray, fanout: Fanout,
+                  salt: np.uint64
+                  ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Apply the fanout cap to flat row-major CSR data, row-wise.
+
+        Random-key top-k per row: sort (row, hashed key) and keep the first
+        ``fanout`` entries of every row — a uniform sample without
+        replacement, all rows at once.  Keys hash ``(salt, node, position)``
+        so each row's kept set is independent of the other rows, and the
+        kept edges are re-sorted into their original row positions so the
+        output is byte-identical however rows are grouped into calls.
+        """
+        if fanout is None or counts.size == 0 or int(counts.max(initial=0)) <= fanout:
+            return cols, weights, counts
+        rows_local = np.repeat(np.arange(counts.shape[0], dtype=np.int64), counts)
+        starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        position = np.arange(cols.shape[0], dtype=np.int64) \
+            - np.repeat(starts, counts)
+        keys = _edge_keys(node_ids[rows_local], position, salt)
+        order = np.lexsort((keys, rows_local))
+        selected = np.sort(order[position < fanout])
+        return cols[selected], weights[selected], np.minimum(counts, fanout)
+
+    def _cached_rows(self, targets: np.ndarray, fanout: Fanout, hop: int,
+                     salt: np.uint64
+                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Like ``_raw_rows`` + ``_cap_rows`` but routed through the cache."""
+        from repro.cache import ROW_FINAL, ROW_RAW
+
+        cache = self.cache
+        epoch = self.rng_epoch
+        entries = cache.get_rows(targets, fanout, hop, epoch)
+
+        missing = [i for i, entry in enumerate(entries) if entry is None]
+        if missing:
+            nodes = targets[np.asarray(missing, dtype=np.int64)]
+            cols, weights, counts = self._raw_rows(nodes)
+            boundaries = np.cumsum(counts)[:-1]
+            # Copy per-row slices: cached entries must own their memory, or
+            # one surviving view would pin the whole extraction buffer.
+            raw_rows = [(row_cols.copy(), row_weights.copy())
+                        for row_cols, row_weights
+                        in zip(np.split(cols, boundaries),
+                               np.split(weights, boundaries))]
+            cache.put_raw_rows(nodes, raw_rows)
+            for index, (row_cols, row_weights) in zip(missing, raw_rows):
+                raw = fanout is not None and row_cols.shape[0] > fanout
+                entries[index] = (ROW_RAW if raw else ROW_FINAL,
+                                  row_cols, row_weights)
+
+        # Cap every still-raw row in one vectorized pass (cache hits that
+        # were stored as full rows plus freshly extracted over-fanout rows).
+        raw_indices = [i for i, entry in enumerate(entries)
+                       if entry[0] == ROW_RAW]
+        if raw_indices:
+            nodes = targets[np.asarray(raw_indices, dtype=np.int64)]
+            counts = np.asarray([entries[i][1].shape[0] for i in raw_indices],
+                                dtype=np.int64)
+            cols = np.concatenate([entries[i][1] for i in raw_indices])
+            weights = np.concatenate([entries[i][2] for i in raw_indices])
+            cols, weights, capped_counts = self._cap_rows(
+                nodes, cols, weights, counts, fanout, salt)
+            boundaries = np.cumsum(capped_counts)[:-1]
+            capped = [(row_cols.copy(), row_weights.copy())
+                      for row_cols, row_weights
+                      in zip(np.split(cols, boundaries),
+                             np.split(weights, boundaries))]
+            cache.put_capped_rows(nodes, fanout, hop, epoch, capped)
+            for index, (row_cols, row_weights) in zip(raw_indices, capped):
+                entries[index] = (ROW_FINAL, row_cols, row_weights)
+
+        counts = np.asarray([entry[1].shape[0] for entry in entries],
+                            dtype=np.int64)
+        cols = np.concatenate([entry[1] for entry in entries])
+        weights = np.concatenate([entry[2] for entry in entries])
+        return cols, weights, counts
+
+    def _sample_hop(self, targets: np.ndarray, fanout: Fanout,
+                    hop: int) -> SubgraphBlock:
+        """Sample one bipartite block for ``targets`` (vectorized CSR ops)."""
+        salt = _salt(self.seed, self.rng_epoch, hop)
+        if self.cache is not None and targets.shape[0] > 0:
+            cols, weights, counts = self._cached_rows(targets, fanout, hop, salt)
+        else:
+            cols, weights, counts = self._raw_rows(targets)
+            cols, weights, counts = self._cap_rows(targets, cols, weights,
+                                                   counts, fanout, salt)
+        rows_local = np.repeat(np.arange(targets.shape[0], dtype=np.int64),
+                               counts)
 
         sampled_weight = np.zeros(targets.shape[0], dtype=np.float32)
         np.add.at(sampled_weight, rows_local, weights)
@@ -291,7 +450,7 @@ class NeighborSampler:
         row_scale[positive] = full_weight[positive] / sampled_weight[positive]
 
         # Renumber: targets occupy the local prefix, new neighbours follow.
-        lookup = self._lookup
+        lookup = self._lookup_table()
         lookup[targets] = np.arange(targets.shape[0], dtype=np.int64)
         fresh = np.unique(cols[lookup[cols] < 0])
         lookup[fresh] = targets.shape[0] + np.arange(fresh.shape[0], dtype=np.int64)
@@ -308,18 +467,31 @@ class NeighborSampler:
             row_scale=row_scale)
 
     def sample(self, seeds: np.ndarray) -> BlockBatch:
-        """Build the block stack for one batch of seed nodes."""
+        """Build the block stack for one batch of seed nodes.
+
+        A pure function of ``(seeds, sampler seed, rng-epoch)``: calling it
+        twice — or in any interleaving with other batches — returns
+        identical samples.  With a cache attached, a byte-identical repeat
+        call returns the previously built (immutable) batch outright.
+        """
         seeds = np.asarray(seeds, dtype=np.int64)
+        if self.cache is not None and self.cache_batches:
+            cached = self.cache.get_batch(seeds, self.fanouts, self.rng_epoch)
+            if cached is not None:
+                return cached
         blocks: List[SubgraphBlock] = []
         targets = seeds
-        for fanout in reversed(self.fanouts):
-            block = self._sample_hop(targets, fanout)
+        for hop, fanout in enumerate(reversed(self.fanouts)):
+            block = self._sample_hop(targets, fanout, hop)
             blocks.append(block)
             targets = block.src_nodes
         blocks.reverse()
         x = self.graph.x[blocks[0].src_nodes]
         y = None if self.graph.y is None else self.graph.y[seeds]
-        return BlockBatch(blocks, x, y, seeds)
+        batch = BlockBatch(blocks, x, y, seeds)
+        if self.cache is not None and self.cache_batches:
+            self.cache.put_batch(seeds, self.fanouts, self.rng_epoch, batch)
+        return batch
 
     def iter_batches(self, seeds: np.ndarray) -> Iterator[BlockBatch]:
         """Yield :class:`BlockBatch` es for an explicit seed list, in order.
@@ -328,14 +500,33 @@ class NeighborSampler:
         ``seed_nodes``, shuffled per epoch), this serves an arbitrary
         request: the seeds are chunked into ``batch_size`` micro-batches
         without reordering, so concatenating the per-batch outputs lines up
-        with the request.  Used by the serving engine's block backend.
+        with the request.  Sampling shares the counter-based key stream of
+        :meth:`sample`, so the produced blocks do not depend on how many
+        batches (or epochs) were drawn before — seeded runs are reproducible
+        regardless of iteration order.  Used by the serving engine's block
+        backend.
         """
         seeds = np.asarray(seeds, dtype=np.int64).reshape(-1)
         for start in range(0, seeds.shape[0], self.batch_size):
             yield self.sample(seeds[start:start + self.batch_size])
 
     # ------------------------------------------------------------------ #
+    def advance_epoch(self) -> int:
+        """Move to the next rng-epoch and invalidate stale cached samples.
+
+        Called automatically at the start of every ``__iter__`` epoch.
+        Cached *raw* rows survive (they carry no randomness — the
+        low-degree/unlimited-fanout neighbourhoods the ROADMAP calls
+        deterministic); cached sampled rows and batches of other epochs are
+        explicitly evicted.
+        """
+        self.rng_epoch += 1
+        if self.cache is not None:
+            self.cache.invalidate_epochs(self.rng_epoch)
+        return self.rng_epoch
+
     def __iter__(self) -> Iterator[BlockBatch]:
+        self.advance_epoch()
         order = self.seed_nodes
         if self.shuffle:
             order = self._rng.permutation(order)

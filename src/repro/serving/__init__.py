@@ -11,9 +11,16 @@ subsystem decoupled from training:
   through fanout-bounded :class:`~repro.graphs.sampling.NeighborSampler`
   blocks and never materialises the full adjacency.
 * :class:`ServingEngine` — request coalescing, micro-batching and
-  per-request BitOPs / latency accounting.
+  per-request BitOPs / latency accounting, optionally fanning micro-batches
+  over a worker pool (``workers``).
+* :class:`AsyncServingEngine` — thread-safe online front: futures-based
+  ``submit()`` from any number of threads, flushes triggered by a
+  ``max_batch`` / ``max_wait_ms`` latency-deadline batching policy.
 
-The CLI front ends are ``repro export`` and ``repro predict``.
+Repeat/overlapping block-serving traffic is accelerated by the shared
+:class:`~repro.cache.BlockCache` (``BlockSession(cache_size=...)``), with
+bit-identical outputs.  The CLI front ends are ``repro export`` and
+``repro predict`` (``--cache-size``, ``--workers``).
 """
 
 from repro.serving.artifact import (
@@ -24,6 +31,7 @@ from repro.serving.artifact import (
     WeightPlan,
     artifact_paths,
 )
+from repro.serving.async_engine import AsyncServingEngine
 from repro.serving.engine import EngineStats, RequestResult, ServingEngine
 from repro.serving.session import (
     BlockSession,
@@ -44,6 +52,7 @@ __all__ = [
     "BlockSession",
     "SessionRun",
     "ServingEngine",
+    "AsyncServingEngine",
     "RequestResult",
     "EngineStats",
 ]

@@ -1,0 +1,197 @@
+"""Asynchronous, deadline-batched serving on top of :class:`ServingEngine`.
+
+:class:`AsyncServingEngine` turns the synchronous coalescing engine into an
+online server: callers (any number of threads) ``submit()`` seed-node
+requests and immediately receive a :class:`concurrent.futures.Future`; a
+background dispatcher thread coalesces the pending queue and flushes it
+through the wrapped :class:`~repro.serving.engine.ServingEngine` whenever
+
+* the queue holds at least ``max_batch`` seeds (work-triggered flush), or
+* the oldest pending request has waited ``max_wait_ms`` (latency-deadline
+  flush) — so a lone request is never stuck behind an empty queue.
+
+Inside one flush the engine may fan micro-batches over ``workers`` threads.
+Because every flush runs on the single dispatcher thread, the engine's
+stats counters are mutated by exactly one thread and are therefore
+race-free however many producers submit concurrently; results are identical
+to the synchronous engine because micro-batch outputs are written into
+per-chunk slices of one buffer (scheduling can reorder completion, never
+content).
+
+Typical use::
+
+    with AsyncServingEngine(session, max_batch=256, max_wait_ms=5.0,
+                            workers=4) as engine:
+        futures = [engine.submit(nodes) for nodes in traffic]
+        results = [future.result() for future in futures]
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serving.engine import (
+    EngineStats,
+    RequestResult,
+    ServingEngine,
+    validate_request_nodes,
+)
+from repro.serving.session import InferenceSession
+
+
+class AsyncServingEngine:
+    """Thread-safe, deadline-batched front over a coalescing engine.
+
+    Parameters
+    ----------
+    session:
+        The inference backend requests are served against.
+    max_batch:
+        Flush as soon as this many seed nodes are pending (also the
+        micro-batch size of the wrapped engine).
+    max_wait_ms:
+        Upper bound on how long a pending request may wait for company
+        before its flush starts.
+    workers:
+        Thread-pool width for micro-batches inside one flush.
+    """
+
+    def __init__(self, session: InferenceSession, max_batch: int = 256,
+                 max_wait_ms: float = 5.0, workers: int = 1):
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        self.max_batch = int(max_batch)
+        self.max_wait_ms = float(max_wait_ms)
+        self.engine = ServingEngine(session, max_batch_size=self.max_batch,
+                                    workers=workers)
+        self._pending: List[Tuple[Future, np.ndarray, float]] = []
+        self._pending_seeds = 0
+        self._force_flush = False
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._closed = False
+        self._dispatcher = threading.Thread(target=self._dispatch_loop,
+                                            name="repro-serving-dispatcher",
+                                            daemon=True)
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def session(self) -> InferenceSession:
+        return self.engine.session
+
+    @property
+    def stats(self) -> EngineStats:
+        """Engine counters; only the dispatcher thread ever mutates them."""
+        return self.engine.stats
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    # ------------------------------------------------------------------ #
+    def submit(self, nodes: Sequence[int]) -> "Future[RequestResult]":
+        """Queue a request; returns a future resolving to its result.
+
+        Validation happens here (on the caller's thread) so a malformed
+        request raises immediately instead of failing a coalesced flush.
+        """
+        nodes = validate_request_nodes(self.session, nodes)
+        future: "Future[RequestResult]" = Future()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("engine is closed")
+            self._pending.append((future, nodes, time.perf_counter()))
+            self._pending_seeds += int(nodes.size)
+            self._wakeup.notify()
+        return future
+
+    def predict(self, nodes: Sequence[int]) -> np.ndarray:
+        """Blocking one-shot convenience: submit and wait for the logits."""
+        return self.submit(nodes).result().logits
+
+    # ------------------------------------------------------------------ #
+    def _take_batch_locked(self) -> List[Tuple[Future, np.ndarray, float]]:
+        batch, self._pending = self._pending, []
+        self._pending_seeds = 0
+        self._force_flush = False
+        return batch
+
+    def _due(self, now: float) -> bool:
+        """Flush condition (lock held): full batch, expired deadline, or an
+        explicit :meth:`flush_now`."""
+        if not self._pending:
+            return False
+        if self._force_flush or self._pending_seeds >= self.max_batch:
+            return True
+        oldest = self._pending[0][2]
+        return (now - oldest) * 1e3 >= self.max_wait_ms
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._due(time.perf_counter()) and not self._closed:
+                    if self._pending:
+                        oldest = self._pending[0][2]
+                        deadline = oldest + self.max_wait_ms / 1e3
+                        timeout = max(deadline - time.perf_counter(), 0.0)
+                        self._wakeup.wait(timeout=max(timeout, 1e-4))
+                    else:
+                        self._wakeup.wait()
+                if self._closed and not self._pending:
+                    return
+                batch = self._take_batch_locked()
+            if batch:
+                self._flush_batch(batch)
+
+    def _flush_batch(self,
+                     batch: List[Tuple[Future, np.ndarray, float]]) -> None:
+        """Serve one coalesced batch on the dispatcher thread."""
+        admitted: List[Tuple[Future, float]] = []
+        for future, nodes, enqueued in batch:
+            if not future.set_running_or_notify_cancel():
+                continue  # caller cancelled while pending
+            self.engine.submit(nodes)
+            admitted.append((future, enqueued))
+        if not admitted:
+            return
+        try:
+            results = self.engine.flush()
+        except Exception as error:  # pragma: no cover - backend failure path
+            for future, _ in admitted:
+                future.set_exception(error)
+            return
+        now = time.perf_counter()
+        for (future, enqueued), result in zip(admitted, results):
+            # Latency as the caller saw it: queueing wait + serving time.
+            result.latency_seconds = now - enqueued
+            future.set_result(result)
+
+    # ------------------------------------------------------------------ #
+    def flush_now(self) -> None:
+        """Force the dispatcher to serve whatever is pending right away."""
+        with self._lock:
+            self._force_flush = bool(self._pending)
+            self._wakeup.notify()
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Drain the queue and stop the dispatcher (idempotent)."""
+        with self._lock:
+            self._closed = True
+            self._wakeup.notify()
+        self._dispatcher.join(timeout=timeout)
+        self.engine.close()
+
+    def __enter__(self) -> "AsyncServingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

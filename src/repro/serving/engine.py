@@ -8,14 +8,26 @@ logits, latency and attributed BitOPs.  Coalescing is what makes many small
 requests cheap: two one-node requests share a sampled receptive field and a
 single integer forward instead of paying for two.
 
+With ``workers > 1`` a flush executes its micro-batches on a thread pool:
+sessions are stateless per request (their memoisation is locked, the
+sampler's scratch is thread-local, the block cache is thread-safe), so
+micro-batches are independent and the pool hides the per-batch sampling and
+quantization latency.  Results are written into per-chunk slices of one
+output buffer, so worker scheduling can never change any request's logits.
+
 BitOPs are attributed to requests proportionally to their seed share of
 each micro-batch; latency is the time from ``flush()`` start until the last
 micro-batch containing one of the request's seeds completed.
+
+For an *online* front — callers submitting from many threads, flushes
+triggered by a latency deadline instead of an explicit call — wrap the
+session in :class:`~repro.serving.async_engine.AsyncServingEngine`.
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -65,19 +77,64 @@ class _PendingRequest:
     nodes: np.ndarray
 
 
+def validate_request_nodes(session: InferenceSession,
+                           nodes: Sequence[int]) -> np.ndarray:
+    """Normalise and bounds-check one request's seed nodes.
+
+    Shared by the synchronous and asynchronous fronts so a malformed
+    request is rejected at submission — with identical semantics — instead
+    of failing a whole coalesced flush.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64).reshape(-1)
+    if nodes.size == 0:
+        raise ValueError("a request needs at least one seed node")
+    num_nodes = session.graph.num_nodes
+    if nodes.min() < 0 or nodes.max() >= num_nodes:
+        raise ValueError(f"seed node ids must lie in [0, {num_nodes}); "
+                         f"got range [{nodes.min()}, {nodes.max()}]")
+    return nodes
+
+
 @dataclass
 class ServingEngine:
-    """Coalescing micro-batch server over an inference session."""
+    """Coalescing micro-batch server over an inference session.
+
+    ``workers`` bounds the thread pool one flush may fan its micro-batches
+    over; 1 (the default) keeps the classic synchronous behaviour.
+    """
 
     session: InferenceSession
     max_batch_size: int = 256
+    workers: int = 1
     _queue: List[_PendingRequest] = field(default_factory=list)
     _next_id: int = 0
     stats: EngineStats = field(default_factory=EngineStats)
+    _pool: Optional[ThreadPoolExecutor] = field(default=None, repr=False)
 
     def __post_init__(self):
         if self.max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
+        if self.workers <= 0:
+            raise ValueError("workers must be positive")
+
+    def _worker_pool(self) -> ThreadPoolExecutor:
+        """The engine's persistent pool (lazily created, reused per flush).
+
+        Keeping the threads alive keeps their thread-local sampler scratch
+        (one O(num_nodes) renumbering table per thread) alive with them —
+        tearing the pool down per flush would reallocate it every time.
+        """
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-serving-worker")
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; pool is recreated on use)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -91,13 +148,7 @@ class ServingEngine:
         Node ids are validated here so one malformed request is rejected at
         submission instead of failing a whole coalesced flush.
         """
-        nodes = np.asarray(nodes, dtype=np.int64).reshape(-1)
-        if nodes.size == 0:
-            raise ValueError("a request needs at least one seed node")
-        num_nodes = self.session.graph.num_nodes
-        if nodes.min() < 0 or nodes.max() >= num_nodes:
-            raise ValueError(f"seed node ids must lie in [0, {num_nodes}); "
-                             f"got range [{nodes.min()}, {nodes.max()}]")
+        nodes = validate_request_nodes(self.session, nodes)
         request_id = self._next_id
         self._next_id += 1
         self._queue.append(_PendingRequest(request_id, nodes))
@@ -117,15 +168,17 @@ class ServingEngine:
         logits_buffer: Optional[np.ndarray] = None
         attributed_ops = np.zeros(len(requests))
         done_at = np.zeros(len(requests))
-        micro_batches = 0
         # A full-graph session computes every node per run anyway — serve
         # the whole flush with one run instead of re-running per chunk.
         batch_size = seeds.shape[0] if self.session.request_invariant_cost \
             else self.max_batch_size
-        for begin in range(0, seeds.shape[0], batch_size):
-            chunk = slice(begin, begin + batch_size)
-            run = self.session.run(seeds[chunk])
-            micro_batches += 1
+        chunks = [slice(begin, begin + batch_size)
+                  for begin in range(0, seeds.shape[0], batch_size)]
+
+        def account(chunk: slice, run) -> None:
+            # Single-threaded by construction (sequential loop or the
+            # as_completed consumer below), so no locking is needed here.
+            nonlocal logits_buffer, attributed_ops
             if logits_buffer is None:
                 logits_buffer = np.empty((seeds.shape[0], run.logits.shape[1]),
                                          dtype=run.logits.dtype)
@@ -135,6 +188,17 @@ class ServingEngine:
             attributed_ops += run.giga_bit_operations() \
                 * counts / chunk_owners.shape[0]
             done_at[np.unique(chunk_owners)] = time.perf_counter() - start
+
+        micro_batches = len(chunks)
+        if self.workers > 1 and len(chunks) > 1:
+            pool = self._worker_pool()
+            futures = {pool.submit(self.session.run, seeds[chunk]): chunk
+                       for chunk in chunks}
+            for future in as_completed(futures):
+                account(futures[future], future.result())
+        else:
+            for chunk in chunks:
+                account(chunk, self.session.run(seeds[chunk]))
         elapsed = time.perf_counter() - start
 
         results = []

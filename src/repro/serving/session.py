@@ -22,12 +22,14 @@ and return float logits plus per-run BitOPs.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.cache import BlockCache, CacheStats
 from repro.gnn.sage import mean_adjacency
 from repro.graphs.graph import Graph
 from repro.graphs.sampling import Fanout, NeighborSampler, SubgraphBlock
@@ -100,9 +102,12 @@ class InferenceSession:
         self.graph = graph
         # Request-invariant operators of the bound graph, built once per
         # session: the layer's aggregation operator and its (fake-)quantized
-        # variants.  Block operators are per-request and bypass these.
+        # variants.  Block operators are per-request and bypass these.  The
+        # lock keeps the memoisation safe under the serving engine's worker
+        # pool (sessions are otherwise stateless per request).
         self._operator_cache: dict = {}
         self._quantized_cache: dict = {}
+        self._cache_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     def run(self, nodes: Optional[Sequence[int]] = None) -> SessionRun:
@@ -134,12 +139,15 @@ class InferenceSession:
 
     def _layer_operator(self, conv_type: str, graph_like: GraphLike) -> SparseTensor:
         if isinstance(graph_like, SubgraphBlock):
+            # SubgraphBlock.adjacency()/normalized_adjacency() memoise on the
+            # block itself, so a cache-reused block skips the rebuild too.
             return self._build_operator(conv_type, graph_like)
         # full-graph views are always the session's bound graph -> memoise
-        if conv_type not in self._operator_cache:
-            self._operator_cache[conv_type] = self._build_operator(conv_type,
-                                                                   graph_like)
-        return self._operator_cache[conv_type]
+        with self._cache_lock:
+            if conv_type not in self._operator_cache:
+                self._operator_cache[conv_type] = self._build_operator(
+                    conv_type, graph_like)
+            return self._operator_cache[conv_type]
 
     def _quantized_operator(self, adjacency: SparseTensor,
                             params: QuantizationParameters,
@@ -152,15 +160,17 @@ class InferenceSession:
         from accumulating.
         """
         key = (id(adjacency), id(params), fake)
-        entry = self._quantized_cache.get(key)
+        with self._cache_lock:
+            entry = self._quantized_cache.get(key)
         if entry is None or entry[0] is not adjacency or entry[1] is not params:
             integers = _quantize_with(params, adjacency.values.astype(np.float64))
             values = _dequantize_with(params, integers) if fake else integers
             quantized = adjacency.with_values(values.astype(np.float32))
             entry = (adjacency, params, quantized)
-            self._quantized_cache[key] = entry
-            while len(self._quantized_cache) > 8:
-                self._quantized_cache.pop(next(iter(self._quantized_cache)))
+            with self._cache_lock:
+                self._quantized_cache[key] = entry
+                while len(self._quantized_cache) > 16:
+                    self._quantized_cache.pop(next(iter(self._quantized_cache)))
         return entry[2]
 
     def _aggregate(self, adjacency: SparseTensor,
@@ -418,20 +428,35 @@ class BlockSession(InferenceSession):
     batch_size:
         Seed nodes per sampled micro-batch inside one :meth:`run`.
     seed:
-        Seed of the sampler's private generator (edge sampling only; seed
-        order is never shuffled, so logits line up with the request).
+        Seed of the sampler's counter-based edge-sampling hash (seed order
+        is never shuffled, so logits line up with the request; sampling is
+        a pure function of the request, so repeat requests are identical).
+    cache_size / cache_bytes:
+        When ``cache_size`` is positive, attach a
+        :class:`~repro.cache.BlockCache` of that many entries (optionally
+        byte-bounded): repeat requests reuse whole sampled batches — and
+        their already-quantized block operators — while overlapping
+        requests reuse per-seed rows.  Cached serving is bit-identical to
+        uncached serving.
     """
 
     def __init__(self, artifact: QuantizedArtifact, graph: Graph,
                  fanouts: Union[Fanout, Sequence[Fanout]] = None,
-                 batch_size: int = 1024, seed: int = 0):
+                 batch_size: int = 1024, seed: int = 0, cache_size: int = 0,
+                 cache_bytes: Optional[int] = None):
         super().__init__(artifact, graph)
         self.batch_size = int(batch_size)
+        self.cache = BlockCache(max_entries=cache_size, max_bytes=cache_bytes) \
+            if cache_size > 0 else None
         self.sampler = NeighborSampler(
             graph, fanouts, batch_size=self.batch_size,
             num_layers=artifact.num_layers,
             seed_nodes=np.arange(graph.num_nodes, dtype=np.int64),
-            shuffle=False, seed=seed)
+            shuffle=False, seed=seed, cache=self.cache)
+
+    def cache_stats(self) -> Optional[CacheStats]:
+        """Hit/miss/eviction counters of the block cache (None when off)."""
+        return None if self.cache is None else self.cache.stats()
 
     def run(self, nodes: Optional[Sequence[int]] = None) -> SessionRun:
         start = time.perf_counter()

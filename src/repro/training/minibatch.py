@@ -23,6 +23,7 @@ from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.cache import BlockCache
 from repro.graphs.graph import Graph
 from repro.graphs.sampling import BlockBatch, Fanout, NeighborSampler
 from repro.nn.module import Module
@@ -74,13 +75,23 @@ class MinibatchTrainer:
         Evaluate with ROC-AUC and a sigmoid loss (OGB-Proteins stand-in).
     shuffle / seed:
         Sampler behaviour; a fixed seed makes the whole run deterministic.
+    cache_size / cache_bytes:
+        When ``cache_size`` is positive, attach a
+        :class:`~repro.cache.BlockCache` of that many entries (optionally
+        byte-bounded) to the sampler.  Steady-state epochs then reuse the
+        adjacency row slices of every node and the sampled rows of nodes
+        whose neighbourhood is deterministic (degree <= fanout); sampled
+        rows are explicitly invalidated whenever the sampler's rng-epoch
+        advances.  Sampling is counter-based, so training with a cache is
+        **bit-identical** to training without one.
     """
 
     def __init__(self, model: Module,
                  fanouts: Union[Fanout, Sequence[Fanout]] = 10,
                  batch_size: int = 512, lr: float = 0.01,
                  weight_decay: float = 5e-4, multilabel: bool = False,
-                 shuffle: bool = True, seed: int = 0):
+                 shuffle: bool = True, seed: int = 0, cache_size: int = 0,
+                 cache_bytes: Optional[int] = None):
         self.model = model
         self.fanouts = fanouts
         self.batch_size = int(batch_size)
@@ -89,6 +100,11 @@ class MinibatchTrainer:
         self.multilabel = multilabel
         self.shuffle = shuffle
         self.seed = seed
+        self.cache = BlockCache(max_entries=cache_size, max_bytes=cache_bytes) \
+            if cache_size > 0 else None
+        # Cache entries are keyed by node id only, so they bind to one
+        # graph; remember which and reset when the trainer switches graphs.
+        self._cache_graph: Optional[Graph] = None
 
     # ------------------------------------------------------------------ #
     def _num_layers(self) -> int:
@@ -101,10 +117,16 @@ class MinibatchTrainer:
     def make_sampler(self, graph: Graph,
                      seed_nodes: Optional[np.ndarray] = None) -> NeighborSampler:
         """The sampler this trainer would use for ``graph`` (public for reuse)."""
+        if self.cache is not None and self._cache_graph is not graph:
+            # Cached rows of a previous graph would be silently wrong here.
+            if self._cache_graph is not None:
+                self.cache.clear()
+            self._cache_graph = graph
         return NeighborSampler(graph, self.fanouts, batch_size=self.batch_size,
                                num_layers=self._num_layers(),
                                seed_nodes=seed_nodes, shuffle=self.shuffle,
-                               seed=self.seed)
+                               seed=self.seed, cache=self.cache,
+                               cache_batches=False)
 
     def batch_loss(self, batch: BlockBatch) -> Tensor:
         """Task loss of one sampled batch (public for custom training loops)."""

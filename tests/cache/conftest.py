@@ -1,0 +1,26 @@
+"""Fixtures for the cache parity harness: one small trained artifact."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.quant.qmodules import (
+    QuantNodeClassifier,
+    gcn_component_names,
+    uniform_assignment,
+)
+from repro.serving import QuantizedArtifact
+from repro.training.trainer import train_node_classifier
+
+
+@pytest.fixture(scope="session")
+def cache_artifact(small_cora) -> QuantizedArtifact:
+    """A trained INT8 GCN deployment artifact bound to ``small_cora``."""
+    model = QuantNodeClassifier.from_assignment(
+        [(small_cora.num_features, 16), (16, small_cora.num_classes)], "gcn",
+        uniform_assignment(gcn_component_names(2), 8), dropout=0.0,
+        rng=np.random.default_rng(0))
+    train_node_classifier(model, small_cora, epochs=6, lr=0.02)
+    model.eval()
+    return QuantizedArtifact.from_model(model)

@@ -1,0 +1,207 @@
+"""LRU store semantics: eviction order, capacity bounds, stats accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import BlockCache, LRUCache
+
+
+class TestLRUCache:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+        with pytest.raises(ValueError):
+            LRUCache(4, max_bytes=0)
+
+    def test_get_put_roundtrip(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing", "default") == "default"
+        assert "a" in cache and "missing" not in cache
+        assert len(cache) == 1
+
+    def test_eviction_order_is_least_recently_used(self):
+        cache = LRUCache(3)
+        for key in "abc":
+            cache.put(key, key)
+        cache.get("a")           # refresh a: eviction order is now b, c, a
+        cache.put("d", "d")      # evicts b
+        assert "b" not in cache
+        assert cache.keys() == ["c", "a", "d"]
+        cache.put("e", "e")      # evicts c
+        assert cache.keys() == ["a", "d", "e"]
+        assert cache.stats().evictions == 2
+
+    def test_put_refreshes_recency_and_replaces(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)       # replace refreshes a to most recent
+        cache.put("c", 3)        # evicts b, not a
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_capacity_never_exceeded(self):
+        cache = LRUCache(5)
+        for index in range(50):
+            cache.put(index, index)
+            assert len(cache) <= 5
+        stats = cache.stats()
+        assert stats.entries == 5
+        assert stats.evictions == 45
+
+    def test_byte_budget_enforced(self):
+        cache = LRUCache(100, max_bytes=100)
+        for index in range(10):
+            cache.put(index, index, nbytes=30)
+        assert cache.nbytes <= 100
+        assert len(cache) == 3
+
+    def test_oversized_entry_rejected_not_thrashing(self):
+        cache = LRUCache(100, max_bytes=100)
+        for index in range(3):
+            cache.put(index, index, nbytes=30)
+        # An entry that could never fit is refused outright instead of
+        # wiping the warm entries and sitting over budget.
+        cache.put("giant", "g", nbytes=1000)
+        assert "giant" not in cache
+        assert len(cache) == 3 and cache.nbytes == 90
+        # Replacing an existing key with an oversized value keeps the old
+        # entry (the store is never mutated by a refused put).
+        cache.put(0, "huge", nbytes=1000)
+        assert cache.peek(0) == 0 and len(cache) == 3
+        assert cache.stats().evictions == 0
+
+    def test_replacing_updates_byte_accounting(self):
+        cache = LRUCache(10, max_bytes=1000)
+        cache.put("a", 1, nbytes=400)
+        cache.put("a", 2, nbytes=100)
+        assert cache.nbytes == 100
+
+    def test_hit_miss_counters(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        cache.get_many(["a", "b", "a"])
+        stats = cache.stats()
+        assert stats.hits == 3
+        assert stats.misses == 2
+        assert stats.lookups == 5
+        assert stats.hit_rate() == pytest.approx(3 / 5)
+
+    def test_quiet_and_peek_do_not_count(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get_quiet("a") == 1
+        assert cache.get_quiet("b", "d") == "d"
+        assert cache.peek("a") == 1
+        stats = cache.stats()
+        assert stats.hits == 0 and stats.misses == 0
+
+    def test_quiet_still_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get_quiet("a")
+        cache.put("c", 3)        # evicts b (a was refreshed)
+        assert "a" in cache and "b" not in cache
+
+    def test_clear_and_pop(self):
+        cache = LRUCache(4)
+        cache.put("a", 1, nbytes=10)
+        cache.put("b", 2, nbytes=10)
+        assert cache.pop("a") == 1
+        assert cache.pop("a", "gone") == "gone"
+        cache.clear()
+        assert len(cache) == 0 and cache.nbytes == 0
+        assert cache.stats().evictions == 1  # clear counts remaining entries
+
+    def test_stats_snapshot_and_repr(self):
+        cache = LRUCache(4)
+        stats = cache.stats()
+        assert stats.hit_rate() == 0.0        # no lookups yet
+        cache.put("a", 1, nbytes=8)
+        cache.get("a")
+        text = repr(cache.stats())
+        assert "hits=1" in text and "bytes=8" in text
+
+    def test_evict_where(self):
+        cache = LRUCache(10)
+        for index in range(6):
+            cache.put(("epoch", index % 2, index), index)
+        removed = cache.evict_where(lambda key: key[1] == 0)
+        assert removed == 3
+        assert all(key[1] == 1 for key in cache.keys())
+
+
+class TestBlockCacheStore:
+    def _rows(self, sizes):
+        return [(np.arange(size, dtype=np.int64),
+                 np.ones(size, dtype=np.float32)) for size in sizes]
+
+    def test_raw_rows_roundtrip_and_kinds(self):
+        cache = BlockCache(max_entries=16)
+        nodes = np.asarray([3, 7])
+        cache.put_raw_rows(nodes, self._rows([2, 9]))
+        # fanout=None: both rows come back final
+        entries = cache.get_rows(nodes, None, hop=0, epoch=0)
+        assert [entry[0] for entry in entries] == ["final", "final"]
+        # fanout=4: the 9-edge row needs the cap applied
+        entries = cache.get_rows(nodes, 4, hop=0, epoch=0)
+        assert [entry[0] for entry in entries] == ["final", "raw"]
+        # a miss shows up as None
+        entries = cache.get_rows(np.asarray([3, 99]), None, hop=0, epoch=0)
+        assert entries[0] is not None and entries[1] is None
+
+    def test_capped_rows_preferred_over_raw(self):
+        cache = BlockCache(max_entries=16)
+        nodes = np.asarray([5])
+        cache.put_raw_rows(nodes, self._rows([9]))
+        capped = [(np.asarray([1, 2], dtype=np.int64),
+                   np.asarray([1.0, 1.0], dtype=np.float32))]
+        cache.put_capped_rows(nodes, 2, hop=1, epoch=3, rows=capped)
+        entry = cache.get_rows(nodes, 2, hop=1, epoch=3)[0]
+        assert entry[0] == "final" and entry[1].shape[0] == 2
+        # a different hop/epoch falls back to the raw row
+        assert cache.get_rows(nodes, 2, hop=0, epoch=3)[0][0] == "raw"
+        assert cache.get_rows(nodes, 2, hop=1, epoch=4)[0][0] == "raw"
+
+    def test_invalidate_epochs_keeps_raw_rows(self):
+        cache = BlockCache(max_entries=64)
+        nodes = np.asarray([1, 2])
+        cache.put_raw_rows(nodes, self._rows([3, 3]))
+        cache.put_capped_rows(nodes, 2, hop=0, epoch=1, rows=self._rows([2, 2]))
+        cache.put_capped_rows(nodes, 2, hop=0, epoch=2, rows=self._rows([2, 2]))
+        before = len(cache)
+        dropped = cache.invalidate_epochs(2)
+        assert dropped == 2                    # the epoch-1 sampled rows
+        assert len(cache) == before - 2
+        # raw rows and current-epoch sampled rows both survive
+        assert cache.get_rows(nodes, None, 0, 0)[0] is not None
+        assert cache.get_rows(nodes, 2, hop=0, epoch=2)[0][0] == "final"
+
+    def test_logical_hit_miss_counting(self):
+        cache = BlockCache(max_entries=16)
+        nodes = np.asarray([1, 2])
+        cache.get_rows(nodes, 4, hop=0, epoch=0)       # 2 logical misses
+        cache.put_raw_rows(nodes, self._rows([2, 2]))
+        cache.get_rows(nodes, 4, hop=0, epoch=0)       # 2 logical hits
+        stats = cache.stats()
+        # The raw-row fall-through probe must not double-count.
+        assert stats.hits == 2 and stats.misses == 2
+        assert stats.hit_rate() == pytest.approx(0.5)
+
+    def test_size_bound_evicts(self):
+        cache = BlockCache(max_entries=4)
+        nodes = np.arange(10)
+        cache.put_raw_rows(nodes, self._rows([2] * 10))
+        assert len(cache) == 4
+        assert cache.stats().evictions == 6
+        assert cache.hit_rate() == 0.0
+        assert "BlockCache" in repr(cache)
+        cache.clear()
+        assert len(cache) == 0

@@ -137,6 +137,49 @@ class TestNeighborSampler:
         assert len(sampler) == -(-sampler.seed_nodes.size // 7)
         assert len(list(sampler)) == len(sampler)
 
+    # ------------------------------------------------------------------ #
+    # regression: edge sampling shares one counter-based key stream, so a
+    # batch's sample cannot depend on what was drawn before it (the old
+    # sequential-rng implementation leaked iteration order into samples)
+    # ------------------------------------------------------------------ #
+    def test_iter_batches_independent_of_iteration_order(self, sbm_graph):
+        seeds = np.arange(40, dtype=np.int64)
+        fresh = NeighborSampler(sbm_graph, [3, 3], batch_size=16, seed=21)
+        warmed = NeighborSampler(sbm_graph, [3, 3], batch_size=16, seed=21)
+        # Consume unrelated sampling work on one of the two samplers first.
+        warmed.sample(np.asarray([7, 9, 11]))
+        list(warmed.iter_batches(np.arange(60, 90, dtype=np.int64)))
+        for a, b in zip(fresh.iter_batches(seeds), warmed.iter_batches(seeds)):
+            for block_a, block_b in zip(a.blocks, b.blocks):
+                np.testing.assert_array_equal(block_a.src_nodes,
+                                              block_b.src_nodes)
+                np.testing.assert_array_equal(block_a.edge_rows,
+                                              block_b.edge_rows)
+                np.testing.assert_array_equal(block_a.edge_cols,
+                                              block_b.edge_cols)
+                np.testing.assert_array_equal(block_a.edge_weight,
+                                              block_b.edge_weight)
+
+    def test_repeat_sample_is_identical(self, sbm_graph):
+        sampler = NeighborSampler(sbm_graph, [2, 2], batch_size=8, seed=22)
+        seeds = np.asarray([0, 3, 50, 80], dtype=np.int64)
+        first = sampler.sample(seeds)
+        second = sampler.sample(seeds)
+        for block_a, block_b in zip(first.blocks, second.blocks):
+            assert _block_edges(block_a) == _block_edges(block_b)
+            np.testing.assert_array_equal(block_a.row_scale, block_b.row_scale)
+
+    def test_epoch_iteration_still_resamples(self, sbm_graph):
+        sampler = NeighborSampler(sbm_graph, [2, 2], batch_size=32,
+                                  shuffle=False, seed=23)
+        edges_by_epoch = []
+        for _ in range(2):
+            edges_by_epoch.append({frozenset(_block_edges(block))
+                                   for batch in sampler
+                                   for block in batch.blocks})
+        assert edges_by_epoch[0] != edges_by_epoch[1]
+        assert sampler.rng_epoch == 2
+
 
 # --------------------------------------------------------------------------- #
 # target_features / BlockBatch

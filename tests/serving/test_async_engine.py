@@ -1,0 +1,170 @@
+"""Concurrency tests: worker-pool flushes, deadline batching, race-free stats."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    AsyncServingEngine,
+    BlockSession,
+    QuantizedArtifact,
+    ServingEngine,
+)
+
+
+@pytest.fixture(scope="module")
+def block_session_factory(served_models, small_cora):
+    artifact = QuantizedArtifact.from_model(served_models["gcn"])
+
+    def factory(**kwargs):
+        options = dict(fanouts=4, batch_size=16, seed=0)
+        options.update(kwargs)
+        return BlockSession(artifact, small_cora, **options)
+
+    return factory
+
+
+class TestWorkerPoolFlush:
+    def test_worker_pool_matches_synchronous_engine(self, block_session_factory):
+        requests = [np.arange(0, 20), np.arange(15, 45), np.asarray([3]),
+                    np.arange(30, 60)]
+        serial = ServingEngine(block_session_factory(), max_batch_size=8)
+        pooled = ServingEngine(block_session_factory(), max_batch_size=8,
+                               workers=4)
+        for engine in (serial, pooled):
+            for nodes in requests:
+                engine.submit(nodes)
+        serial_results = serial.flush()
+        pooled_results = pooled.flush()
+        assert serial.stats.micro_batches == pooled.stats.micro_batches
+        for result_a, result_b in zip(serial_results, pooled_results):
+            assert result_a.request_id == result_b.request_id
+            np.testing.assert_array_equal(result_a.logits, result_b.logits)
+            assert result_b.giga_bit_operations == pytest.approx(
+                result_a.giga_bit_operations)
+
+    def test_worker_pool_with_shared_cache_is_exact(self, block_session_factory):
+        reference = block_session_factory()
+        engine = ServingEngine(block_session_factory(cache_size=65536),
+                               max_batch_size=8, workers=4)
+        nodes = np.arange(0, 48)
+        for _ in range(2):                 # second flush hits the warm cache
+            engine.submit(nodes)
+            result = engine.flush()[0]
+            np.testing.assert_array_equal(result.logits,
+                                          reference.predict(nodes))
+        assert engine.session.cache_stats().hits > 0
+
+    def test_rejects_bad_worker_count(self, block_session_factory):
+        with pytest.raises(ValueError):
+            ServingEngine(block_session_factory(), workers=0)
+
+
+class TestAsyncServingEngine:
+    def test_concurrent_submissions_match_synchronous_outputs(
+            self, block_session_factory):
+        reference = block_session_factory()
+        num_threads = 8
+        requests = [np.arange(start, start + 12) % 60
+                    for start in range(num_threads)]
+        outputs = [None] * num_threads
+
+        with AsyncServingEngine(block_session_factory(cache_size=65536),
+                                max_batch=32, max_wait_ms=5.0,
+                                workers=4) as engine:
+            def worker(position: int) -> None:
+                outputs[position] = engine.submit(
+                    requests[position]).result(timeout=30)
+
+            threads = [threading.Thread(target=worker, args=(position,))
+                       for position in range(num_threads)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        for nodes, result in zip(requests, outputs):
+            np.testing.assert_array_equal(result.nodes, nodes)
+            np.testing.assert_array_equal(result.logits,
+                                          reference.predict(nodes))
+            assert result.latency_seconds > 0.0
+
+    def test_stats_counters_are_race_free(self, block_session_factory):
+        num_threads, per_thread = 6, 5
+        with AsyncServingEngine(block_session_factory(), max_batch=16,
+                                max_wait_ms=2.0) as engine:
+            def worker(seed: int) -> None:
+                rng = np.random.default_rng(seed)
+                for _ in range(per_thread):
+                    nodes = rng.choice(60, size=3, replace=False)
+                    engine.submit(nodes).result(timeout=30)
+
+            threads = [threading.Thread(target=worker, args=(seed,))
+                       for seed in range(num_threads)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = engine.stats
+        assert stats.requests == num_threads * per_thread
+        assert stats.nodes == num_threads * per_thread * 3
+        assert stats.giga_bit_operations > 0.0
+
+    def test_deadline_flushes_lone_request(self, block_session_factory):
+        # max_batch is far larger than the request, so only the max_wait_ms
+        # deadline can trigger the flush.
+        with AsyncServingEngine(block_session_factory(), max_batch=10_000,
+                                max_wait_ms=25.0) as engine:
+            start = time.perf_counter()
+            result = engine.submit([1, 2, 3]).result(timeout=30)
+            elapsed_ms = (time.perf_counter() - start) * 1e3
+        assert result.logits.shape[0] == 3
+        # It waited for the deadline (not flushed immediately)...
+        assert elapsed_ms >= 10.0
+        # ...but not much longer (generous slack for slow CI machines).
+        assert elapsed_ms < 5_000.0
+        # The reported latency includes the queueing wait.
+        assert result.latency_seconds * 1e3 >= 10.0
+
+    def test_full_batch_flushes_before_deadline(self, block_session_factory):
+        # A queue holding >= max_batch seeds must flush without waiting for
+        # the (absurdly long) deadline.
+        with AsyncServingEngine(block_session_factory(), max_batch=4,
+                                max_wait_ms=60_000.0) as engine:
+            future = engine.submit(np.arange(8))
+            result = future.result(timeout=30)
+        assert result.logits.shape[0] == 8
+
+    def test_flush_now_overrides_deadline(self, block_session_factory):
+        engine = AsyncServingEngine(block_session_factory(), max_batch=10_000,
+                                    max_wait_ms=60_000.0)
+        try:
+            future = engine.submit([5, 6])
+            engine.flush_now()
+            result = future.result(timeout=30)
+            np.testing.assert_array_equal(result.nodes, [5, 6])
+            # The reported latency reflects the real wait, not the deadline.
+            assert result.latency_seconds < 30.0
+        finally:
+            engine.close()
+
+    def test_close_drains_pending_requests(self, block_session_factory):
+        engine = AsyncServingEngine(block_session_factory(), max_batch=10_000,
+                                    max_wait_ms=60_000.0)
+        futures = [engine.submit([node]) for node in range(5)]
+        engine.close()
+        for future in futures:
+            assert future.result(timeout=5).logits.shape[0] == 1
+        with pytest.raises(RuntimeError):
+            engine.submit([0])
+
+    def test_submit_validates_on_caller_thread(self, block_session_factory):
+        with AsyncServingEngine(block_session_factory()) as engine:
+            with pytest.raises(ValueError):
+                engine.submit([])
+            with pytest.raises(ValueError):
+                engine.submit([10_000_000])

@@ -113,12 +113,16 @@ class TestParserSnapshot:
         assert set(snapshot) == {
             "--artifact", "--dataset", "--scale", "--seed", "--mode",
             "--fanout", "--batch-size", "--nodes", "--split", "--requests",
-            "--out"}
+            "--cache-size", "--cache-mb", "--workers", "--repeat", "--out"}
         assert snapshot["--mode"][0] == "block"
         assert snapshot["--fanout"][0] == 10
         assert snapshot["--batch-size"][0] == 256
         assert snapshot["--split"][0] == "test"
         assert snapshot["--requests"][0] == 1
+        assert snapshot["--cache-size"][0] == 0
+        assert snapshot["--cache-mb"][0] == pytest.approx(256.0)
+        assert snapshot["--workers"][0] == 1
+        assert snapshot["--repeat"][0] == 1
 
     def test_predict_help_documents_defaults(self):
         # collapse argparse's terminal-width wrapping before matching
