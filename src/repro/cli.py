@@ -16,6 +16,12 @@ one of the paper-table experiment runners at the quick scale and prints it;
 artifact (npz + json sidecar); ``predict`` serves requests from a saved
 artifact with integer arithmetic — full-graph or memory-bounded
 neighbor-sampled blocks — and reports per-request latency and BitOPs.
+
+Every sub-command accepts ``--conv`` from the six supported layer families
+(gcn / sage / gin / gat / tag / transformer); the attention families run in
+block mode through per-edge score plans, with ``--hops`` selecting the TAG
+polynomial depth.  See ``docs/serving.md`` for the end-to-end
+export-then-predict guide and the knob defaults.
 """
 
 from __future__ import annotations
@@ -37,33 +43,53 @@ from repro.quant.degree_quant import DegreeQuantizer, attach_degree_probabilitie
 from repro.quant.qmodules import (
     QuantNodeClassifier,
     default_quantizer_factory,
+    gat_component_names,
     gcn_component_names,
     gin_component_names,
     sage_component_names,
+    tag_component_names,
+    transformer_component_names,
     uniform_assignment,
 )
 
 
+#: Every layer family the quantization + serving stack supports end to end.
+CONV_CHOICES = ("gcn", "sage", "gin", "gat", "tag", "transformer")
+
+
 def _add_common_model_arguments(parser: argparse.ArgumentParser,
-                                convs: Sequence[str] = ("gcn", "sage")) -> None:
+                                convs: Sequence[str] = CONV_CHOICES) -> None:
     parser.add_argument("--dataset", default="cora", choices=sorted(NODE_DATASETS),
-                        help="node-classification dataset stand-in")
+                        help="node-classification dataset stand-in "
+                             "(default: cora)")
     parser.add_argument("--conv", default="gcn", choices=list(convs),
-                        help="layer family to quantize")
-    parser.add_argument("--hidden", type=int, default=16, help="hidden width")
-    parser.add_argument("--layers", type=int, default=2, help="number of layers")
+                        help="layer family to quantize (default: gcn)")
+    parser.add_argument("--hidden", type=int, default=16,
+                        help="hidden width (default: 16)")
+    parser.add_argument("--layers", type=int, default=2,
+                        help="number of layers (default: 2)")
+    parser.add_argument("--hops", type=int, default=3,
+                        help="adjacency powers per TAG layer; other families "
+                             "ignore it (default: 3)")
     parser.add_argument("--scale", type=float, default=0.2,
-                        help="dataset down-scaling factor")
-    parser.add_argument("--seed", type=int, default=0, help="random seed")
+                        help="dataset down-scaling factor (default: 0.2)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="random seed (default: 0)")
     parser.add_argument("--degree-quant", action="store_true",
                         help="use Degree-Quant quantizers (MixQ + DQ)")
 
 
-def _component_names(conv: str, num_layers: int) -> List[str]:
+def _component_names(conv: str, num_layers: int, hops: int = 3) -> List[str]:
     if conv == "gcn":
         return gcn_component_names(num_layers)
     if conv == "sage":
         return sage_component_names(num_layers)
+    if conv == "gat":
+        return gat_component_names(num_layers)
+    if conv == "tag":
+        return tag_component_names(num_layers, hops=hops)
+    if conv == "transformer":
+        return transformer_component_names(num_layers)
     return gin_component_names(num_layers, with_head=False)
 
 
@@ -72,7 +98,8 @@ def _build_mixq(args, graph, lambda_value: float) -> MixQNodeClassifier:
     return MixQNodeClassifier(args.conv, graph.num_features, args.hidden,
                               graph.num_classes, num_layers=args.layers,
                               bit_choices=tuple(args.bits), lambda_value=lambda_value,
-                              quantizer_factory=factory, seed=args.seed)
+                              quantizer_factory=factory, hops=args.hops,
+                              seed=args.seed)
 
 
 def _command_search(args) -> int:
@@ -96,8 +123,9 @@ def _command_train(args) -> int:
     if args.assignment:
         assignment = load_assignment(args.assignment)
     else:
-        assignment = uniform_assignment(_component_names(args.conv, args.layers),
-                                        args.uniform_bits)
+        assignment = uniform_assignment(
+            _component_names(args.conv, args.layers, args.hops),
+            args.uniform_bits)
     mixq = _build_mixq(args, graph, lambda_value=0.0)
     result = mixq.fit(graph, train_epochs=args.epochs, assignment=assignment)
     print(f"test accuracy      : {result.accuracy:.3f}")
@@ -143,7 +171,7 @@ def _command_table(args) -> int:
 
 def _train_for_export(dataset: str, conv: str, hidden: int, layers: int,
                       scale: float, seed: int, assignment, epochs: int,
-                      lr: float, degree_quant: bool):
+                      lr: float, degree_quant: bool, hops: int = 3):
     """The deterministic QAT run behind ``repro export``.
 
     Shared with the test suite so the in-memory fake-quantized reference the
@@ -156,7 +184,7 @@ def _train_for_export(dataset: str, conv: str, hidden: int, layers: int,
     factory = degree_quant_factory() if degree_quant else default_quantizer_factory
     model = QuantNodeClassifier.from_assignment(
         layer_dimensions(graph.num_features, hidden, graph.num_classes, layers),
-        conv, assignment, quantizer_factory=factory,
+        conv, assignment, quantizer_factory=factory, hops=hops,
         rng=np.random.default_rng(seed))
     if any(isinstance(module, DegreeQuantizer) for module in model.modules()):
         attach_degree_probabilities(model, graph)
@@ -172,11 +200,12 @@ def _command_export(args) -> int:
     if args.assignment:
         assignment = load_assignment(args.assignment)
     else:
-        assignment = uniform_assignment(_component_names(args.conv, args.layers),
-                                        args.uniform_bits)
+        assignment = uniform_assignment(
+            _component_names(args.conv, args.layers, args.hops),
+            args.uniform_bits)
     graph, model, accuracy = _train_for_export(
         args.dataset, args.conv, args.hidden, args.layers, args.scale, args.seed,
-        assignment, args.epochs, args.lr, args.degree_quant)
+        assignment, args.epochs, args.lr, args.degree_quant, hops=args.hops)
 
     artifact = QuantizedArtifact.from_model(model, metadata={
         "dataset": args.dataset, "scale": args.scale, "seed": args.seed,
@@ -313,8 +342,10 @@ def build_parser() -> argparse.ArgumentParser:
         "export", help="QAT-train and export an integer serving artifact",
         description="Quantization-aware-train a model from a stored (or uniform) "
                     "bit-width assignment and export the integer deployment "
-                    "artifact (npz + json sidecar) consumed by `repro predict`.")
-    _add_common_model_arguments(export, convs=("gcn", "sage", "gin"))
+                    "artifact (npz + json sidecar) consumed by `repro predict`. "
+                    "Attention families (gat/tag/transformer) export per-edge "
+                    "score plans servable in block mode.")
+    _add_common_model_arguments(export)
     export.add_argument("--assignment", default="",
                         help="JSON assignment produced by the search command")
     export.add_argument("--uniform-bits", type=int, default=8,
@@ -346,9 +377,10 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--mode", default="block", choices=["block", "full"],
                          help="serving backend (default: block)")
     predict.add_argument("--fanout", type=int, default=10,
-                         help="neighbours sampled per layer in block mode "
+                         help="neighbours sampled per hop in block mode "
                               "(default: 10; <= 0 keeps every neighbour, which "
-                              "matches full-graph logits exactly)")
+                              "matches full-graph logits exactly; TAG layers "
+                              "consume one hop per adjacency power)")
     predict.add_argument("--batch-size", type=int, default=256,
                          help="seed nodes per coalesced micro-batch (default: 256)")
     predict.add_argument("--nodes", type=int, nargs="+", default=None,

@@ -16,16 +16,21 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.relaxed_modules import (
+    RelaxedGATConv,
     RelaxedGCNConv,
     RelaxedGINConv,
     RelaxedGraphClassifier,
     RelaxedNodeClassifier,
     RelaxedSAGEConv,
+    RelaxedTAGConv,
+    RelaxedTransformerConv,
 )
 from repro.gnn.message_passing import MessagePassing
 from repro.quant.qmodules import QuantizerFactory, default_quantizer_factory
 
-_RELAXED_CONVS = {"gcn": RelaxedGCNConv, "gin": RelaxedGINConv, "sage": RelaxedSAGEConv}
+_RELAXED_CONVS = {"gcn": RelaxedGCNConv, "gin": RelaxedGINConv,
+                  "sage": RelaxedSAGEConv, "gat": RelaxedGATConv,
+                  "tag": RelaxedTAGConv, "transformer": RelaxedTransformerConv}
 
 
 def layer_dimensions(in_features: int, hidden_features: int, num_classes: int,
@@ -44,15 +49,17 @@ def layer_dimensions(in_features: int, hidden_features: int, num_classes: int,
 def build_relaxed_node_classifier(conv_type: str, layer_dims: Sequence[Tuple[int, int]],
                                   bit_choices: Sequence[int], dropout: float = 0.5,
                                   quantizer_factory: QuantizerFactory = default_quantizer_factory,
+                                  hops: int = 3,
                                   rng: Optional[np.random.Generator] = None
                                   ) -> RelaxedNodeClassifier:
     """Build the relaxed (searchable) node classifier for a layer family.
 
-    ``conv_type`` is one of ``"gcn"`` / ``"gin"`` / ``"sage"``; ``layer_dims``
-    is a list of ``(in_features, out_features)`` pairs.  The first layer
-    receives an input quantizer; intermediate aggregation outputs keep their
-    quantizers so the component count matches the paper's example (nine
-    components for a two-layer GCN).
+    ``conv_type`` is one of ``"gcn"`` / ``"gin"`` / ``"sage"`` / ``"gat"`` /
+    ``"tag"`` / ``"transformer"``; ``layer_dims`` is a list of
+    ``(in_features, out_features)`` pairs and ``hops`` only applies to
+    ``"tag"``.  The first layer receives an input quantizer; intermediate
+    aggregation outputs keep their quantizers so the component count matches
+    the paper's example (nine components for a two-layer GCN).
     """
     key = conv_type.lower()
     if key not in _RELAXED_CONVS:
@@ -60,9 +67,11 @@ def build_relaxed_node_classifier(conv_type: str, layer_dims: Sequence[Tuple[int
     conv_class = _RELAXED_CONVS[key]
     convs: List[MessagePassing] = []
     for index, (fan_in, fan_out) in enumerate(layer_dims):
+        extra = {"hops": hops} if key == "tag" else {}
         convs.append(conv_class(fan_in, fan_out, bit_choices,
                                 quantize_input=(index == 0),
-                                quantizer_factory=quantizer_factory, rng=rng))
+                                quantizer_factory=quantizer_factory, rng=rng,
+                                **extra))
     return RelaxedNodeClassifier(convs, dropout=dropout, rng=rng)
 
 

@@ -73,7 +73,8 @@ class MixQNodeClassifier:
     Parameters
     ----------
     conv_type:
-        ``"gcn"`` / ``"gin"`` / ``"sage"`` — the layer family to quantize.
+        ``"gcn"`` / ``"gin"`` / ``"sage"`` / ``"gat"`` / ``"tag"`` /
+        ``"transformer"`` — the layer family to quantize.
     in_features / hidden_features / num_classes / num_layers:
         Architecture specification.
     bit_choices:
@@ -85,6 +86,10 @@ class MixQNodeClassifier:
     quantizer_factory:
         Quantizer backend; pass :func:`repro.quant.degree_quant.degree_quant_factory`
         for the MixQ + DQ combination.
+    hops:
+        Adjacency powers per TAG layer (ignored by the other families).
+        In minibatch mode a TAG layer consumes ``hops`` sampled blocks, so
+        the neighbor sampler emits ``num_layers * hops`` blocks per batch.
     """
 
     def __init__(self, conv_type: str, in_features: int, hidden_features: int,
@@ -92,7 +97,7 @@ class MixQNodeClassifier:
                  bit_choices: Sequence[int] = (2, 4, 8),
                  lambda_value: float = -1e-8, dropout: float = 0.5,
                  quantizer_factory: QuantizerFactory = default_quantizer_factory,
-                 seed: int = 0):
+                 hops: int = 3, seed: int = 0):
         self.conv_type = conv_type
         self.layer_dims = layer_dimensions(in_features, hidden_features, num_classes,
                                            num_layers)
@@ -100,6 +105,7 @@ class MixQNodeClassifier:
         self.lambda_value = float(lambda_value)
         self.dropout = dropout
         self.quantizer_factory = quantizer_factory
+        self.hops = int(hops)
         self.seed = seed
         self.search_result: Optional[BitWidthSearchResult] = None
         self.quantized_model: Optional[QuantNodeClassifier] = None
@@ -107,6 +113,11 @@ class MixQNodeClassifier:
     # ------------------------------------------------------------------ #
     def _rng(self, offset: int = 0) -> np.random.Generator:
         return np.random.default_rng(self.seed + offset)
+
+    def _total_hops(self) -> int:
+        """Blocks the sampler must emit per batch (hops, not layers)."""
+        per_layer = self.hops if self.conv_type == "tag" else 1
+        return len(self.layer_dims) * per_layer
 
     def search(self, graph: Graph, epochs: int = 60, lr: float = 0.01,
                multilabel: bool = False, minibatch: bool = False,
@@ -121,14 +132,15 @@ class MixQNodeClassifier:
         """
         relaxed = build_relaxed_node_classifier(
             self.conv_type, self.layer_dims, self.bit_choices, dropout=self.dropout,
-            quantizer_factory=self.quantizer_factory, rng=self._rng(1))
+            quantizer_factory=self.quantizer_factory, hops=self.hops,
+            rng=self._rng(1))
         self._configure_degree_quant(relaxed, graph)
         sampler = None
         if minibatch:
             from repro.graphs.sampling import NeighborSampler
 
             sampler = NeighborSampler(graph, fanout, batch_size=batch_size,
-                                      num_layers=len(self.layer_dims),
+                                      num_layers=self._total_hops(),
                                       seed_nodes=graph.train_mask, seed=self.seed)
         self.search_result = search_node_bitwidths(
             relaxed, graph, self.lambda_value, epochs=epochs, lr=lr,
@@ -144,7 +156,8 @@ class MixQNodeClassifier:
             assignment = self.search_result.assignment
         self.quantized_model = QuantNodeClassifier.from_assignment(
             self.layer_dims, self.conv_type, assignment, dropout=self.dropout,
-            quantizer_factory=self.quantizer_factory, rng=self._rng(2))
+            quantizer_factory=self.quantizer_factory, hops=self.hops,
+            rng=self._rng(2))
         return self.quantized_model
 
     def fit(self, graph: Graph, search_epochs: int = 60, train_epochs: int = 100,

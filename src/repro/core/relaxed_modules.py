@@ -22,21 +22,26 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.core.relaxed_quantizer import RelaxedQuantizer
+from repro.gnn.attention import attention_edges
 from repro.gnn.message_passing import GraphLike, MessagePassing
 from repro.gnn.models import forward_blocks
 from repro.gnn.sage import mean_adjacency
+from repro.gnn.tag import TAGGraphLike, hop_views
 from repro.graphs.batch import GraphBatch
 from repro.graphs.graph import Graph
-from repro.graphs.sampling import BlockBatch, target_features
+from repro.graphs.sampling import BlockBatch, SubgraphBlock, target_features
 from repro.graphs.pooling import get_pooling
+from repro.nn import init
 from repro.nn.activations import Dropout, ReLU
 from repro.nn.linear import Linear
-from repro.nn.module import Module, ModuleList
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.tensor import functional as F
 from repro.quant.bitops import average_bits
 from repro.quant.qmodules import (
     BitWidthAssignment,
     QuantizerFactory,
     default_quantizer_factory,
+    set_active_block,
 )
 from repro.quant.quantizer import IdentityQuantizer
 from repro.tensor.sparse import SparseTensor, spmm
@@ -267,6 +272,218 @@ class RelaxedSAGEConv(MessagePassing):
         assignment[f"{prefix}.aggregate_out"] = self.aggregate_out_relaxed.selected_bits()
         assignment[f"{prefix}.weight_root"] = self.weight_root_relaxed.selected_bits()
         assignment[f"{prefix}.weight_neighbour"] = self.weight_neighbour_relaxed.selected_bits()
+        assignment[f"{prefix}.output"] = self.output_relaxed.selected_bits()
+        return assignment
+
+
+class RelaxedGATConv(MessagePassing):
+    """Relaxed GAT convolution (components mirror :class:`QuantGATConv`).
+
+    The attention coefficients live in the autograd graph (unlike sparse
+    adjacency values), so the ``attention`` component is a plain relaxed
+    quantizer applied to the post-softmax tensor — task gradients reach its
+    relaxation parameters directly.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bit_choices: Sequence[int],
+                 quantize_input: bool = False, negative_slope: float = 0.2,
+                 quantizer_factory: QuantizerFactory = default_quantizer_factory,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.quantize_input = quantize_input
+        self.negative_slope = negative_slope
+        self.linear = Linear(in_features, out_features, bias=False, rng=rng)
+        self.attention_src = Parameter(init.glorot_uniform((out_features, 1), rng=rng),
+                                       name="attention_src")
+        self.attention_dst = Parameter(init.glorot_uniform((out_features, 1), rng=rng),
+                                       name="attention_dst")
+        self.bias = Parameter(init.zeros((out_features,)), name="bias")
+        if quantize_input:
+            self.input_relaxed: Optional[RelaxedQuantizer] = RelaxedQuantizer(
+                bit_choices, "activation", quantizer_factory, name="input")
+        else:
+            self.input_relaxed = None
+        self.weight_relaxed = RelaxedQuantizer(bit_choices, "weight", quantizer_factory,
+                                               name="weight")
+        self.linear_out_relaxed = RelaxedQuantizer(bit_choices, "activation",
+                                                   quantizer_factory, name="linear_out")
+        self.attention_relaxed = RelaxedQuantizer(bit_choices, "adjacency",
+                                                  quantizer_factory, name="attention")
+        self.aggregate_out_relaxed = RelaxedQuantizer(bit_choices, "activation",
+                                                      quantizer_factory,
+                                                      name="aggregate_out")
+
+    def forward(self, x: Tensor, graph: GraphLike) -> Tensor:
+        if self.input_relaxed is not None:
+            x = self.input_relaxed(x)
+        weight = self.weight_relaxed(self.linear.weight)
+        transformed = self.linear_out_relaxed(x.matmul(weight))
+        edges = attention_edges(graph)
+        score_src = transformed.matmul(self.attention_src).reshape(-1)
+        score_dst = transformed.matmul(self.attention_dst).reshape(-1)
+        edge_scores = F.leaky_relu(score_src[edges.src] + score_dst[edges.dst],
+                                   negative_slope=self.negative_slope)
+        attention = F.scatter_softmax(edge_scores.reshape(-1, 1), edges.dst,
+                                      edges.num_dst)
+        attention = self.attention_relaxed(attention)
+        messages = transformed[edges.src] * attention
+        aggregated = F.segment_sum(messages, edges.dst, edges.num_dst)
+        return self.aggregate_out_relaxed(aggregated + self.bias)
+
+    def export_bits(self, prefix: str) -> BitWidthAssignment:
+        assignment: BitWidthAssignment = {}
+        if self.input_relaxed is not None:
+            assignment[f"{prefix}.input"] = self.input_relaxed.selected_bits()
+        assignment[f"{prefix}.weight"] = self.weight_relaxed.selected_bits()
+        assignment[f"{prefix}.linear_out"] = self.linear_out_relaxed.selected_bits()
+        assignment[f"{prefix}.attention"] = self.attention_relaxed.selected_bits()
+        assignment[f"{prefix}.aggregate_out"] = self.aggregate_out_relaxed.selected_bits()
+        return assignment
+
+
+class RelaxedTransformerConv(MessagePassing):
+    """Relaxed Transformer convolution (mirrors :class:`QuantTransformerConv`)."""
+
+    def __init__(self, in_features: int, out_features: int, bit_choices: Sequence[int],
+                 quantize_input: bool = False,
+                 quantizer_factory: QuantizerFactory = default_quantizer_factory,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.quantize_input = quantize_input
+        self.query = Linear(in_features, out_features, bias=False, rng=rng)
+        self.key = Linear(in_features, out_features, bias=False, rng=rng)
+        self.value = Linear(in_features, out_features, bias=True, rng=rng)
+        if quantize_input:
+            self.input_relaxed: Optional[RelaxedQuantizer] = RelaxedQuantizer(
+                bit_choices, "activation", quantizer_factory, name="input")
+        else:
+            self.input_relaxed = None
+        self.weight_query_relaxed = RelaxedQuantizer(bit_choices, "weight",
+                                                     quantizer_factory,
+                                                     name="weight_query")
+        self.weight_key_relaxed = RelaxedQuantizer(bit_choices, "weight",
+                                                   quantizer_factory, name="weight_key")
+        self.weight_value_relaxed = RelaxedQuantizer(bit_choices, "weight",
+                                                     quantizer_factory,
+                                                     name="weight_value")
+        self.value_out_relaxed = RelaxedQuantizer(bit_choices, "activation",
+                                                  quantizer_factory, name="value_out")
+        self.attention_relaxed = RelaxedQuantizer(bit_choices, "adjacency",
+                                                  quantizer_factory, name="attention")
+        self.aggregate_out_relaxed = RelaxedQuantizer(bit_choices, "activation",
+                                                      quantizer_factory,
+                                                      name="aggregate_out")
+
+    def forward(self, x: Tensor, graph: GraphLike) -> Tensor:
+        if self.input_relaxed is not None:
+            x = self.input_relaxed(x)
+        queries = x.matmul(self.weight_query_relaxed(self.query.weight))
+        keys = x.matmul(self.weight_key_relaxed(self.key.weight))
+        values = x.matmul(self.weight_value_relaxed(self.value.weight)) \
+            + self.value.bias
+        values = self.value_out_relaxed(values)
+        edges = attention_edges(graph)
+        scale = 1.0 / np.sqrt(self.out_features)
+        edge_scores = (queries[edges.dst] * keys[edges.src]).sum(
+            axis=-1, keepdims=True) * scale
+        attention = F.scatter_softmax(edge_scores, edges.dst, edges.num_dst)
+        attention = self.attention_relaxed(attention)
+        messages = values[edges.src] * attention
+        aggregated = F.segment_sum(messages, edges.dst, edges.num_dst)
+        return self.aggregate_out_relaxed(aggregated)
+
+    def export_bits(self, prefix: str) -> BitWidthAssignment:
+        assignment: BitWidthAssignment = {}
+        if self.input_relaxed is not None:
+            assignment[f"{prefix}.input"] = self.input_relaxed.selected_bits()
+        assignment[f"{prefix}.weight_query"] = self.weight_query_relaxed.selected_bits()
+        assignment[f"{prefix}.weight_key"] = self.weight_key_relaxed.selected_bits()
+        assignment[f"{prefix}.weight_value"] = self.weight_value_relaxed.selected_bits()
+        assignment[f"{prefix}.value_out"] = self.value_out_relaxed.selected_bits()
+        assignment[f"{prefix}.attention"] = self.attention_relaxed.selected_bits()
+        assignment[f"{prefix}.aggregate_out"] = self.aggregate_out_relaxed.selected_bits()
+        return assignment
+
+
+class RelaxedTAGConv(MessagePassing):
+    """Relaxed TAG convolution (components mirror :class:`QuantTAGConv`).
+
+    One relaxed weight quantizer per adjacency power; the sparse adjacency
+    mixes aggregation *outputs* through :class:`_RelaxedAdjacency` (shared
+    across hops), and every propagated tensor passes the shared ``hop_out``
+    relaxation.  Consumes ``hops`` stacked blocks per layer in minibatch
+    mode, exactly like the float :class:`~repro.gnn.tag.TAGConv`.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bit_choices: Sequence[int],
+                 quantize_input: bool = False, hops: int = 3,
+                 quantizer_factory: QuantizerFactory = default_quantizer_factory,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if hops < 1:
+            raise ValueError("RelaxedTAGConv needs at least one hop")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.quantize_input = quantize_input
+        self.hops = hops
+        self.linears = ModuleList(
+            [Linear(in_features, out_features, bias=(k == 0), rng=rng)
+             for k in range(hops + 1)])
+        if quantize_input:
+            self.input_relaxed: Optional[RelaxedQuantizer] = RelaxedQuantizer(
+                bit_choices, "activation", quantizer_factory, name="input")
+        else:
+            self.input_relaxed = None
+        self.adjacency_relaxed = RelaxedQuantizer(bit_choices, "adjacency",
+                                                  quantizer_factory, name="adjacency")
+        self.hop_out_relaxed = RelaxedQuantizer(bit_choices, "activation",
+                                                quantizer_factory, name="hop_out")
+        self.weight_relaxeds = ModuleList(
+            [RelaxedQuantizer(bit_choices, "weight", quantizer_factory,
+                              name=f"weight_{k}") for k in range(hops + 1)])
+        self.output_relaxed = RelaxedQuantizer(bit_choices, "activation",
+                                               quantizer_factory, name="output")
+        self._relaxed_adjacency = _RelaxedAdjacency(self.adjacency_relaxed)
+
+    def forward(self, x: Tensor, graph: TAGGraphLike) -> Tensor:
+        if self.input_relaxed is not None:
+            x = self.input_relaxed(x)
+        views = hop_views(graph, self.hops)
+        last = views[-1]
+        num_final = last.num_dst if isinstance(last, SubgraphBlock) else None
+
+        def final_rows(tensor: Tensor) -> Tensor:
+            return tensor if num_final is None else tensor[:num_final]
+
+        weight = self.weight_relaxeds[0](self.linears[0].weight)
+        output = final_rows(x).matmul(weight) + self.linears[0].bias
+        propagated = x
+        for hop, view in enumerate(views, start=1):
+            propagated = self._relaxed_adjacency.aggregate(
+                view.normalized_adjacency(), propagated)
+            if isinstance(view, SubgraphBlock):
+                # Hop outputs are row-indexed by this hop's target side, not
+                # by the layer's input block (the one forward_blocks set).
+                set_active_block(self.hop_out_relaxed, view)
+            propagated = self.hop_out_relaxed(propagated)
+            weight = self.weight_relaxeds[hop](self.linears[hop].weight)
+            output = output + final_rows(propagated).matmul(weight)
+        if num_final is not None:
+            set_active_block(self.output_relaxed, views[-1])
+        return self.output_relaxed(output)
+
+    def export_bits(self, prefix: str) -> BitWidthAssignment:
+        assignment: BitWidthAssignment = {}
+        if self.input_relaxed is not None:
+            assignment[f"{prefix}.input"] = self.input_relaxed.selected_bits()
+        assignment[f"{prefix}.adjacency"] = self.adjacency_relaxed.selected_bits()
+        assignment[f"{prefix}.hop_out"] = self.hop_out_relaxed.selected_bits()
+        for k, relaxed in enumerate(self.weight_relaxeds):
+            assignment[f"{prefix}.weight_{k}"] = relaxed.selected_bits()
         assignment[f"{prefix}.output"] = self.output_relaxed.selected_bits()
         return assignment
 

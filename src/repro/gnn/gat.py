@@ -5,6 +5,13 @@ transformed endpoint embeddings, normalised with a softmax over each node's
 incoming edges, and used as edge weights for aggregation.  Used by the
 Figure 1 operations-versus-accuracy benchmark; the quantization experiments
 in the paper focus on GCN / GIN / GraphSAGE.
+
+Both layers propagate over a full :class:`~repro.graphs.graph.Graph` or a
+bipartite :class:`~repro.graphs.sampling.SubgraphBlock`: scores are computed
+directly on the canonical per-edge list (:func:`~repro.gnn.attention
+.attention_edges`) and normalised with a scatter softmax over the target
+side, so the same code path serves full-batch and neighbor-sampled
+minibatch execution.
 """
 
 from __future__ import annotations
@@ -13,7 +20,8 @@ from typing import Optional
 
 import numpy as np
 
-from repro.gnn.message_passing import MessagePassing
+from repro.gnn.attention import attention_edges
+from repro.gnn.message_passing import GraphLike, MessagePassing
 from repro.graphs.graph import Graph
 from repro.nn import init
 from repro.nn.linear import Linear
@@ -39,22 +47,20 @@ class GATConv(MessagePassing):
                                        name="attention_dst")
         self.bias = Parameter(init.zeros((out_features,)), name="bias")
 
-    def forward(self, x: Tensor, graph: Graph) -> Tensor:
-        source, target = graph.edge_index
-        # Attention is computed over the graph with self loops so every node
-        # attends at least to itself.
-        loops = np.arange(graph.num_nodes)
-        source = np.concatenate([source, loops])
-        target = np.concatenate([target, loops])
-
+    def forward(self, x: Tensor, graph: GraphLike) -> Tensor:
+        # Attention is computed with self loops appended so every target
+        # attends at least to itself; on a block the loop endpoints coincide
+        # because sources start with the targets.
+        edges = attention_edges(graph)
         transformed = self.linear(x)
         score_src = transformed.matmul(self.attention_src).reshape(-1)
         score_dst = transformed.matmul(self.attention_dst).reshape(-1)
-        edge_scores = F.leaky_relu(score_src[source] + score_dst[target],
+        edge_scores = F.leaky_relu(score_src[edges.src] + score_dst[edges.dst],
                                    negative_slope=self.negative_slope)
-        attention = F.scatter_softmax(edge_scores.reshape(-1, 1), target, graph.num_nodes)
-        messages = transformed[source] * attention
-        aggregated = F.segment_sum(messages, target, graph.num_nodes)
+        attention = F.scatter_softmax(edge_scores.reshape(-1, 1), edges.dst,
+                                      edges.num_dst)
+        messages = transformed[edges.src] * attention
+        aggregated = F.segment_sum(messages, edges.dst, edges.num_dst)
         return aggregated + self.bias
 
     def operation_count(self, graph: Graph) -> int:
@@ -84,20 +90,17 @@ class TransformerConv(MessagePassing):
         self.key = Linear(in_features, out_features, bias=False, rng=rng)
         self.value = Linear(in_features, out_features, bias=True, rng=rng)
 
-    def forward(self, x: Tensor, graph: Graph) -> Tensor:
-        source, target = graph.edge_index
-        loops = np.arange(graph.num_nodes)
-        source = np.concatenate([source, loops])
-        target = np.concatenate([target, loops])
-
+    def forward(self, x: Tensor, graph: GraphLike) -> Tensor:
+        edges = attention_edges(graph)
         queries = self.query(x)
         keys = self.key(x)
         values = self.value(x)
         scale = 1.0 / np.sqrt(self.out_features)
-        edge_scores = (queries[target] * keys[source]).sum(axis=-1, keepdims=True) * scale
-        attention = F.scatter_softmax(edge_scores, target, graph.num_nodes)
-        messages = values[source] * attention
-        return F.segment_sum(messages, target, graph.num_nodes)
+        edge_scores = (queries[edges.dst] * keys[edges.src]).sum(
+            axis=-1, keepdims=True) * scale
+        attention = F.scatter_softmax(edge_scores, edges.dst, edges.num_dst)
+        messages = values[edges.src] * attention
+        return F.segment_sum(messages, edges.dst, edges.num_dst)
 
     def operation_count(self, graph: Graph) -> int:
         num_edges = graph.num_edges + graph.num_nodes

@@ -38,6 +38,13 @@ GraphLike = Union[Graph, SubgraphBlock]
 class MessagePassing(Module):
     """Base class for adjacency-matrix message-passing layers."""
 
+    #: Propagation steps one layer consumes.  Single-hop for every layer
+    #: except :class:`~repro.gnn.tag.TAGConv`-style polynomial filters, which
+    #: override it; samplers must emit one bipartite block per *hop*, so the
+    #: block count of a model is ``sum(conv.hops)``, not ``len(convs)``
+    #: (see :func:`~repro.gnn.models.hop_plan`).
+    hops: int = 1
+
     def __init__(self):
         super().__init__()
 

@@ -31,6 +31,21 @@ from repro.nn.module import Module, ModuleList
 from repro.tensor.tensor import Tensor
 
 
+def hop_plan(convs) -> List[int]:
+    """Propagation steps per layer: ``[conv.hops, ...]`` (1 for most layers).
+
+    Multi-hop layers (TAG) consume several stacked blocks per layer, so
+    samplers size their block stacks by :func:`total_hops`, not the layer
+    count.
+    """
+    return [int(getattr(conv, "hops", 1)) for conv in convs]
+
+
+def total_hops(convs) -> int:
+    """Blocks a sampler must emit per batch for this conv stack."""
+    return sum(hop_plan(convs))
+
+
 def forward_blocks(classifier: Module, batch: BlockBatch,
                    x: Optional[Tensor] = None) -> Tensor:
     """Run a convolution-stack classifier over a sampled :class:`BlockBatch`.
@@ -38,12 +53,17 @@ def forward_blocks(classifier: Module, batch: BlockBatch,
     Shared by the float, quantized and relaxed node classifiers — they all
     expose ``convs`` / ``activation`` / ``dropout`` — so minibatch execution
     is one code path regardless of the quantization wrapper in use.
+
+    Blocks are assigned to layers by the model's hop plan: single-hop layers
+    consume one block, multi-hop layers (TAG) a stack of ``conv.hops``
+    consecutive blocks.
     """
     convs = classifier.convs
-    if len(convs) != batch.num_layers:
-        raise ValueError(f"model has {len(convs)} layers but the batch carries "
-                         f"{batch.num_layers} blocks; sampler fanouts must have "
-                         f"one entry per layer")
+    plan = hop_plan(convs)
+    if sum(plan) != batch.num_layers:
+        raise ValueError(f"model needs {sum(plan)} blocks (per-layer hops "
+                         f"{plan}) but the batch carries {batch.num_layers}; "
+                         f"sampler fanouts must have one entry per hop")
     if x is None:
         x = Tensor(batch.x)
     num_layers = len(convs)
@@ -56,10 +76,13 @@ def forward_blocks(classifier: Module, batch: BlockBatch,
             if hasattr(module, "set_active_block"):
                 module.set_active_block(block)
 
-    for index, (conv, block) in enumerate(zip(convs, batch.blocks)):
-        announce_block(conv, block)
+    cursor = 0
+    for index, (conv, hops) in enumerate(zip(convs, plan)):
+        blocks = batch.blocks[cursor:cursor + hops]
+        cursor += hops
+        announce_block(conv, blocks[0])
         try:
-            x = conv(x, block)
+            x = conv(x, blocks[0] if hops == 1 else blocks)
         finally:
             announce_block(conv, None)
         if index < num_layers - 1:

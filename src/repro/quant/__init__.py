@@ -24,9 +24,12 @@ from repro.quant.integer_mp import (
 from repro.quant.bitops import BitOpsCounter, OperationRecord, FP32_BITS
 from repro.quant.qmodules import (
     ComponentBits,
+    QuantGATConv,
     QuantGCNConv,
     QuantGINConv,
     QuantSAGEConv,
+    QuantTAGConv,
+    QuantTransformerConv,
     QuantLinear,
     QuantNodeClassifier,
     QuantGraphClassifier,
@@ -47,9 +50,12 @@ __all__ = [
     "OperationRecord",
     "FP32_BITS",
     "ComponentBits",
+    "QuantGATConv",
     "QuantGCNConv",
     "QuantGINConv",
     "QuantSAGEConv",
+    "QuantTAGConv",
+    "QuantTransformerConv",
     "QuantLinear",
     "QuantNodeClassifier",
     "QuantGraphClassifier",

@@ -13,6 +13,9 @@ should export an artifact and open a session instead::
 
     artifact = QuantizedArtifact.from_model(model)
     logits = FullGraphSession(artifact, graph).predict()
+
+See ``docs/serving.md`` ("Migrating from repro.quant.inference") for the
+full export→predict guide.
 """
 
 from __future__ import annotations

@@ -122,6 +122,40 @@ def quantized_spmm(qa: SparseTensor, sa: VectorOrScalar,
     return output
 
 
+def quantized_edge_spmm(q_edge: np.ndarray, s_edge: float,
+                        qx: np.ndarray, sx: VectorOrScalar, zx: VectorOrScalar,
+                        src: np.ndarray, dst: np.ndarray, num_dst: int
+                        ) -> np.ndarray:
+    """Theorem 1 over an explicit edge list — the per-edge *score plan* path.
+
+    The attention executor cannot pre-materialise its operator (coefficients
+    depend on the activations), so instead of a sparse matrix it carries the
+    integer per-edge coefficients ``q_edge`` on a symmetric grid
+    (``Z_e = 0``, the same requirement as :func:`quantized_spmm`) plus the
+    edge endpoints: ``src`` indexes the rows of ``qx``, ``dst`` the output
+    rows.  Computes ``sum_{e: dst(e)=t} s_e q_e · s_x (qx[src(e)] - z_x)``
+    with the heavy accumulation in int64 and only the rank-one zero-point
+    correction in floating point:
+
+    ``Y[t] = s_e s_x (Σ q_e qx[src(e)] - z_x Σ q_e)``.
+    """
+    q_edge_int = np.asarray(q_edge, dtype=np.int64).reshape(-1)
+    qx_int = np.asarray(qx, dtype=np.int64)
+    n_cols = qx_int.shape[1]
+    sx_row = _as_row(sx, n_cols)
+    zx_row = _as_row(zx, n_cols)
+
+    integer_product = np.zeros((num_dst, n_cols), dtype=np.int64)
+    np.add.at(integer_product, dst, q_edge_int[:, None] * qx_int[src])
+    row_sum_qe = np.zeros(num_dst, dtype=np.int64)
+    np.add.at(row_sum_qe, dst, q_edge_int)
+
+    main = float(s_edge) * integer_product.astype(np.float64) * sx_row
+    correction_x = float(s_edge) * row_sum_qe.astype(np.float64).reshape(-1, 1) \
+        * (zx_row * sx_row)
+    return main - correction_x
+
+
 def integer_message_passing(adjacency: SparseTensor, features: np.ndarray,
                             quantizer_a: AffineQuantizer,
                             quantizer_x: AffineQuantizer,

@@ -25,20 +25,25 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.gnn.attention import attention_edges
+from repro.gnn.gat import GATConv, TransformerConv
 from repro.gnn.gcn import GCNConv
 from repro.gnn.gin import GINConv
 from repro.gnn.message_passing import GraphLike, MessagePassing
 from repro.gnn.models import NodeClassifier, forward_blocks
 from repro.gnn.sage import SAGEConv, mean_adjacency
+from repro.gnn.tag import TAGConv, TAGGraphLike, hop_views
 from repro.graphs.batch import GraphBatch
 from repro.graphs.graph import Graph
-from repro.graphs.sampling import BlockBatch, target_features
+from repro.graphs.sampling import BlockBatch, SubgraphBlock, target_features
 from repro.graphs.pooling import get_pooling
+from repro.nn import init
 from repro.nn.activations import Dropout, ReLU
 from repro.nn.linear import Linear
-from repro.nn.module import Module, ModuleList
+from repro.nn.module import Module, ModuleList, Parameter
 from repro.quant.bitops import FP32_BITS, BitOpsCounter, average_bits
 from repro.quant.quantizer import AffineQuantizer, IdentityQuantizer
+from repro.tensor import functional as F
 from repro.tensor.sparse import SparseTensor, spmm
 from repro.tensor.tensor import Tensor
 
@@ -65,6 +70,20 @@ def default_quantizer_factory(bits: int, kind: str) -> Module:
 
 def _bits_of(quantizer: Module) -> int:
     return int(getattr(quantizer, "bits", FP32_BITS))
+
+
+def set_active_block(module: Module, block) -> None:
+    """Align node-indexed quantizers (Degree-Quant) inside ``module`` with a
+    block's global node ids (duck-typed; ``None`` clears).
+
+    Multi-hop layers call this per hop: the per-layer announcement made by
+    :func:`~repro.gnn.models.forward_blocks` aligns only the layer's *input*
+    block, while a TAG layer's hop outputs are row-indexed by each hop
+    view's target side.
+    """
+    for sub in module.modules():
+        if hasattr(sub, "set_active_block"):
+            sub.set_active_block(block)
 
 
 class _QuantizedAdjacencyCache:
@@ -345,6 +364,280 @@ class QuantSAGEConv(MessagePassing):
         return counter, _bits_of(self.output_quantizer)
 
 
+class QuantGATConv(MessagePassing):
+    """GAT convolution with per-component fake quantization.
+
+    Components: ``input`` (first layer only), ``weight`` (the feature
+    transform), ``linear_out``, ``attention`` (the post-softmax attention
+    coefficients, quantized symmetrically like an adjacency) and
+    ``aggregate_out``.  The attention parameter vectors and the score /
+    softmax stage stay in full precision — only the coefficient matrix that
+    weights the aggregation is quantized, which is what lets the serving
+    executor run the aggregation as an integer per-edge score plan.
+    """
+
+    COMPONENTS = ("input", "weight", "linear_out", "attention", "aggregate_out")
+
+    def __init__(self, in_features: int, out_features: int, bits: ComponentBits,
+                 quantize_input: bool = False, negative_slope: float = 0.2,
+                 quantizer_factory: QuantizerFactory = default_quantizer_factory,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.quantize_input = quantize_input
+        self.negative_slope = negative_slope
+        self.linear = Linear(in_features, out_features, bias=False, rng=rng)
+        self.attention_src = Parameter(init.glorot_uniform((out_features, 1), rng=rng),
+                                       name="attention_src")
+        self.attention_dst = Parameter(init.glorot_uniform((out_features, 1), rng=rng),
+                                       name="attention_dst")
+        self.bias = Parameter(init.zeros((out_features,)), name="bias")
+
+        def bit(component: str) -> int:
+            return int(bits.get(component, FP32_BITS))
+
+        self.input_quantizer = quantizer_factory(bit("input"), "activation") \
+            if quantize_input else IdentityQuantizer()
+        self.weight_quantizer = quantizer_factory(bit("weight"), "weight")
+        self.linear_out_quantizer = quantizer_factory(bit("linear_out"), "activation")
+        self.attention_quantizer = quantizer_factory(bit("attention"), "adjacency")
+        self.aggregate_out_quantizer = quantizer_factory(bit("aggregate_out"),
+                                                         "activation")
+
+    def forward(self, x: Tensor, graph: GraphLike) -> Tensor:
+        x = self.input_quantizer(x)
+        weight = self.weight_quantizer(self.linear.weight)
+        transformed = self.linear_out_quantizer(x.matmul(weight))
+        edges = attention_edges(graph)
+        score_src = transformed.matmul(self.attention_src).reshape(-1)
+        score_dst = transformed.matmul(self.attention_dst).reshape(-1)
+        edge_scores = F.leaky_relu(score_src[edges.src] + score_dst[edges.dst],
+                                   negative_slope=self.negative_slope)
+        attention = F.scatter_softmax(edge_scores.reshape(-1, 1), edges.dst,
+                                      edges.num_dst)
+        attention = self.attention_quantizer(attention)
+        messages = transformed[edges.src] * attention
+        aggregated = F.segment_sum(messages, edges.dst, edges.num_dst)
+        return self.aggregate_out_quantizer(aggregated + self.bias)
+
+    def component_bits(self, prefix: str) -> ComponentBits:
+        bits: ComponentBits = {}
+        if self.quantize_input:
+            bits[f"{prefix}.input"] = _bits_of(self.input_quantizer)
+        bits[f"{prefix}.weight"] = _bits_of(self.weight_quantizer)
+        bits[f"{prefix}.linear_out"] = _bits_of(self.linear_out_quantizer)
+        bits[f"{prefix}.attention"] = _bits_of(self.attention_quantizer)
+        bits[f"{prefix}.aggregate_out"] = _bits_of(self.aggregate_out_quantizer)
+        return bits
+
+    def bit_operations(self, graph: Graph, incoming_bits: int,
+                       prefix: str) -> tuple[BitOpsCounter, int]:
+        counter = BitOpsCounter()
+        num_nodes = graph.num_nodes
+        num_edges = graph.adjacency(add_self_loops=False).nnz + num_nodes
+        input_bits = _bits_of(self.input_quantizer) if self.quantize_input \
+            else incoming_bits
+        counter.add(f"{prefix}.transform",
+                    2 * num_nodes * self.in_features * self.out_features,
+                    max(input_bits, _bits_of(self.weight_quantizer)))
+        # Score projections + per-edge leaky-relu/softmax stay FP32.
+        counter.add(f"{prefix}.score",
+                    4 * num_nodes * self.out_features + 6 * num_edges, FP32_BITS)
+        counter.add(f"{prefix}.aggregate", 2 * num_edges * self.out_features,
+                    max(_bits_of(self.attention_quantizer),
+                        _bits_of(self.linear_out_quantizer)))
+        return counter, _bits_of(self.aggregate_out_quantizer)
+
+
+class QuantTransformerConv(MessagePassing):
+    """Transformer convolution with per-component fake quantization.
+
+    Components: ``input`` (first layer only), ``weight_query`` /
+    ``weight_key`` / ``weight_value``, ``value_out``, ``attention`` (the
+    post-softmax coefficients) and ``aggregate_out``.  Scores (scaled
+    query·key dot products) and the softmax stay in full precision.
+    """
+
+    COMPONENTS = ("input", "weight_query", "weight_key", "weight_value",
+                  "value_out", "attention", "aggregate_out")
+
+    def __init__(self, in_features: int, out_features: int, bits: ComponentBits,
+                 quantize_input: bool = False,
+                 quantizer_factory: QuantizerFactory = default_quantizer_factory,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.quantize_input = quantize_input
+        self.query = Linear(in_features, out_features, bias=False, rng=rng)
+        self.key = Linear(in_features, out_features, bias=False, rng=rng)
+        self.value = Linear(in_features, out_features, bias=True, rng=rng)
+
+        def bit(component: str) -> int:
+            return int(bits.get(component, FP32_BITS))
+
+        self.input_quantizer = quantizer_factory(bit("input"), "activation") \
+            if quantize_input else IdentityQuantizer()
+        self.weight_query_quantizer = quantizer_factory(bit("weight_query"), "weight")
+        self.weight_key_quantizer = quantizer_factory(bit("weight_key"), "weight")
+        self.weight_value_quantizer = quantizer_factory(bit("weight_value"), "weight")
+        self.value_out_quantizer = quantizer_factory(bit("value_out"), "activation")
+        self.attention_quantizer = quantizer_factory(bit("attention"), "adjacency")
+        self.aggregate_out_quantizer = quantizer_factory(bit("aggregate_out"),
+                                                         "activation")
+
+    def forward(self, x: Tensor, graph: GraphLike) -> Tensor:
+        x = self.input_quantizer(x)
+        queries = x.matmul(self.weight_query_quantizer(self.query.weight))
+        keys = x.matmul(self.weight_key_quantizer(self.key.weight))
+        values = x.matmul(self.weight_value_quantizer(self.value.weight)) \
+            + self.value.bias
+        values = self.value_out_quantizer(values)
+        edges = attention_edges(graph)
+        scale = 1.0 / np.sqrt(self.out_features)
+        edge_scores = (queries[edges.dst] * keys[edges.src]).sum(
+            axis=-1, keepdims=True) * scale
+        attention = F.scatter_softmax(edge_scores, edges.dst, edges.num_dst)
+        attention = self.attention_quantizer(attention)
+        messages = values[edges.src] * attention
+        aggregated = F.segment_sum(messages, edges.dst, edges.num_dst)
+        return self.aggregate_out_quantizer(aggregated)
+
+    def component_bits(self, prefix: str) -> ComponentBits:
+        bits: ComponentBits = {}
+        if self.quantize_input:
+            bits[f"{prefix}.input"] = _bits_of(self.input_quantizer)
+        bits[f"{prefix}.weight_query"] = _bits_of(self.weight_query_quantizer)
+        bits[f"{prefix}.weight_key"] = _bits_of(self.weight_key_quantizer)
+        bits[f"{prefix}.weight_value"] = _bits_of(self.weight_value_quantizer)
+        bits[f"{prefix}.value_out"] = _bits_of(self.value_out_quantizer)
+        bits[f"{prefix}.attention"] = _bits_of(self.attention_quantizer)
+        bits[f"{prefix}.aggregate_out"] = _bits_of(self.aggregate_out_quantizer)
+        return bits
+
+    def bit_operations(self, graph: Graph, incoming_bits: int,
+                       prefix: str) -> tuple[BitOpsCounter, int]:
+        counter = BitOpsCounter()
+        num_nodes = graph.num_nodes
+        num_edges = graph.adjacency(add_self_loops=False).nnz + num_nodes
+        input_bits = _bits_of(self.input_quantizer) if self.quantize_input \
+            else incoming_bits
+        transform_ops = 2 * num_nodes * self.in_features * self.out_features
+        for name, quantizer in (("query", self.weight_query_quantizer),
+                                ("key", self.weight_key_quantizer),
+                                ("value", self.weight_value_quantizer)):
+            counter.add(f"{prefix}.transform_{name}", transform_ops,
+                        max(input_bits, _bits_of(quantizer)))
+        counter.add(f"{prefix}.score",
+                    (2 * self.out_features + 5) * num_edges, FP32_BITS)
+        counter.add(f"{prefix}.aggregate", 2 * num_edges * self.out_features,
+                    max(_bits_of(self.attention_quantizer),
+                        _bits_of(self.value_out_quantizer)))
+        return counter, _bits_of(self.aggregate_out_quantizer)
+
+
+class QuantTAGConv(MessagePassing):
+    """TAG convolution with per-component fake quantization.
+
+    Components: ``input`` (first layer only), ``adjacency``, ``hop_out``
+    (the propagated features after every hop, one shared quantizer),
+    ``weight_0`` … ``weight_K`` (one per adjacency power) and ``output``.
+    In minibatch mode the layer consumes ``hops`` stacked blocks — its
+    per-layer hop plan — exactly like the float :class:`TAGConv`.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bits: ComponentBits,
+                 quantize_input: bool = False, hops: int = 3,
+                 quantizer_factory: QuantizerFactory = default_quantizer_factory,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if hops < 1:
+            raise ValueError("QuantTAGConv needs at least one hop")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.quantize_input = quantize_input
+        self.hops = hops
+        self.linears = ModuleList(
+            [Linear(in_features, out_features, bias=(k == 0), rng=rng)
+             for k in range(hops + 1)])
+
+        def bit(component: str) -> int:
+            return int(bits.get(component, FP32_BITS))
+
+        self.input_quantizer = quantizer_factory(bit("input"), "activation") \
+            if quantize_input else IdentityQuantizer()
+        self.adjacency_quantizer = quantizer_factory(bit("adjacency"), "adjacency")
+        self.hop_out_quantizer = quantizer_factory(bit("hop_out"), "activation")
+        self.weight_quantizers = ModuleList(
+            [quantizer_factory(bit(f"weight_{k}"), "weight")
+             for k in range(hops + 1)])
+        self.output_quantizer = quantizer_factory(bit("output"), "activation")
+        self._adjacency_cache = _QuantizedAdjacencyCache(self.adjacency_quantizer)
+
+    @classmethod
+    def components(cls, hops: int) -> tuple:
+        return ("input", "adjacency", "hop_out",
+                *(f"weight_{k}" for k in range(hops + 1)), "output")
+
+    def forward(self, x: Tensor, graph: TAGGraphLike) -> Tensor:
+        x = self.input_quantizer(x)
+        views = hop_views(graph, self.hops)
+        last = views[-1]
+        num_final = last.num_dst if isinstance(last, SubgraphBlock) else None
+
+        def final_rows(tensor: Tensor) -> Tensor:
+            return tensor if num_final is None else tensor[:num_final]
+
+        weight = self.weight_quantizers[0](self.linears[0].weight)
+        output = final_rows(x).matmul(weight) + self.linears[0].bias
+        propagated = x
+        for hop, view in enumerate(views, start=1):
+            adjacency = self._adjacency_cache(view.normalized_adjacency())
+            if isinstance(view, SubgraphBlock):
+                # Hop outputs are row-indexed by this hop's target side, not
+                # by the layer's input block (the one forward_blocks set).
+                set_active_block(self.hop_out_quantizer, view)
+            propagated = self.hop_out_quantizer(spmm(adjacency, propagated))
+            weight = self.weight_quantizers[hop](self.linears[hop].weight)
+            output = output + final_rows(propagated).matmul(weight)
+        if isinstance(last, SubgraphBlock):
+            set_active_block(self.output_quantizer, last)
+        return self.output_quantizer(output)
+
+    def component_bits(self, prefix: str) -> ComponentBits:
+        bits: ComponentBits = {}
+        if self.quantize_input:
+            bits[f"{prefix}.input"] = _bits_of(self.input_quantizer)
+        bits[f"{prefix}.adjacency"] = _bits_of(self.adjacency_quantizer)
+        bits[f"{prefix}.hop_out"] = _bits_of(self.hop_out_quantizer)
+        for k, quantizer in enumerate(self.weight_quantizers):
+            bits[f"{prefix}.weight_{k}"] = _bits_of(quantizer)
+        bits[f"{prefix}.output"] = _bits_of(self.output_quantizer)
+        return bits
+
+    def bit_operations(self, graph: Graph, incoming_bits: int,
+                       prefix: str) -> tuple[BitOpsCounter, int]:
+        counter = BitOpsCounter()
+        num_nodes = graph.num_nodes
+        nnz = graph.adjacency(add_self_loops=True).nnz
+        input_bits = _bits_of(self.input_quantizer) if self.quantize_input \
+            else incoming_bits
+        hop_bits = _bits_of(self.hop_out_quantizer)
+        adjacency_bits = _bits_of(self.adjacency_quantizer)
+        transform_ops = 2 * num_nodes * self.in_features * self.out_features
+        counter.add(f"{prefix}.transform_hop0", transform_ops,
+                    max(input_bits, _bits_of(self.weight_quantizers[0])))
+        x_bits = input_bits
+        for hop in range(1, self.hops + 1):
+            counter.add(f"{prefix}.aggregate_hop{hop}",
+                        2 * nnz * self.in_features, max(adjacency_bits, x_bits))
+            counter.add(f"{prefix}.transform_hop{hop}", transform_ops,
+                        max(hop_bits, _bits_of(self.weight_quantizers[hop])))
+            x_bits = hop_bits
+        return counter, _bits_of(self.output_quantizer)
+
+
 def _layer_assignment(assignment: BitWidthAssignment, prefix: str) -> ComponentBits:
     """Extract the ``component -> bits`` mapping for one layer prefix."""
     marker = prefix + "."
@@ -398,22 +691,28 @@ class QuantNodeClassifier(Module):
     def from_assignment(cls, layer_dims: List[tuple], conv_type: str,
                         assignment: BitWidthAssignment, dropout: float = 0.5,
                         quantizer_factory: QuantizerFactory = default_quantizer_factory,
+                        hops: int = 3,
                         rng: Optional[np.random.Generator] = None) -> "QuantNodeClassifier":
         """Build a quantized classifier from layer dimensions and a bit assignment.
 
         ``layer_dims`` is a list of ``(in_features, out_features)`` tuples and
-        ``conv_type`` one of ``"gcn"`` / ``"gin"`` / ``"sage"``.
+        ``conv_type`` one of ``"gcn"`` / ``"gin"`` / ``"sage"`` / ``"gat"`` /
+        ``"tag"`` / ``"transformer"``.  ``hops`` only applies to ``"tag"``.
         """
-        conv_classes = {"gcn": QuantGCNConv, "gin": QuantGINConv, "sage": QuantSAGEConv}
+        conv_classes = {"gcn": QuantGCNConv, "gin": QuantGINConv,
+                        "sage": QuantSAGEConv, "gat": QuantGATConv,
+                        "tag": QuantTAGConv, "transformer": QuantTransformerConv}
         if conv_type not in conv_classes:
             raise KeyError(f"unknown conv type {conv_type!r}")
         conv_class = conv_classes[conv_type]
         convs: List[MessagePassing] = []
         for index, (fan_in, fan_out) in enumerate(layer_dims):
             layer_bits = _layer_assignment(assignment, f"conv{index}")
+            extra = {"hops": hops} if conv_type == "tag" else {}
             convs.append(conv_class(fan_in, fan_out, layer_bits,
                                     quantize_input=(index == 0),
-                                    quantizer_factory=quantizer_factory, rng=rng))
+                                    quantizer_factory=quantizer_factory, rng=rng,
+                                    **extra))
         return cls(convs, dropout=dropout, rng=rng)
 
     @classmethod
@@ -424,15 +723,31 @@ class QuantNodeClassifier(Module):
         """Mirror a float :class:`NodeClassifier`, copying its layer dimensions."""
         layer_dims = []
         conv_type = None
+        hops = 3
+        tag_hops = set()
         for conv in model.convs:
             layer_dims.append((conv.in_features, conv.out_features))
-            for float_class, name in ((GCNConv, "gcn"), (GINConv, "gin"), (SAGEConv, "sage")):
+            for float_class, name in ((GCNConv, "gcn"), (GINConv, "gin"),
+                                      (SAGEConv, "sage"), (GATConv, "gat"),
+                                      (TAGConv, "tag"),
+                                      (TransformerConv, "transformer")):
                 if isinstance(conv, float_class):
                     conv_type = name
+                    if name == "tag":
+                        tag_hops.add(conv.hops)
         if conv_type is None:
-            raise TypeError("from_float supports GCN / GIN / GraphSAGE convolutions")
+            raise TypeError("from_float supports GCN / GIN / GraphSAGE / GAT / "
+                            "TAG / Transformer convolutions")
+        if len(tag_hops) > 1:
+            # from_assignment builds every layer with one hops value; a mixed
+            # stack would silently change the mirrored architecture.
+            raise TypeError(f"from_float needs uniform TAG hops per stack, "
+                            f"got {sorted(tag_hops)}")
+        if tag_hops:
+            hops = tag_hops.pop()
         return cls.from_assignment(layer_dims, conv_type, assignment, dropout=dropout,
-                                   quantizer_factory=quantizer_factory, rng=rng)
+                                   quantizer_factory=quantizer_factory, hops=hops,
+                                   rng=rng)
 
 
 class QuantGraphClassifier(Module):
@@ -535,5 +850,35 @@ def sage_component_names(num_layers: int) -> List[str]:
     names: List[str] = []
     for index in range(num_layers):
         components = QuantSAGEConv.COMPONENTS if index == 0 else QuantSAGEConv.COMPONENTS[1:]
+        names.extend(f"conv{index}.{component}" for component in components)
+    return names
+
+
+def gat_component_names(num_layers: int) -> List[str]:
+    """Component names of a quantized GAT node classifier."""
+    names: List[str] = []
+    for index in range(num_layers):
+        components = QuantGATConv.COMPONENTS if index == 0 else QuantGATConv.COMPONENTS[1:]
+        names.extend(f"conv{index}.{component}" for component in components)
+    return names
+
+
+def transformer_component_names(num_layers: int) -> List[str]:
+    """Component names of a quantized Transformer node classifier."""
+    names: List[str] = []
+    for index in range(num_layers):
+        components = QuantTransformerConv.COMPONENTS if index == 0 \
+            else QuantTransformerConv.COMPONENTS[1:]
+        names.extend(f"conv{index}.{component}" for component in components)
+    return names
+
+
+def tag_component_names(num_layers: int, hops: int = 3) -> List[str]:
+    """Component names of a quantized TAG node classifier."""
+    names: List[str] = []
+    for index in range(num_layers):
+        components = QuantTAGConv.components(hops)
+        if index != 0:
+            components = components[1:]
         names.extend(f"conv{index}.{component}" for component in components)
     return names

@@ -9,7 +9,11 @@ subsystem decoupled from training:
 * :class:`FullGraphSession` / :class:`BlockSession` — integer inference
   backends sharing one layer executor; the block backend serves per-request
   through fanout-bounded :class:`~repro.graphs.sampling.NeighborSampler`
-  blocks and never materialises the full adjacency.
+  blocks and never materialises the full adjacency.  Matrix layers (GCN /
+  SAGE / GIN) aggregate with pre-quantized operators; attention layers
+  (GAT / TAG / Transformer) execute per-edge *score plans* — float scores
+  and softmax on the canonical edge list, integer Theorem-1 aggregation of
+  the quantized coefficients.
 * :class:`ServingEngine` — request coalescing, micro-batching and
   per-request BitOPs / latency accounting, optionally fanning micro-batches
   over a worker pool (``workers``).
@@ -30,6 +34,7 @@ from repro.serving.artifact import (
     WEIGHT_SLOTS,
     WeightPlan,
     artifact_paths,
+    tag_weight_slots,
 )
 from repro.serving.async_engine import AsyncServingEngine
 from repro.serving.engine import EngineStats, RequestResult, ServingEngine
@@ -47,6 +52,7 @@ __all__ = [
     "WEIGHT_SLOTS",
     "QUANTIZER_SLOTS",
     "artifact_paths",
+    "tag_weight_slots",
     "InferenceSession",
     "FullGraphSession",
     "BlockSession",

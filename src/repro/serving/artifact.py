@@ -25,26 +25,53 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.quant.qmodules import QuantGCNConv, QuantGINConv, QuantSAGEConv
+from repro.quant.qmodules import (
+    QuantGATConv,
+    QuantGCNConv,
+    QuantGINConv,
+    QuantSAGEConv,
+    QuantTAGConv,
+    QuantTransformerConv,
+)
 from repro.quant.quantizer import AffineQuantizer, IdentityQuantizer, QuantizationParameters
 
 PathLike = Union[str, Path]
 
 FORMAT_NAME = "repro.serving.artifact"
-FORMAT_VERSION = 1
+#: v2 added the attention score plans (gat / tag / transformer conv
+#: families, per-layer ``hops`` and ``negative_slope``); v1 artifacts load
+#: unchanged.
+FORMAT_VERSION = 2
 
-#: Ordered weight slots of each supported conv family.
+
+def tag_weight_slots(hops: int) -> Tuple[str, ...]:
+    """Weight slots of one TAG layer: one matrix per adjacency power."""
+    return tuple(f"hop{k}" for k in range(hops + 1))
+
+
+#: Ordered weight slots of each supported conv family.  TAG slots depend on
+#: the layer's hop count — the table lists the default (``hops=3``); use
+#: :func:`tag_weight_slots` for other depths.
 WEIGHT_SLOTS: Dict[str, Tuple[str, ...]] = {
     "gcn": ("weight",),
     "sage": ("root", "neighbour"),
     "gin": ("mlp0", "mlp1"),
+    "gat": ("weight", "attention_src", "attention_dst"),
+    "transformer": ("query", "key", "value"),
+    "tag": tag_weight_slots(3),
 }
 
 #: Activation / adjacency quantizer slots of each supported conv family.
+#: For the attention families the ``attention`` slot quantizes the
+#: post-softmax coefficient matrix — the per-edge *score plan* the integer
+#: executor aggregates with.
 QUANTIZER_SLOTS: Dict[str, Tuple[str, ...]] = {
     "gcn": ("input", "linear_out", "adjacency", "aggregate_out"),
     "sage": ("input", "adjacency", "aggregate_out", "output"),
     "gin": ("input", "adjacency", "aggregate_out", "mlp0_out", "mlp1_out"),
+    "gat": ("input", "linear_out", "attention", "aggregate_out"),
+    "transformer": ("input", "value_out", "attention", "aggregate_out"),
+    "tag": ("input", "adjacency", "hop_out", "output"),
 }
 
 
@@ -64,7 +91,13 @@ class WeightPlan:
 
 @dataclass
 class LayerPlan:
-    """Pre-extracted integer execution plan for one convolution layer."""
+    """Pre-extracted integer execution plan for one convolution layer.
+
+    ``hops`` is the number of propagation steps the layer consumes (1 for
+    every family except TAG), so a block-serving sampler sizes its stacks by
+    ``sum(plan.hops)``; ``negative_slope`` is the GAT leaky-relu slope of
+    the score stage.
+    """
 
     conv_type: str
     in_features: int
@@ -72,6 +105,8 @@ class LayerPlan:
     weights: Dict[str, WeightPlan]
     quantizers: Dict[str, Optional[QuantizationParameters]]
     eps: float = 0.0
+    hops: int = 1
+    negative_slope: float = 0.2
 
     def params(self, slot: str) -> Optional[QuantizationParameters]:
         """Quantization parameters of a named slot (None for FP32 components)."""
@@ -162,8 +197,74 @@ def _export_gin(conv: QuantGINConv) -> LayerPlan:
         eps=float(conv.eps))
 
 
+def _export_gat(conv: QuantGATConv) -> LayerPlan:
+    # The GAT bias is added *after* the attention-weighted aggregation, so
+    # the executor applies the ``weight`` plan's bias post-aggregate.
+    return LayerPlan(
+        conv_type="gat",
+        in_features=conv.in_features,
+        out_features=conv.out_features,
+        weights={
+            "weight": _weight_plan(conv.linear.weight.data,
+                                   conv.weight_quantizer, conv.bias.data),
+            "attention_src": _weight_plan(conv.attention_src.data, None, None),
+            "attention_dst": _weight_plan(conv.attention_dst.data, None, None),
+        },
+        quantizers={
+            "input": _parameters_of(conv.input_quantizer),
+            "linear_out": _parameters_of(conv.linear_out_quantizer),
+            "attention": _parameters_of(conv.attention_quantizer),
+            "aggregate_out": _parameters_of(conv.aggregate_out_quantizer),
+        },
+        negative_slope=float(conv.negative_slope))
+
+
+def _export_transformer(conv: QuantTransformerConv) -> LayerPlan:
+    value_bias = None if conv.value.bias is None else conv.value.bias.data
+    return LayerPlan(
+        conv_type="transformer",
+        in_features=conv.in_features,
+        out_features=conv.out_features,
+        weights={
+            "query": _weight_plan(conv.query.weight.data,
+                                  conv.weight_query_quantizer, None),
+            "key": _weight_plan(conv.key.weight.data,
+                                conv.weight_key_quantizer, None),
+            "value": _weight_plan(conv.value.weight.data,
+                                  conv.weight_value_quantizer, value_bias),
+        },
+        quantizers={
+            "input": _parameters_of(conv.input_quantizer),
+            "value_out": _parameters_of(conv.value_out_quantizer),
+            "attention": _parameters_of(conv.attention_quantizer),
+            "aggregate_out": _parameters_of(conv.aggregate_out_quantizer),
+        })
+
+
+def _export_tag(conv: QuantTAGConv) -> LayerPlan:
+    weights: Dict[str, WeightPlan] = {}
+    for k, (linear, quantizer) in enumerate(zip(conv.linears,
+                                                conv.weight_quantizers)):
+        bias = None if linear.bias is None else linear.bias.data
+        weights[f"hop{k}"] = _weight_plan(linear.weight.data, quantizer, bias)
+    return LayerPlan(
+        conv_type="tag",
+        in_features=conv.in_features,
+        out_features=conv.out_features,
+        weights=weights,
+        quantizers={
+            "input": _parameters_of(conv.input_quantizer),
+            "adjacency": _parameters_of(conv.adjacency_quantizer),
+            "hop_out": _parameters_of(conv.hop_out_quantizer),
+            "output": _parameters_of(conv.output_quantizer),
+        },
+        hops=int(conv.hops))
+
+
 _EXPORTERS = {QuantGCNConv: _export_gcn, QuantSAGEConv: _export_sage,
-              QuantGINConv: _export_gin}
+              QuantGINConv: _export_gin, QuantGATConv: _export_gat,
+              QuantTransformerConv: _export_transformer,
+              QuantTAGConv: _export_tag}
 
 
 def _params_to_json(params: Optional[QuantizationParameters]):
@@ -217,6 +318,13 @@ class QuantizedArtifact:
     @property
     def num_layers(self) -> int:
         return len(self.layers)
+
+    @property
+    def total_hops(self) -> int:
+        """Propagation steps of one forward pass — the number of bipartite
+        blocks a block-serving sampler must emit per batch (TAG layers
+        consume ``hops`` blocks each)."""
+        return sum(plan.hops for plan in self.layers)
 
     @property
     def layer_dims(self) -> List[Tuple[int, int]]:
@@ -312,6 +420,8 @@ class QuantizedArtifact:
                 "in_features": int(plan.in_features),
                 "out_features": int(plan.out_features),
                 "eps": float(plan.eps),
+                "hops": int(plan.hops),
+                "negative_slope": float(plan.negative_slope),
                 "weights": weights_payload,
                 "quantizers": {name: _params_to_json(params)
                                for name, params in plan.quantizers.items()},
@@ -355,6 +465,8 @@ class QuantizedArtifact:
                     weights=weights,
                     quantizers={name: _params_from_json(params)
                                 for name, params in layer["quantizers"].items()},
-                    eps=float(layer.get("eps", 0.0))))
+                    eps=float(layer.get("eps", 0.0)),
+                    hops=int(layer.get("hops", 1)),
+                    negative_slope=float(layer.get("negative_slope", 0.2))))
         return cls(conv_type=payload["conv_type"], layers=plans,
                    metadata=dict(payload.get("metadata", {})))

@@ -18,6 +18,16 @@ Both quantize activations onto the artifact's stored integer grids, run the
 sparse aggregation as an int64 sparse-dense product plus the rank-one
 corrections of Theorem 1 (:func:`~repro.quant.integer_mp.quantized_spmm`),
 and return float logits plus per-run BitOPs.
+
+Matrix layers (GCN / SAGE / GIN) aggregate with a pre-quantized operator;
+attention layers (GAT / Transformer) instead execute a per-edge *score
+plan*: scores and softmax run in full precision on the canonical edge list
+(:func:`~repro.gnn.attention.attention_edges`), the resulting coefficients
+are snapped onto the artifact's stored ``attention`` grid and the
+aggregation runs as an integer edge-list accumulation
+(:func:`~repro.quant.integer_mp.quantized_edge_spmm`).  TAG layers consume
+``plan.hops`` graph views each (one per adjacency power), so samplers size
+their block stacks by ``artifact.total_hops``.
 """
 
 from __future__ import annotations
@@ -30,11 +40,12 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.cache import BlockCache, CacheStats
+from repro.gnn.attention import AttentionEdges, attention_edges
 from repro.gnn.sage import mean_adjacency
 from repro.graphs.graph import Graph
 from repro.graphs.sampling import Fanout, NeighborSampler, SubgraphBlock
 from repro.quant.bitops import BitOpsCounter
-from repro.quant.integer_mp import quantized_spmm
+from repro.quant.integer_mp import quantized_edge_spmm, quantized_spmm
 from repro.quant.quantizer import QuantizationParameters
 from repro.serving.artifact import LayerPlan, QuantizedArtifact
 from repro.tensor.sparse import SparseTensor
@@ -64,6 +75,16 @@ def _target_rows(x: np.ndarray, graph_like: GraphLike) -> np.ndarray:
     if isinstance(graph_like, SubgraphBlock):
         return x[:graph_like.num_dst]
     return x
+
+
+def _edge_softmax(scores: np.ndarray, dst: np.ndarray, num_dst: int) -> np.ndarray:
+    """Numerically-shifted softmax of per-edge scores within each target."""
+    per_target_max = np.full(num_dst, -np.inf)
+    np.maximum.at(per_target_max, dst, scores)
+    exponent = np.exp(scores - per_target_max[dst])
+    denominator = np.zeros(num_dst)
+    np.add.at(denominator, dst, exponent)
+    return exponent / denominator[dst]
 
 
 @dataclass
@@ -131,7 +152,7 @@ class InferenceSession:
     @staticmethod
     def _build_operator(conv_type: str, graph_like: GraphLike) -> SparseTensor:
         """The aggregation operator a conv family applies to a graph view."""
-        if conv_type == "gcn":
+        if conv_type in ("gcn", "tag"):
             return graph_like.normalized_adjacency()
         if conv_type == "sage":
             return mean_adjacency(graph_like)
@@ -194,14 +215,98 @@ class InferenceSession:
                                                  fake=True)
         return np.asarray(adjacency.csr @ x, dtype=np.float64)
 
+    def _aggregate_edges(self, attention: np.ndarray,
+                         attention_params: Optional[QuantizationParameters],
+                         x: np.ndarray, x_int: Optional[np.ndarray],
+                         x_params: Optional[QuantizationParameters],
+                         edges: AttentionEdges) -> np.ndarray:
+        """Attention-weighted aggregation through the per-edge score plan.
+
+        ``attention`` holds the float post-softmax coefficients.  When both
+        the coefficients and the gathered features carry integer grids the
+        accumulation runs through Theorem 1's edge-list form
+        (:func:`~repro.quant.integer_mp.quantized_edge_spmm`); otherwise it
+        falls back to a float scatter-add with the coefficients still on
+        their fake-quantized grid, matching the QAT model.
+        """
+        if attention_params is not None and x_params is not None and x_int is not None:
+            attention_int = _quantize_with(attention_params, attention)
+            scale_e, _ = attention_params.as_scalars()
+            scale_x, zero_x = x_params.as_scalars()
+            return quantized_edge_spmm(attention_int, scale_e, x_int,
+                                       scale_x, zero_x, edges.src, edges.dst,
+                                       edges.num_dst)
+        attention = _fake_quantize(attention_params, attention)
+        aggregated = np.zeros((edges.num_dst, x.shape[1]))
+        np.add.at(aggregated, edges.dst, attention[:, None] * x[edges.src])
+        return aggregated
+
     # ------------------------------------------------------------------ #
     # BitOPs accounting (shared by execution and the arithmetic counters)
     # ------------------------------------------------------------------ #
     def _count_layer(self, plan: LayerPlan, index: int, n_src: int, n_dst: int,
-                     nnz: int, counter: BitOpsCounter,
+                     nnz: Union[int, Sequence[int]], counter: BitOpsCounter,
                      incoming: Optional[QuantizationParameters]
                      ) -> Optional[QuantizationParameters]:
-        """Append one layer's BitOPs records; returns its outgoing params."""
+        """Append one layer's BitOPs records; returns its outgoing params.
+
+        ``nnz`` is the edge count of the layer's aggregation: operator
+        non-zeros for matrix layers, attention edges (self loops included)
+        for GAT / Transformer, and one per-hop sequence for TAG.
+        """
+        if plan.conv_type == "gat":
+            weight = plan.weights["weight"]
+            input_params = plan.params("input") if plan.params("input") is not None \
+                else incoming
+            input_bits = 32 if input_params is None else input_params.bits
+            counter.add(f"layer{index}.transform",
+                        2 * n_src * plan.in_features * plan.out_features,
+                        min(max(input_bits, weight.bits), 32))
+            # Score projections + per-edge leaky-relu/softmax stay FP32.
+            counter.add(f"layer{index}.score",
+                        4 * n_src * plan.out_features + 6 * nnz, 32)
+            counter.add(f"layer{index}.aggregate",
+                        2 * nnz * plan.out_features,
+                        min(max(plan.slot_bits("attention"),
+                                plan.slot_bits("linear_out")), 32))
+            return plan.params("aggregate_out")
+
+        if plan.conv_type == "transformer":
+            input_params = plan.params("input") if plan.params("input") is not None \
+                else incoming
+            input_bits = 32 if input_params is None else input_params.bits
+            transform_ops = 2 * n_src * plan.in_features * plan.out_features
+            for name in ("query", "key", "value"):
+                counter.add(f"layer{index}.transform_{name}", transform_ops,
+                            min(max(input_bits, plan.weights[name].bits), 32))
+            counter.add(f"layer{index}.score",
+                        (2 * plan.out_features + 5) * nnz, 32)
+            counter.add(f"layer{index}.aggregate",
+                        2 * nnz * plan.out_features,
+                        min(max(plan.slot_bits("attention"),
+                                plan.slot_bits("value_out")), 32))
+            return plan.params("aggregate_out")
+
+        if plan.conv_type == "tag":
+            per_hop_nnz = [int(nnz)] * plan.hops if np.isscalar(nnz) \
+                else [int(v) for v in nnz]
+            input_params = plan.params("input") if plan.params("input") is not None \
+                else incoming
+            x_bits = 32 if input_params is None else input_params.bits
+            hop_bits = plan.slot_bits("hop_out")
+            adjacency_bits = plan.slot_bits("adjacency")
+            transform_ops = 2 * n_dst * plan.in_features * plan.out_features
+            counter.add(f"layer{index}.transform_hop0", transform_ops,
+                        min(max(x_bits, plan.weights["hop0"].bits), 32))
+            for hop in range(1, plan.hops + 1):
+                counter.add(f"layer{index}.aggregate_hop{hop}",
+                            2 * per_hop_nnz[hop - 1] * plan.in_features,
+                            min(max(adjacency_bits, x_bits), 32))
+                counter.add(f"layer{index}.transform_hop{hop}", transform_ops,
+                            min(max(hop_bits, plan.weights[f"hop{hop}"].bits), 32))
+                x_bits = hop_bits
+            return plan.params("output")
+
         if plan.conv_type == "gcn":
             weight = plan.weights["weight"]
             counter.add(f"layer{index}.transform",
@@ -250,39 +355,52 @@ class InferenceSession:
     # ------------------------------------------------------------------ #
     def _forward(self, layer_graphs: Sequence[GraphLike], x: np.ndarray,
                  counter: BitOpsCounter) -> Tuple[np.ndarray, int]:
-        """Run the artifact's layer stack over per-layer graph views.
+        """Run the artifact's layer stack over per-hop graph views.
 
-        Returns the logits of the target side of the last layer and the
-        total number of edges (messages) touched.
+        ``layer_graphs`` carries one view per *hop* (``artifact.total_hops``
+        in total): single-hop layers consume one view, TAG layers a run of
+        ``plan.hops`` consecutive views.  Returns the logits of the target
+        side of the last layer and the total number of edges (messages)
+        touched.
         """
         plans = self.artifact.layers
-        if len(layer_graphs) != len(plans):
-            raise ValueError(f"artifact has {len(plans)} layers but "
-                             f"{len(layer_graphs)} graph views were given")
+        total_hops = self.artifact.total_hops
+        if len(layer_graphs) != total_hops:
+            raise ValueError(f"artifact needs {total_hops} graph views (one "
+                             f"per hop) but {len(layer_graphs)} were given")
         incoming: Optional[QuantizationParameters] = None
         edges = 0
         last = len(plans) - 1
-        for index, (plan, graph_like) in enumerate(zip(plans, layer_graphs)):
-            x, incoming, layer_edges = self._run_layer(plan, graph_like, x,
+        cursor = 0
+        for index, plan in enumerate(plans):
+            views = list(layer_graphs[cursor:cursor + plan.hops])
+            cursor += plan.hops
+            x, incoming, layer_edges = self._run_layer(plan, views, x,
                                                        incoming, counter, index)
             edges += layer_edges
             if index != last:
                 x = np.maximum(x, 0.0)  # ReLU between layers
         return x, edges
 
-    def _run_layer(self, plan: LayerPlan, graph_like: GraphLike, x: np.ndarray,
+    def _run_layer(self, plan: LayerPlan, views: List[GraphLike], x: np.ndarray,
                    incoming: Optional[QuantizationParameters],
                    counter: BitOpsCounter, index: int
                    ) -> Tuple[np.ndarray, Optional[QuantizationParameters], int]:
+        if plan.conv_type == "tag":
+            return self._run_tag(plan, views, x, incoming, counter, index)
         if plan.conv_type == "gcn":
             runner = self._run_gcn
         elif plan.conv_type == "sage":
             runner = self._run_sage
         elif plan.conv_type == "gin":
             runner = self._run_gin
+        elif plan.conv_type == "gat":
+            runner = self._run_gat
+        elif plan.conv_type == "transformer":
+            runner = self._run_transformer
         else:
             raise ValueError(f"unknown conv type {plan.conv_type!r}")
-        return runner(plan, graph_like, x, incoming, counter, index)
+        return runner(plan, views[0], x, incoming, counter, index)
 
     # ------------------------------------------------------------------ #
     def _run_gcn(self, plan: LayerPlan, graph_like: GraphLike, x: np.ndarray,
@@ -371,6 +489,114 @@ class InferenceSession:
                           adjacency.nnz, counter, incoming)
         return out, mlp1_out, adjacency.nnz
 
+    # ------------------------------------------------------------------ #
+    # attention score plans
+    # ------------------------------------------------------------------ #
+    def _run_gat(self, plan: LayerPlan, graph_like: GraphLike, x: np.ndarray,
+                 incoming: Optional[QuantizationParameters],
+                 counter: BitOpsCounter, index: int):
+        x = _fake_quantize(plan.params("input"), x)
+        weight = plan.weights["weight"]
+        transformed = x @ weight.dequantized()
+
+        linear_out = plan.params("linear_out")
+        transformed_int = None
+        if linear_out is not None:
+            transformed_int = _quantize_with(linear_out, transformed)
+            transformed = _dequantize_with(linear_out, transformed_int)
+
+        edges = attention_edges(graph_like)
+        score_src = transformed @ plan.weights["attention_src"].dequantized().reshape(-1)
+        score_dst = transformed @ plan.weights["attention_dst"].dequantized().reshape(-1)
+        scores = score_src[edges.src] + score_dst[edges.dst]
+        scores = np.where(scores > 0, scores, plan.negative_slope * scores)
+        attention = _edge_softmax(scores, edges.dst, edges.num_dst)
+
+        aggregated = self._aggregate_edges(attention, plan.params("attention"),
+                                           transformed, transformed_int,
+                                           linear_out, edges)
+        if weight.bias is not None:
+            # The GAT bias applies after the attention-weighted aggregation.
+            aggregated = aggregated + weight.bias
+        aggregate_out = plan.params("aggregate_out")
+        aggregated = _fake_quantize(aggregate_out, aggregated)
+
+        self._count_layer(plan, index, x.shape[0], aggregated.shape[0],
+                          edges.num_edges, counter, incoming)
+        return aggregated, aggregate_out, edges.num_edges
+
+    def _run_transformer(self, plan: LayerPlan, graph_like: GraphLike,
+                         x: np.ndarray,
+                         incoming: Optional[QuantizationParameters],
+                         counter: BitOpsCounter, index: int):
+        x = _fake_quantize(plan.params("input"), x)
+        queries = x @ plan.weights["query"].dequantized()
+        keys = x @ plan.weights["key"].dequantized()
+        value = plan.weights["value"]
+        values = x @ value.dequantized()
+        if value.bias is not None:
+            values = values + value.bias
+
+        value_out = plan.params("value_out")
+        values_int = None
+        if value_out is not None:
+            values_int = _quantize_with(value_out, values)
+            values = _dequantize_with(value_out, values_int)
+
+        edges = attention_edges(graph_like)
+        scale = 1.0 / np.sqrt(plan.out_features)
+        scores = (queries[edges.dst] * keys[edges.src]).sum(axis=-1) * scale
+        attention = _edge_softmax(scores, edges.dst, edges.num_dst)
+
+        aggregated = self._aggregate_edges(attention, plan.params("attention"),
+                                           values, values_int, value_out, edges)
+        aggregate_out = plan.params("aggregate_out")
+        aggregated = _fake_quantize(aggregate_out, aggregated)
+
+        self._count_layer(plan, index, x.shape[0], aggregated.shape[0],
+                          edges.num_edges, counter, incoming)
+        return aggregated, aggregate_out, edges.num_edges
+
+    def _run_tag(self, plan: LayerPlan, views: List[GraphLike], x: np.ndarray,
+                 incoming: Optional[QuantizationParameters],
+                 counter: BitOpsCounter, index: int):
+        params_x = plan.params("input") if plan.params("input") is not None \
+            else incoming
+        x_int = None
+        if params_x is not None:
+            x_int = _quantize_with(params_x, x)
+            x = _dequantize_with(params_x, x_int)
+
+        last = views[-1]
+        num_final = last.num_dst if isinstance(last, SubgraphBlock) else x.shape[0]
+
+        hop0 = plan.weights["hop0"]
+        out = x[:num_final] @ hop0.dequantized()
+        if hop0.bias is not None:
+            out = out + hop0.bias
+
+        hop_out = plan.params("hop_out")
+        propagated, propagated_int, params_p = x, x_int, params_x
+        per_hop_nnz: List[int] = []
+        for hop, view in enumerate(views, start=1):
+            adjacency = self._layer_operator("tag", view)
+            per_hop_nnz.append(adjacency.nnz)
+            propagated = self._aggregate(adjacency, plan.params("adjacency"),
+                                         propagated, propagated_int, params_p)
+            propagated_int = None
+            if hop_out is not None:
+                propagated_int = _quantize_with(hop_out, propagated)
+                propagated = _dequantize_with(hop_out, propagated_int)
+            params_p = hop_out
+            out = out + propagated[:num_final] @ plan.weights[f"hop{hop}"].dequantized()
+
+        output = plan.params("output")
+        out = _fake_quantize(output, out)
+
+        self._count_layer(plan, index, x.shape[0], num_final, per_hop_nnz,
+                          counter, incoming)
+        return out, output, int(sum(per_hop_nnz))
+
 
 class FullGraphSession(InferenceSession):
     """Integer inference over the whole graph (every layer, every node)."""
@@ -381,7 +607,7 @@ class FullGraphSession(InferenceSession):
         start = time.perf_counter()
         counter = BitOpsCounter()
         x = self.graph.x.astype(np.float64)
-        logits, edges = self._forward([self.graph] * self.artifact.num_layers,
+        logits, edges = self._forward([self.graph] * self.artifact.total_hops,
                                       x, counter)
         if nodes is not None:
             nodes = np.asarray(nodes, dtype=np.int64)
@@ -406,8 +632,15 @@ class FullGraphSession(InferenceSession):
         num_nodes = self.graph.num_nodes
         incoming: Optional[QuantizationParameters] = None
         for index, plan in enumerate(self.artifact.layers):
-            add_self_loops = plan.conv_type == "gcn"
-            nnz = self.graph.adjacency(add_self_loops=add_self_loops).nnz
+            nnz: Union[int, List[int]]
+            if plan.conv_type in ("gat", "transformer"):
+                # Attention runs over the explicit edge list plus self loops.
+                nnz = self.graph.adjacency(add_self_loops=False).nnz + num_nodes
+            elif plan.conv_type == "tag":
+                nnz = [self.graph.adjacency(add_self_loops=True).nnz] * plan.hops
+            else:
+                add_self_loops = plan.conv_type == "gcn"
+                nnz = self.graph.adjacency(add_self_loops=add_self_loops).nnz
             incoming = self._count_layer(plan, index, num_nodes, num_nodes,
                                          nnz, counter, incoming)
         return counter
@@ -421,8 +654,9 @@ class BlockSession(InferenceSession):
     artifact / graph:
         The deployment artifact and the graph to serve requests against.
     fanouts:
-        Per-layer neighbour caps (innermost first); an ``int`` broadcasts
-        over the artifact's layers, ``None`` / non-positive keeps every
+        Per-hop neighbour caps (innermost first); an ``int`` broadcasts
+        over the artifact's ``total_hops`` (TAG layers consume one block
+        per adjacency power), ``None`` / non-positive keeps every
         neighbour — with unlimited fanout block serving matches the
         full-graph engine to float round-off.
     batch_size:
@@ -450,7 +684,7 @@ class BlockSession(InferenceSession):
             if cache_size > 0 else None
         self.sampler = NeighborSampler(
             graph, fanouts, batch_size=self.batch_size,
-            num_layers=artifact.num_layers,
+            num_layers=artifact.total_hops,
             seed_nodes=np.arange(graph.num_nodes, dtype=np.int64),
             shuffle=False, seed=seed, cache=self.cache)
 

@@ -108,11 +108,15 @@ class MinibatchTrainer:
 
     # ------------------------------------------------------------------ #
     def _num_layers(self) -> int:
+        """Blocks per batch: the model's total hop count (TAG layers consume
+        ``hops`` blocks each), not its layer count."""
+        from repro.gnn.models import total_hops
+
         convs = getattr(self.model, "convs", None)
         if convs is None:
             raise TypeError("MinibatchTrainer needs a conv-stack classifier "
                             "(an object with a .convs ModuleList)")
-        return len(convs)
+        return total_hops(convs)
 
     def make_sampler(self, graph: Graph,
                      seed_nodes: Optional[np.ndarray] = None) -> NeighborSampler:

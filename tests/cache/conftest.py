@@ -7,6 +7,7 @@ import pytest
 
 from repro.quant.qmodules import (
     QuantNodeClassifier,
+    gat_component_names,
     gcn_component_names,
     uniform_assignment,
 )
@@ -14,13 +15,23 @@ from repro.serving import QuantizedArtifact
 from repro.training.trainer import train_node_classifier
 
 
+def _train_artifact(graph, conv_type, component_names) -> QuantizedArtifact:
+    model = QuantNodeClassifier.from_assignment(
+        [(graph.num_features, 16), (16, graph.num_classes)], conv_type,
+        uniform_assignment(component_names, 8), dropout=0.0,
+        rng=np.random.default_rng(0))
+    train_node_classifier(model, graph, epochs=6, lr=0.02)
+    model.eval()
+    return QuantizedArtifact.from_model(model)
+
+
 @pytest.fixture(scope="session")
 def cache_artifact(small_cora) -> QuantizedArtifact:
     """A trained INT8 GCN deployment artifact bound to ``small_cora``."""
-    model = QuantNodeClassifier.from_assignment(
-        [(small_cora.num_features, 16), (16, small_cora.num_classes)], "gcn",
-        uniform_assignment(gcn_component_names(2), 8), dropout=0.0,
-        rng=np.random.default_rng(0))
-    train_node_classifier(model, small_cora, epochs=6, lr=0.02)
-    model.eval()
-    return QuantizedArtifact.from_model(model)
+    return _train_artifact(small_cora, "gcn", gcn_component_names(2))
+
+
+@pytest.fixture(scope="session")
+def attention_artifact(small_cora) -> QuantizedArtifact:
+    """A trained INT8 GAT artifact — the score-plan serving path."""
+    return _train_artifact(small_cora, "gat", gat_component_names(2))

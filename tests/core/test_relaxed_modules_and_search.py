@@ -71,7 +71,7 @@ class TestBuilders:
 
     def test_unknown_conv_type(self):
         with pytest.raises(KeyError):
-            build_relaxed_node_classifier("gat", [(5, 3)], BIT_CHOICES)
+            build_relaxed_node_classifier("chebnet", [(5, 3)], BIT_CHOICES)
 
     def test_graph_classifier_builder(self, tu_graphs):
         model = build_relaxed_graph_classifier(tu_graphs[0].num_features, 8, 2,

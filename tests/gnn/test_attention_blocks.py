@@ -1,0 +1,130 @@
+"""Attention layers on bipartite blocks: fanout=∞ parity and hop plans.
+
+The contract these tests pin down is the block-mode extension of the
+attention families: with unlimited fanout and all nodes as seeds, block
+execution must reproduce full-graph execution *bit-identically* (the
+canonical edge list of ``repro.gnn.attention`` makes the per-target float
+accumulation order identical on both paths), and TAG layers must consume
+exactly one block per adjacency power (their hop plan).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gnn.attention import attention_edges
+from repro.gnn.models import build_node_model, hop_plan, total_hops
+from repro.gnn.tag import TAGConv, hop_views
+from repro.graphs.sampling import NeighborSampler
+from repro.tensor.tensor import Tensor, no_grad
+from repro.training.minibatch import MinibatchTrainer
+
+ATTENTION_FAMILIES = ("gat", "transformer", "tag")
+
+
+def _full_batch(graph, num_hops, seed=0):
+    """One fanout=∞ batch covering every node, in natural order."""
+    sampler = NeighborSampler(graph, None, batch_size=graph.num_nodes,
+                              num_layers=num_hops,
+                              seed_nodes=np.arange(graph.num_nodes),
+                              shuffle=False, seed=seed)
+    return sampler.sample(np.arange(graph.num_nodes, dtype=np.int64))
+
+
+class TestAttentionEdges:
+    def test_graph_edges_are_target_grouped_with_loops(self, tiny_graph):
+        edges = attention_edges(tiny_graph)
+        assert edges.num_src == edges.num_dst == tiny_graph.num_nodes
+        assert edges.num_edges == tiny_graph.num_edges + tiny_graph.num_nodes
+        # the trailing num_nodes entries are the self loops, in order
+        np.testing.assert_array_equal(edges.src[-tiny_graph.num_nodes:],
+                                      np.arange(tiny_graph.num_nodes))
+        np.testing.assert_array_equal(edges.dst[-tiny_graph.num_nodes:],
+                                      np.arange(tiny_graph.num_nodes))
+
+    def test_block_edges_match_graph_at_unlimited_fanout(self, sbm_graph):
+        batch = _full_batch(sbm_graph, 1)
+        block_edges = attention_edges(batch.blocks[0])
+        graph_edges = attention_edges(sbm_graph)
+        # seeds are 0..n-1 in order, so local ids equal global ids and the
+        # canonical edge lists coincide entirely
+        np.testing.assert_array_equal(block_edges.src, graph_edges.src)
+        np.testing.assert_array_equal(block_edges.dst, graph_edges.dst)
+
+    def test_edges_are_memoised_per_graph(self, tiny_graph):
+        assert attention_edges(tiny_graph) is attention_edges(tiny_graph)
+
+
+class TestUnlimitedFanoutParity:
+    @pytest.mark.parametrize("family", ATTENTION_FAMILIES)
+    def test_block_logits_bit_identical_to_full_graph(self, sbm_graph, family):
+        model = build_node_model(family, sbm_graph.num_features, 16,
+                                 sbm_graph.num_classes,
+                                 rng=np.random.default_rng(0), dropout=0.0)
+        model.eval()
+        batch = _full_batch(sbm_graph, total_hops(model.convs))
+        with no_grad():
+            full = model(sbm_graph).data
+            block = model(batch).data
+        np.testing.assert_array_equal(block, full)
+
+    @pytest.mark.parametrize("family", ATTENTION_FAMILIES)
+    def test_fanout_capped_forward_is_finite(self, sbm_graph, family):
+        model = build_node_model(family, sbm_graph.num_features, 8,
+                                 sbm_graph.num_classes,
+                                 rng=np.random.default_rng(1), dropout=0.0)
+        sampler = NeighborSampler(sbm_graph, 3, batch_size=16,
+                                  num_layers=total_hops(model.convs),
+                                  shuffle=False, seed=2)
+        batch = sampler.sample(np.arange(16, dtype=np.int64))
+        with no_grad():
+            logits = model(batch).data
+        assert logits.shape == (16, sbm_graph.num_classes)
+        assert np.isfinite(logits).all()
+
+    @pytest.mark.parametrize("family", ATTENTION_FAMILIES)
+    def test_minibatch_training_learns(self, sbm_graph, family):
+        model = build_node_model(family, sbm_graph.num_features, 16,
+                                 sbm_graph.num_classes,
+                                 rng=np.random.default_rng(3), dropout=0.0)
+        trainer = MinibatchTrainer(model, fanouts=4, batch_size=32, seed=0)
+        result = trainer.fit(sbm_graph, epochs=5)
+        assert result.loss_history[-1] < result.loss_history[0]
+
+
+class TestHopPlans:
+    def test_hop_plan_counts_tag_hops(self, sbm_graph):
+        model = build_node_model("tag", sbm_graph.num_features, 8,
+                                 sbm_graph.num_classes,
+                                 rng=np.random.default_rng(0))
+        assert hop_plan(model.convs) == [3, 3]
+        assert total_hops(model.convs) == 6
+
+    def test_tag_rejects_wrong_block_count(self, sbm_graph):
+        conv = TAGConv(sbm_graph.num_features, 4, hops=2,
+                       rng=np.random.default_rng(0))
+        batch = _full_batch(sbm_graph, 1)
+        with pytest.raises(ValueError, match="hops=2"):
+            conv(Tensor(batch.x), batch.blocks)
+
+    def test_hop_views_accepts_single_block_for_one_hop(self, sbm_graph):
+        batch = _full_batch(sbm_graph, 1)
+        views = hop_views(batch.blocks[0], 1)
+        assert views == [batch.blocks[0]]
+
+    def test_forward_blocks_rejects_mismatched_stack(self, sbm_graph):
+        model = build_node_model("tag", sbm_graph.num_features, 8,
+                                 sbm_graph.num_classes,
+                                 rng=np.random.default_rng(0))
+        batch = _full_batch(sbm_graph, 2)  # needs 6 blocks, give 2
+        with pytest.raises(ValueError, match="one entry per hop"):
+            model(batch)
+
+    def test_trainer_sizes_sampler_by_hops(self, sbm_graph):
+        model = build_node_model("tag", sbm_graph.num_features, 8,
+                                 sbm_graph.num_classes,
+                                 rng=np.random.default_rng(0), dropout=0.0)
+        trainer = MinibatchTrainer(model, fanouts=3, batch_size=16, seed=0)
+        sampler = trainer.make_sampler(sbm_graph)
+        assert len(sampler.fanouts) == 6

@@ -1,0 +1,178 @@
+"""Quantized attention convolutions: components, QAT behaviour, block parity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.build import build_relaxed_node_classifier
+from repro.gnn.models import total_hops
+from repro.graphs.sampling import NeighborSampler
+from repro.quant.qmodules import (
+    QuantGATConv,
+    QuantNodeClassifier,
+    QuantTAGConv,
+    QuantTransformerConv,
+    gat_component_names,
+    tag_component_names,
+    transformer_component_names,
+    uniform_assignment,
+)
+from repro.tensor.tensor import no_grad
+
+FAMILIES = ("gat", "tag", "transformer")
+
+_NAMES = {
+    "gat": lambda layers: gat_component_names(layers),
+    "tag": lambda layers: tag_component_names(layers, hops=2),
+    "transformer": lambda layers: transformer_component_names(layers),
+}
+
+
+def _build(conv_type, graph, bits=8, hidden=12, seed=0):
+    assignment = uniform_assignment(_NAMES[conv_type](2), bits)
+    extra = {"hops": 2} if conv_type == "tag" else {}
+    return QuantNodeClassifier.from_assignment(
+        [(graph.num_features, hidden), (hidden, graph.num_classes)], conv_type,
+        assignment, dropout=0.0, rng=np.random.default_rng(seed), **extra)
+
+
+class TestComponentNames:
+    def test_gat_components(self):
+        names = gat_component_names(2)
+        assert "conv0.input" in names and "conv1.input" not in names
+        assert "conv0.attention" in names and "conv1.attention" in names
+        assert "conv1.linear_out" in names
+
+    def test_transformer_components(self):
+        names = transformer_component_names(1)
+        assert set(names) == {f"conv0.{c}" for c in QuantTransformerConv.COMPONENTS}
+
+    def test_tag_components_scale_with_hops(self):
+        names = tag_component_names(1, hops=2)
+        assert "conv0.weight_2" in names and "conv0.weight_3" not in names
+        assert "conv0.hop_out" in names and "conv0.adjacency" in names
+
+    def test_component_bits_round_trip(self, sbm_graph):
+        for family in FAMILIES:
+            model = _build(family, sbm_graph, bits=4)
+            bits = model.component_bits()
+            assert set(bits) == set(_NAMES[family](2))
+            assert all(value == 4 for value in bits.values())
+            assert model.average_bits() == pytest.approx(4.0)
+
+
+class TestQuantForward:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_forward_shapes_and_finiteness(self, sbm_graph, family):
+        model = _build(family, sbm_graph)
+        logits = model(sbm_graph)
+        assert logits.shape == (sbm_graph.num_nodes, sbm_graph.num_classes)
+        assert np.isfinite(logits.data).all()
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_block_forward_matches_full_at_unlimited_fanout(self, sbm_graph,
+                                                            family):
+        model = _build(family, sbm_graph)
+        model(sbm_graph)  # initialise the observers once
+        model.eval()
+        sampler = NeighborSampler(sbm_graph, None,
+                                  batch_size=sbm_graph.num_nodes,
+                                  num_layers=total_hops(model.convs),
+                                  seed_nodes=np.arange(sbm_graph.num_nodes),
+                                  shuffle=False, seed=0)
+        batch = sampler.sample(np.arange(sbm_graph.num_nodes, dtype=np.int64))
+        with no_grad():
+            full = model(sbm_graph).data
+            block = model(batch).data
+        np.testing.assert_array_equal(block, full)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_lower_bits_fewer_bitops(self, sbm_graph, family):
+        low = _build(family, sbm_graph, bits=4).bit_operations(sbm_graph)
+        high = _build(family, sbm_graph, bits=8).bit_operations(sbm_graph)
+        assert low.total_bit_operations < high.total_bit_operations
+
+    def test_tag_needs_at_least_one_hop(self):
+        with pytest.raises(ValueError):
+            QuantTAGConv(4, 4, {}, hops=0)
+
+    def test_gat_attention_quantizer_is_symmetric(self, sbm_graph):
+        conv = _build("gat", sbm_graph).convs[0]
+        assert isinstance(conv, QuantGATConv)
+        assert conv.attention_quantizer.symmetric
+
+
+class TestDegreeQuantAlignment:
+    def test_tag_hop_quantizers_see_per_hop_blocks(self, sbm_graph,
+                                                   monkeypatch):
+        """Hop outputs are row-indexed by each hop view's target side, so
+        Degree-Quant protection must be re-aligned per hop — not left on the
+        layer's input block."""
+        from repro.quant.degree_quant import (
+            attach_degree_probabilities,
+            degree_quant_factory,
+        )
+
+        model = QuantNodeClassifier.from_assignment(
+            [(sbm_graph.num_features, 8), (8, sbm_graph.num_classes)], "tag",
+            uniform_assignment(tag_component_names(2, hops=2), 8),
+            quantizer_factory=degree_quant_factory(), hops=2, dropout=0.0,
+            rng=np.random.default_rng(0))
+        attach_degree_probabilities(model, sbm_graph)
+        sampler = NeighborSampler(sbm_graph, 3, batch_size=16, num_layers=4,
+                                  shuffle=False, seed=0)
+        batch = sampler.sample(np.arange(16, dtype=np.int64))
+
+        seen = []
+        quantizer = model.convs[0].hop_out_quantizer
+        original = quantizer.set_active_block
+        monkeypatch.setattr(quantizer, "set_active_block",
+                            lambda block: (seen.append(block),
+                                           original(block)))
+        model(batch)
+        # forward_blocks announces the layer's input block, then the conv
+        # re-aligns to each of its two hop views, then everything clears
+        assert batch.blocks[0] in seen and batch.blocks[1] in seen
+        assert seen[-1] is None
+
+    def test_from_float_rejects_mixed_tag_hops(self, sbm_graph):
+        from repro.gnn.models import NodeClassifier
+        from repro.gnn.tag import TAGConv
+
+        rng = np.random.default_rng(0)
+        model = NodeClassifier([
+            TAGConv(sbm_graph.num_features, 8, hops=2, rng=rng),
+            TAGConv(8, sbm_graph.num_classes, hops=3, rng=rng)])
+        with pytest.raises(TypeError, match="uniform TAG hops"):
+            QuantNodeClassifier.from_float(model, {})
+
+    def test_from_float_copies_tag_hops(self, sbm_graph):
+        from repro.gnn.models import NodeClassifier
+        from repro.gnn.tag import TAGConv
+
+        rng = np.random.default_rng(0)
+        model = NodeClassifier([
+            TAGConv(sbm_graph.num_features, 8, hops=2, rng=rng),
+            TAGConv(8, sbm_graph.num_classes, hops=2, rng=rng)])
+        mirrored = QuantNodeClassifier.from_float(model, {})
+        assert [conv.hops for conv in mirrored.convs] == [2, 2]
+
+
+class TestRelaxedFamilies:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_export_matches_quant_component_names(self, sbm_graph, family):
+        hops = 2 if family == "tag" else 3
+        relaxed = build_relaxed_node_classifier(
+            family, [(sbm_graph.num_features, 8), (8, sbm_graph.num_classes)],
+            [4, 8], hops=hops, rng=np.random.default_rng(0))
+        assignment = relaxed.export_assignment()
+        expected = _NAMES[family](2) if family != "tag" \
+            else tag_component_names(2, hops=hops)
+        assert set(assignment) == set(expected)
+        # the exported assignment instantiates the quantized model directly
+        extra = {"hops": hops} if family == "tag" else {}
+        model = QuantNodeClassifier.from_assignment(
+            [(sbm_graph.num_features, 8), (8, sbm_graph.num_classes)], family,
+            assignment, rng=np.random.default_rng(0), **extra)
+        assert set(model.component_bits()) == set(expected)

@@ -123,7 +123,7 @@ class TestQuantNodeClassifier:
 
     def test_unknown_conv_type_rejected(self):
         with pytest.raises(KeyError):
-            QuantNodeClassifier.from_assignment(LAYER_DIMS, "gat", {})
+            QuantNodeClassifier.from_assignment(LAYER_DIMS, "chebnet", {})
 
     def test_lower_bits_fewer_bitops(self, small_cora):
         dims = [(small_cora.num_features, 8), (8, small_cora.num_classes)]

@@ -7,19 +7,31 @@ import pytest
 
 from repro.quant.qmodules import (
     QuantNodeClassifier,
+    gat_component_names,
     gcn_component_names,
     gin_component_names,
     sage_component_names,
+    tag_component_names,
+    transformer_component_names,
     uniform_assignment,
 )
 from repro.training.trainer import train_node_classifier
 
 CONV_TYPES = ("gcn", "sage", "gin")
+#: Families served through per-edge score plans (tested separately — their
+#: fixtures are lighter and TAG carries a hop plan).
+ATTENTION_CONV_TYPES = ("gat", "tag", "transformer")
+
+#: TAG depth used throughout the serving tests (kept small for speed).
+TAG_TEST_HOPS = 2
 
 _COMPONENT_NAMES = {
     "gcn": lambda layers: gcn_component_names(layers),
     "sage": lambda layers: sage_component_names(layers),
     "gin": lambda layers: gin_component_names(layers, with_head=False),
+    "gat": lambda layers: gat_component_names(layers),
+    "tag": lambda layers: tag_component_names(layers, hops=TAG_TEST_HOPS),
+    "transformer": lambda layers: transformer_component_names(layers),
 }
 
 
@@ -27,9 +39,10 @@ def train_quantized(conv_type: str, graph, bits: int = 8, hidden: int = 16,
                     epochs: int = 12, seed: int = 0) -> QuantNodeClassifier:
     """A small trained (observers initialised) quantized classifier."""
     assignment = uniform_assignment(_COMPONENT_NAMES[conv_type](2), bits)
+    extra = {"hops": TAG_TEST_HOPS} if conv_type == "tag" else {}
     model = QuantNodeClassifier.from_assignment(
         [(graph.num_features, hidden), (hidden, graph.num_classes)], conv_type,
-        assignment, dropout=0.0, rng=np.random.default_rng(seed))
+        assignment, dropout=0.0, rng=np.random.default_rng(seed), **extra)
     train_node_classifier(model, graph, epochs=epochs, lr=0.02)
     model.eval()
     return model
@@ -37,5 +50,12 @@ def train_quantized(conv_type: str, graph, bits: int = 8, hidden: int = 16,
 
 @pytest.fixture(scope="session")
 def served_models(small_cora):
-    """One trained int8 model per supported conv family (shared, read-only)."""
+    """One trained int8 model per matrix conv family (shared, read-only)."""
     return {conv: train_quantized(conv, small_cora) for conv in CONV_TYPES}
+
+
+@pytest.fixture(scope="session")
+def attention_models(small_cora):
+    """One trained int8 model per attention conv family (shared, read-only)."""
+    return {conv: train_quantized(conv, small_cora, epochs=8)
+            for conv in ATTENTION_CONV_TYPES}

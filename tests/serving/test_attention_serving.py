@@ -1,0 +1,147 @@
+"""Score-plan serving: artifact export, integer execution, fanout=∞ parity.
+
+Acceptance contract of the attention serving path: a ``QuantizedArtifact``
+exported from a GAT / TAG / Transformer classifier round-trips through disk
+bit-exactly, integer sessions match the QAT reference closely, and block
+serving with unlimited fanout is **bit-identical** to the full-graph engine
+— float, QAT and integer paths alike (the float/QAT halves live in
+``tests/gnn`` / ``tests/quant``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    BlockSession,
+    FullGraphSession,
+    QUANTIZER_SLOTS,
+    QuantizedArtifact,
+    tag_weight_slots,
+)
+from repro.tensor.tensor import no_grad
+
+# Mirrors tests/serving/conftest.py (kept literal: a bare ``import conftest``
+# is ambiguous when several conftest files share one pytest run).
+ATTENTION_CONV_TYPES = ("gat", "tag", "transformer")
+TAG_TEST_HOPS = 2
+
+
+@pytest.fixture(scope="module")
+def artifacts(attention_models):
+    return {conv: QuantizedArtifact.from_model(model)
+            for conv, model in attention_models.items()}
+
+
+class TestAttentionArtifacts:
+    @pytest.mark.parametrize("conv", ATTENTION_CONV_TYPES)
+    def test_export_slots(self, artifacts, conv):
+        artifact = artifacts[conv]
+        assert artifact.conv_type == conv
+        for plan in artifact.layers:
+            assert set(plan.quantizers) == set(QUANTIZER_SLOTS[conv])
+            if conv == "tag":
+                assert set(plan.weights) == set(tag_weight_slots(TAG_TEST_HOPS))
+                assert plan.hops == TAG_TEST_HOPS
+            else:
+                assert plan.hops == 1
+
+    def test_total_hops(self, artifacts):
+        assert artifacts["gat"].total_hops == 2
+        assert artifacts["transformer"].total_hops == 2
+        assert artifacts["tag"].total_hops == 2 * TAG_TEST_HOPS
+
+    def test_gat_keeps_attention_vectors_fp32(self, artifacts):
+        for plan in artifacts["gat"].layers:
+            assert plan.weights["attention_src"].bits == 32
+            assert plan.weights["attention_dst"].bits == 32
+            assert plan.weights["weight"].bits == 8
+
+    @pytest.mark.parametrize("conv", ATTENTION_CONV_TYPES)
+    def test_save_load_round_trip_bit_exact(self, artifacts, small_cora,
+                                            tmp_path, conv):
+        artifact = artifacts[conv]
+        artifact.save(tmp_path / "artifact")
+        loaded = QuantizedArtifact.load(tmp_path / "artifact.json")
+        before = FullGraphSession(artifact, small_cora).predict()
+        after = FullGraphSession(loaded, small_cora).predict()
+        np.testing.assert_array_equal(after, before)
+        assert [plan.hops for plan in loaded.layers] \
+            == [plan.hops for plan in artifact.layers]
+
+
+class TestAttentionSessions:
+    @pytest.mark.parametrize("conv", ATTENTION_CONV_TYPES)
+    def test_integer_matches_qat_reference(self, artifacts, attention_models,
+                                           small_cora, conv):
+        with no_grad():
+            reference = attention_models[conv](small_cora).data
+        logits = FullGraphSession(artifacts[conv], small_cora).predict()
+        np.testing.assert_allclose(logits, reference, atol=5e-2)
+        # integer classes agree with the QAT model almost everywhere
+        agreement = (logits.argmax(1) == reference.argmax(1)).mean()
+        assert agreement > 0.95
+
+    @pytest.mark.parametrize("conv", ATTENTION_CONV_TYPES)
+    def test_unlimited_fanout_block_bit_identical_to_full(self, artifacts,
+                                                          small_cora, conv):
+        full = FullGraphSession(artifacts[conv], small_cora).predict()
+        block = BlockSession(artifacts[conv], small_cora, fanouts=None,
+                             batch_size=small_cora.num_nodes).predict()
+        np.testing.assert_array_equal(block, full)
+
+    @pytest.mark.parametrize("conv", ATTENTION_CONV_TYPES)
+    def test_fanout_capped_serving_is_finite_and_bounded(self, artifacts,
+                                                         small_cora, conv):
+        session = BlockSession(artifacts[conv], small_cora, fanouts=3,
+                               batch_size=16)
+        run = session.run(np.arange(12, dtype=np.int64))
+        assert run.logits.shape == (12, small_cora.num_classes)
+        assert np.isfinite(run.logits).all()
+        assert run.num_seeds == 12
+        assert run.num_input_nodes < small_cora.num_nodes
+
+    @pytest.mark.parametrize("conv", ATTENTION_CONV_TYPES)
+    def test_repeat_requests_are_deterministic(self, artifacts, small_cora,
+                                               conv):
+        session = BlockSession(artifacts[conv], small_cora, fanouts=4,
+                               batch_size=16, seed=3)
+        nodes = np.arange(20, dtype=np.int64)
+        np.testing.assert_array_equal(session.predict(nodes),
+                                      session.predict(nodes))
+
+
+class TestAttentionBitOps:
+    @pytest.mark.parametrize("conv", ATTENTION_CONV_TYPES)
+    def test_block_bitops_at_unlimited_fanout_equal_full_graph(self, artifacts,
+                                                               small_cora,
+                                                               conv):
+        full = FullGraphSession(artifacts[conv], small_cora)
+        block = BlockSession(artifacts[conv], small_cora, fanouts=None,
+                             batch_size=small_cora.num_nodes)
+        full_counter = full.run().bit_operations
+        block_counter = block.run().bit_operations
+        assert block_counter.total_bit_operations \
+            == full_counter.total_bit_operations
+        # and the statically derived count agrees with the executed one
+        assert full.bit_operations().total_bit_operations \
+            == full_counter.total_bit_operations
+
+    @pytest.mark.parametrize("conv", ATTENTION_CONV_TYPES)
+    def test_score_stage_is_accounted(self, artifacts, small_cora, conv):
+        counter = FullGraphSession(artifacts[conv], small_cora).bit_operations()
+        names = [record.name for record in counter.records]
+        if conv == "tag":
+            assert any("aggregate_hop" in name for name in names)
+            assert any("transform_hop" in name for name in names)
+        else:
+            assert any(name.endswith(".score") for name in names)
+            assert any(name.endswith(".aggregate") for name in names)
+
+    def test_fanout_capped_bitops_below_full(self, artifacts, small_cora):
+        full = FullGraphSession(artifacts["gat"], small_cora).run()
+        capped = BlockSession(artifacts["gat"], small_cora, fanouts=2,
+                              batch_size=8).run(np.arange(8, dtype=np.int64))
+        assert capped.bit_operations.total_bit_operations \
+            < full.bit_operations.total_bit_operations
