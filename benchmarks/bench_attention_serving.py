@@ -8,6 +8,12 @@ list — while the parity contracts survive at scale: fanout=∞ block logits
 stay bit-identical to the full-graph engine, and cached serving stays
 bit-identical to uncached.
 
+The heads sweep (``test_attention_heads_scaling``) serves the same graph
+through H ∈ {1, 2, 4, 8} head artifacts: under concat merge the transform
+and aggregation widths are head-invariant, so BitOPs grow only through
+the per-head score stage — mildly and monotonically — while fanout=∞
+parity holds at every head count.
+
 Sizes are modest at the quick scale (CI); run with ``REPRO_SCALE=standard``
 for the larger sweep.
 """
@@ -38,13 +44,13 @@ def _make_graph(num_nodes: int, seed: int = 0):
     return generate_sbm_graph(config, seed=seed)
 
 
-def _export_artifact(calibration_graph) -> QuantizedArtifact:
+def _export_artifact(calibration_graph, heads: int = 1) -> QuantizedArtifact:
     """INT8 GAT artifact calibrated on the smallest graph."""
     model = QuantNodeClassifier.from_assignment(
         [(calibration_graph.num_features, 32),
          (32, calibration_graph.num_classes)],
         "gat", uniform_assignment(gat_component_names(2), 8),
-        dropout=0.0, rng=np.random.default_rng(0))
+        dropout=0.0, heads=heads, rng=np.random.default_rng(0))
     train_node_classifier(model, calibration_graph, epochs=2, lr=0.01)
     model.eval()
     return QuantizedArtifact.from_model(model)
@@ -122,3 +128,53 @@ def test_attention_serving_scaling(benchmark):
     block_ops = [row[5].bit_operations.total_bit_operations for row in rows]
     assert full_ops[-1] > full_ops[0]
     assert block_ops[-1] < 2 * block_ops[0]
+
+
+HEAD_COUNTS = (1, 2, 4, 8)
+
+
+def _heads_sweep():
+    quick = current_scale().name == "quick"
+    graph = _make_graph(2_000 if quick else 10_000)
+    rng = np.random.default_rng(11)
+    seeds = rng.choice(graph.num_nodes, size=REQUEST_SEEDS, replace=False)
+
+    rows = []
+    for heads in HEAD_COUNTS:
+        artifact = _export_artifact(graph, heads=heads)
+        full = FullGraphSession(artifact, graph)
+        session = BlockSession(artifact, graph, fanouts=FANOUT,
+                               batch_size=REQUEST_SEEDS, seed=1)
+        start = time.perf_counter()
+        run = session.run(seeds)
+        latency = time.perf_counter() - start
+        exact = BlockSession(artifact, graph, fanouts=None,
+                             batch_size=graph.num_nodes).predict()
+        parity = np.array_equal(exact, full.predict())
+        rows.append((heads, latency, run,
+                     full.bit_operations().total_bit_operations, parity))
+    return rows
+
+
+def test_attention_heads_scaling(benchmark):
+    rows = run_once(benchmark, _heads_sweep)
+
+    print(f"\nGAT heads sweep (one {REQUEST_SEEDS}-seed request, "
+          f"fanout={FANOUT}, concat merge — width fixed, scores per head)")
+    print(f"{'heads':>6} {'latency ms':>11} {'req GBitOPs':>12} "
+          f"{'full GBitOPs':>13}")
+    for heads, latency, run, full_ops, _ in rows:
+        print(f"{heads:>6} {latency * 1e3:>11.2f} "
+              f"{run.giga_bit_operations():>12.4f} {full_ops / 1e9:>13.4f}")
+
+    # fanout=∞ block == full-graph, bit-identical, at every head count
+    assert all(parity for *_, parity in rows)
+    # the per-head score stage makes cost strictly monotone in heads...
+    request_ops = [run.bit_operations.total_bit_operations
+                   for _, _, run, _, _ in rows]
+    full_ops = [ops for *_, ops, _ in rows]
+    assert request_ops == sorted(request_ops) and request_ops[-1] > request_ops[0]
+    assert full_ops == sorted(full_ops) and full_ops[-1] > full_ops[0]
+    # ...but under concat merge the transform/aggregate widths are head-
+    # invariant, so 8 heads stay well below twice the single-head cost
+    assert request_ops[-1] < 2 * request_ops[0]

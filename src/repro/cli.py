@@ -20,8 +20,11 @@ neighbor-sampled blocks — and reports per-request latency and BitOPs.
 Every sub-command accepts ``--conv`` from the six supported layer families
 (gcn / sage / gin / gat / tag / transformer); the attention families run in
 block mode through per-edge score plans, with ``--hops`` selecting the TAG
-polynomial depth.  See ``docs/serving.md`` for the end-to-end
-export-then-predict guide and the knob defaults.
+polynomial depth and ``--heads`` / ``--head-merge`` the multi-head
+configuration of the GAT / Transformer layers (hidden layers merge by
+``--head-merge``, the output layer averages its heads).  See
+``docs/serving.md`` for the end-to-end export-then-predict guide and the
+knob defaults.
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ import numpy as np
 
 from repro.core.build import layer_dimensions
 from repro.core.mixq import MixQNodeClassifier
+from repro.core.search_space import conv_component_names
 from repro.experiments.common import format_table
 from repro.experiments.config import current_scale
 from repro.experiments.results_io import load_assignment, save_assignment, save_mixq_result
@@ -43,12 +47,6 @@ from repro.quant.degree_quant import DegreeQuantizer, attach_degree_probabilitie
 from repro.quant.qmodules import (
     QuantNodeClassifier,
     default_quantizer_factory,
-    gat_component_names,
-    gcn_component_names,
-    gin_component_names,
-    sage_component_names,
-    tag_component_names,
-    transformer_component_names,
     uniform_assignment,
 )
 
@@ -71,6 +69,14 @@ def _add_common_model_arguments(parser: argparse.ArgumentParser,
     parser.add_argument("--hops", type=int, default=3,
                         help="adjacency powers per TAG layer; other families "
                              "ignore it (default: 3)")
+    parser.add_argument("--heads", type=int, default=1,
+                        help="attention heads per GAT / Transformer layer; "
+                             "other families ignore it (default: 1)")
+    parser.add_argument("--head-merge", default="concat",
+                        choices=["concat", "mean"],
+                        help="hidden-layer head merge; the output layer "
+                             "always averages its heads (default: concat, "
+                             "which needs --hidden divisible by --heads)")
     parser.add_argument("--scale", type=float, default=0.2,
                         help="dataset down-scaling factor (default: 0.2)")
     parser.add_argument("--seed", type=int, default=0,
@@ -79,26 +85,13 @@ def _add_common_model_arguments(parser: argparse.ArgumentParser,
                         help="use Degree-Quant quantizers (MixQ + DQ)")
 
 
-def _component_names(conv: str, num_layers: int, hops: int = 3) -> List[str]:
-    if conv == "gcn":
-        return gcn_component_names(num_layers)
-    if conv == "sage":
-        return sage_component_names(num_layers)
-    if conv == "gat":
-        return gat_component_names(num_layers)
-    if conv == "tag":
-        return tag_component_names(num_layers, hops=hops)
-    if conv == "transformer":
-        return transformer_component_names(num_layers)
-    return gin_component_names(num_layers, with_head=False)
-
-
 def _build_mixq(args, graph, lambda_value: float) -> MixQNodeClassifier:
     factory = degree_quant_factory() if args.degree_quant else default_quantizer_factory
     return MixQNodeClassifier(args.conv, graph.num_features, args.hidden,
                               graph.num_classes, num_layers=args.layers,
                               bit_choices=tuple(args.bits), lambda_value=lambda_value,
                               quantizer_factory=factory, hops=args.hops,
+                              heads=args.heads, head_merge=args.head_merge,
                               seed=args.seed)
 
 
@@ -124,7 +117,7 @@ def _command_train(args) -> int:
         assignment = load_assignment(args.assignment)
     else:
         assignment = uniform_assignment(
-            _component_names(args.conv, args.layers, args.hops),
+            conv_component_names(args.conv, args.layers, hops=args.hops),
             args.uniform_bits)
     mixq = _build_mixq(args, graph, lambda_value=0.0)
     result = mixq.fit(graph, train_epochs=args.epochs, assignment=assignment)
@@ -171,7 +164,8 @@ def _command_table(args) -> int:
 
 def _train_for_export(dataset: str, conv: str, hidden: int, layers: int,
                       scale: float, seed: int, assignment, epochs: int,
-                      lr: float, degree_quant: bool, hops: int = 3):
+                      lr: float, degree_quant: bool, hops: int = 3,
+                      heads: int = 1, head_merge: str = "concat"):
     """The deterministic QAT run behind ``repro export``.
 
     Shared with the test suite so the in-memory fake-quantized reference the
@@ -185,6 +179,7 @@ def _train_for_export(dataset: str, conv: str, hidden: int, layers: int,
     model = QuantNodeClassifier.from_assignment(
         layer_dimensions(graph.num_features, hidden, graph.num_classes, layers),
         conv, assignment, quantizer_factory=factory, hops=hops,
+        heads=heads, head_merge=head_merge,
         rng=np.random.default_rng(seed))
     if any(isinstance(module, DegreeQuantizer) for module in model.modules()):
         attach_degree_probabilities(model, graph)
@@ -201,15 +196,17 @@ def _command_export(args) -> int:
         assignment = load_assignment(args.assignment)
     else:
         assignment = uniform_assignment(
-            _component_names(args.conv, args.layers, args.hops),
+            conv_component_names(args.conv, args.layers, hops=args.hops),
             args.uniform_bits)
     graph, model, accuracy = _train_for_export(
         args.dataset, args.conv, args.hidden, args.layers, args.scale, args.seed,
-        assignment, args.epochs, args.lr, args.degree_quant, hops=args.hops)
+        assignment, args.epochs, args.lr, args.degree_quant, hops=args.hops,
+        heads=args.heads, head_merge=args.head_merge)
 
     artifact = QuantizedArtifact.from_model(model, metadata={
         "dataset": args.dataset, "scale": args.scale, "seed": args.seed,
         "hidden": args.hidden, "test_accuracy": float(accuracy),
+        "heads": int(args.heads), "head_merge": args.head_merge,
         "degree_quant": bool(args.degree_quant)})
     npz_path, json_path = artifact.save(args.out)
     print(artifact.summary())

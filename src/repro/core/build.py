@@ -26,6 +26,7 @@ from repro.core.relaxed_modules import (
     RelaxedTransformerConv,
 )
 from repro.gnn.message_passing import MessagePassing
+from repro.gnn.models import head_merge_for_layer
 from repro.quant.qmodules import QuantizerFactory, default_quantizer_factory
 
 _RELAXED_CONVS = {"gcn": RelaxedGCNConv, "gin": RelaxedGINConv,
@@ -49,17 +50,20 @@ def layer_dimensions(in_features: int, hidden_features: int, num_classes: int,
 def build_relaxed_node_classifier(conv_type: str, layer_dims: Sequence[Tuple[int, int]],
                                   bit_choices: Sequence[int], dropout: float = 0.5,
                                   quantizer_factory: QuantizerFactory = default_quantizer_factory,
-                                  hops: int = 3,
+                                  hops: int = 3, heads: int = 1,
+                                  head_merge: str = "concat",
                                   rng: Optional[np.random.Generator] = None
                                   ) -> RelaxedNodeClassifier:
     """Build the relaxed (searchable) node classifier for a layer family.
 
     ``conv_type`` is one of ``"gcn"`` / ``"gin"`` / ``"sage"`` / ``"gat"`` /
     ``"tag"`` / ``"transformer"``; ``layer_dims`` is a list of
-    ``(in_features, out_features)`` pairs and ``hops`` only applies to
-    ``"tag"``.  The first layer receives an input quantizer; intermediate
-    aggregation outputs keep their quantizers so the component count matches
-    the paper's example (nine components for a two-layer GCN).
+    ``(in_features, out_features)`` pairs, ``hops`` only applies to
+    ``"tag"`` and ``heads`` / ``head_merge`` only to the attention families
+    (hidden layers merge by ``head_merge``, the output layer by ``mean``).
+    The first layer receives an input quantizer; intermediate aggregation
+    outputs keep their quantizers so the component count matches the
+    paper's example (nine components for a two-layer GCN).
     """
     key = conv_type.lower()
     if key not in _RELAXED_CONVS:
@@ -67,7 +71,14 @@ def build_relaxed_node_classifier(conv_type: str, layer_dims: Sequence[Tuple[int
     conv_class = _RELAXED_CONVS[key]
     convs: List[MessagePassing] = []
     for index, (fan_in, fan_out) in enumerate(layer_dims):
-        extra = {"hops": hops} if key == "tag" else {}
+        if key == "tag":
+            extra = {"hops": hops}
+        elif key in ("gat", "transformer"):
+            extra = {"heads": heads,
+                     "head_merge": head_merge_for_layer(index, len(layer_dims),
+                                                        heads, head_merge)}
+        else:
+            extra = {}
         convs.append(conv_class(fan_in, fan_out, bit_choices,
                                 quantize_input=(index == 0),
                                 quantizer_factory=quantizer_factory, rng=rng,

@@ -90,6 +90,12 @@ class MixQNodeClassifier:
         Adjacency powers per TAG layer (ignored by the other families).
         In minibatch mode a TAG layer consumes ``hops`` sampled blocks, so
         the neighbor sampler emits ``num_layers * hops`` blocks per batch.
+    heads / head_merge:
+        Attention heads per GAT / Transformer layer (ignored by the other
+        families).  Hidden layers merge head outputs by ``head_merge``
+        (``concat`` by default), the output layer by ``mean``; the merged
+        layer widths never change, so the search space and the assignment
+        format are identical to the single-head setup.
     """
 
     def __init__(self, conv_type: str, in_features: int, hidden_features: int,
@@ -97,7 +103,8 @@ class MixQNodeClassifier:
                  bit_choices: Sequence[int] = (2, 4, 8),
                  lambda_value: float = -1e-8, dropout: float = 0.5,
                  quantizer_factory: QuantizerFactory = default_quantizer_factory,
-                 hops: int = 3, seed: int = 0):
+                 hops: int = 3, heads: int = 1, head_merge: str = "concat",
+                 seed: int = 0):
         self.conv_type = conv_type
         self.layer_dims = layer_dimensions(in_features, hidden_features, num_classes,
                                            num_layers)
@@ -106,6 +113,8 @@ class MixQNodeClassifier:
         self.dropout = dropout
         self.quantizer_factory = quantizer_factory
         self.hops = int(hops)
+        self.heads = int(heads)
+        self.head_merge = head_merge
         self.seed = seed
         self.search_result: Optional[BitWidthSearchResult] = None
         self.quantized_model: Optional[QuantNodeClassifier] = None
@@ -133,6 +142,7 @@ class MixQNodeClassifier:
         relaxed = build_relaxed_node_classifier(
             self.conv_type, self.layer_dims, self.bit_choices, dropout=self.dropout,
             quantizer_factory=self.quantizer_factory, hops=self.hops,
+            heads=self.heads, head_merge=self.head_merge,
             rng=self._rng(1))
         self._configure_degree_quant(relaxed, graph)
         sampler = None
@@ -157,6 +167,7 @@ class MixQNodeClassifier:
         self.quantized_model = QuantNodeClassifier.from_assignment(
             self.layer_dims, self.conv_type, assignment, dropout=self.dropout,
             quantizer_factory=self.quantizer_factory, hops=self.hops,
+            heads=self.heads, head_merge=self.head_merge,
             rng=self._rng(2))
         return self.quantized_model
 

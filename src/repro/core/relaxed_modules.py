@@ -22,7 +22,8 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.core.relaxed_quantizer import RelaxedQuantizer
-from repro.gnn.attention import attention_edges
+from repro.gnn.attention import attention_edges, attention_head_dim
+from repro.gnn.gat import head_scores, merge_heads
 from repro.gnn.message_passing import GraphLike, MessagePassing
 from repro.gnn.models import forward_blocks
 from repro.gnn.sage import mean_adjacency
@@ -277,16 +278,18 @@ class RelaxedSAGEConv(MessagePassing):
 
 
 class RelaxedGATConv(MessagePassing):
-    """Relaxed GAT convolution (components mirror :class:`QuantGATConv`).
+    """Relaxed multi-head GAT convolution (components mirror :class:`QuantGATConv`).
 
     The attention coefficients live in the autograd graph (unlike sparse
     adjacency values), so the ``attention`` component is a plain relaxed
     quantizer applied to the post-softmax tensor — task gradients reach its
-    relaxation parameters directly.
+    relaxation parameters directly.  Heads add score columns, never
+    components, so a multi-head search exports the same assignment format.
     """
 
     def __init__(self, in_features: int, out_features: int, bit_choices: Sequence[int],
                  quantize_input: bool = False, negative_slope: float = 0.2,
+                 heads: int = 1, head_merge: str = "concat",
                  quantizer_factory: QuantizerFactory = default_quantizer_factory,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
@@ -294,10 +297,16 @@ class RelaxedGATConv(MessagePassing):
         self.out_features = out_features
         self.quantize_input = quantize_input
         self.negative_slope = negative_slope
-        self.linear = Linear(in_features, out_features, bias=False, rng=rng)
-        self.attention_src = Parameter(init.glorot_uniform((out_features, 1), rng=rng),
+        self.heads = int(heads)
+        self.head_merge = head_merge
+        self.head_dim = attention_head_dim(out_features, self.heads, head_merge)
+        width = self.heads * self.head_dim
+        self.linear = Linear(in_features, width, bias=False, rng=rng)
+        self.attention_src = Parameter(init.glorot_uniform((self.head_dim, self.heads),
+                                                           rng=rng),
                                        name="attention_src")
-        self.attention_dst = Parameter(init.glorot_uniform((out_features, 1), rng=rng),
+        self.attention_dst = Parameter(init.glorot_uniform((self.head_dim, self.heads),
+                                                           rng=rng),
                                        name="attention_dst")
         self.bias = Parameter(init.zeros((out_features,)), name="bias")
         if quantize_input:
@@ -321,16 +330,20 @@ class RelaxedGATConv(MessagePassing):
         weight = self.weight_relaxed(self.linear.weight)
         transformed = self.linear_out_relaxed(x.matmul(weight))
         edges = attention_edges(graph)
-        score_src = transformed.matmul(self.attention_src).reshape(-1)
-        score_dst = transformed.matmul(self.attention_dst).reshape(-1)
+        score_src = head_scores(transformed, self.attention_src,
+                                self.heads, self.head_dim)
+        score_dst = head_scores(transformed, self.attention_dst,
+                                self.heads, self.head_dim)
         edge_scores = F.leaky_relu(score_src[edges.src] + score_dst[edges.dst],
                                    negative_slope=self.negative_slope)
-        attention = F.scatter_softmax(edge_scores.reshape(-1, 1), edges.dst,
-                                      edges.num_dst)
+        attention = F.scatter_softmax(edge_scores, edges.dst, edges.num_dst)
         attention = self.attention_relaxed(attention)
-        messages = transformed[edges.src] * attention
+        per_head = transformed.reshape(-1, self.heads, self.head_dim)
+        messages = per_head[edges.src] * attention.reshape(-1, self.heads, 1)
         aggregated = F.segment_sum(messages, edges.dst, edges.num_dst)
-        return self.aggregate_out_relaxed(aggregated + self.bias)
+        merged = merge_heads(aggregated, self.heads, self.head_dim,
+                             self.head_merge)
+        return self.aggregate_out_relaxed(merged + self.bias)
 
     def export_bits(self, prefix: str) -> BitWidthAssignment:
         assignment: BitWidthAssignment = {}
@@ -344,19 +357,25 @@ class RelaxedGATConv(MessagePassing):
 
 
 class RelaxedTransformerConv(MessagePassing):
-    """Relaxed Transformer convolution (mirrors :class:`QuantTransformerConv`)."""
+    """Relaxed multi-head Transformer convolution (mirrors
+    :class:`QuantTransformerConv`)."""
 
     def __init__(self, in_features: int, out_features: int, bit_choices: Sequence[int],
-                 quantize_input: bool = False,
+                 quantize_input: bool = False, heads: int = 1,
+                 head_merge: str = "concat",
                  quantizer_factory: QuantizerFactory = default_quantizer_factory,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
         self.in_features = in_features
         self.out_features = out_features
         self.quantize_input = quantize_input
-        self.query = Linear(in_features, out_features, bias=False, rng=rng)
-        self.key = Linear(in_features, out_features, bias=False, rng=rng)
-        self.value = Linear(in_features, out_features, bias=True, rng=rng)
+        self.heads = int(heads)
+        self.head_merge = head_merge
+        self.head_dim = attention_head_dim(out_features, self.heads, head_merge)
+        width = self.heads * self.head_dim
+        self.query = Linear(in_features, width, bias=False, rng=rng)
+        self.key = Linear(in_features, width, bias=False, rng=rng)
+        self.value = Linear(in_features, width, bias=True, rng=rng)
         if quantize_input:
             self.input_relaxed: Optional[RelaxedQuantizer] = RelaxedQuantizer(
                 bit_choices, "activation", quantizer_factory, name="input")
@@ -387,14 +406,18 @@ class RelaxedTransformerConv(MessagePassing):
             + self.value.bias
         values = self.value_out_relaxed(values)
         edges = attention_edges(graph)
-        scale = 1.0 / np.sqrt(self.out_features)
-        edge_scores = (queries[edges.dst] * keys[edges.src]).sum(
-            axis=-1, keepdims=True) * scale
+        queries = queries.reshape(-1, self.heads, self.head_dim)
+        keys = keys.reshape(-1, self.heads, self.head_dim)
+        values = values.reshape(-1, self.heads, self.head_dim)
+        scale = 1.0 / np.sqrt(self.head_dim)
+        edge_scores = (queries[edges.dst] * keys[edges.src]).sum(axis=-1) * scale
         attention = F.scatter_softmax(edge_scores, edges.dst, edges.num_dst)
         attention = self.attention_relaxed(attention)
-        messages = values[edges.src] * attention
+        messages = values[edges.src] * attention.reshape(-1, self.heads, 1)
         aggregated = F.segment_sum(messages, edges.dst, edges.num_dst)
-        return self.aggregate_out_relaxed(aggregated)
+        merged = merge_heads(aggregated, self.heads, self.head_dim,
+                             self.head_merge)
+        return self.aggregate_out_relaxed(merged)
 
     def export_bits(self, prefix: str) -> BitWidthAssignment:
         assignment: BitWidthAssignment = {}

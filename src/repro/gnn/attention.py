@@ -25,6 +25,67 @@ import numpy as np
 
 from repro.graphs.sampling import SubgraphBlock
 
+#: Supported multi-head merge modes: ``concat`` splits ``out_features`` into
+#: ``heads`` slices of ``out_features // heads`` each and concatenates the
+#: per-head aggregations back (hidden layers); ``mean`` runs every head at
+#: the full ``out_features`` width and averages them (output layers).
+HEAD_MERGES = ("concat", "mean")
+
+
+def attention_head_dim(out_features: int, heads: int, head_merge: str) -> int:
+    """Per-head feature width of a multi-head attention layer.
+
+    The layer's *merged* output width is always ``out_features`` — heads are
+    an internal knob, so layer-dimension plumbing (classifier stacks, MixQ
+    search, artifact topology) never changes with the head count.  Under
+    ``concat`` that forces ``out_features % heads == 0``; under ``mean``
+    every head runs at the full width.  ``heads=1`` with either merge is
+    numerically identical to the single-head layer.
+    """
+    if heads < 1:
+        raise ValueError(f"attention layers need at least one head, got {heads}")
+    if head_merge not in HEAD_MERGES:
+        raise ValueError(f"unknown head merge {head_merge!r}; "
+                         f"options: {HEAD_MERGES}")
+    if head_merge == "mean":
+        return out_features
+    if out_features % heads:
+        raise ValueError(f"concat merge needs out_features divisible by heads "
+                         f"({out_features} % {heads} != 0); use head_merge="
+                         f"'mean' for indivisible widths")
+    return out_features // heads
+
+
+# --------------------------------------------------------------------------- #
+# per-head operation counts of the attention stages
+#
+# One source of truth for the float layers' ``operation_count``, the QAT
+# modules' BitOPs and the serving executor's accounting (the latter two
+# import these through :mod:`repro.quant.bitops`) — so the executed, the
+# statically derived and the float counts can never drift apart.
+# ``heads * head_dim`` is the pre-merge feature width of a multi-head layer
+# (``out_features`` under concat, ``heads * out_features`` under mean).
+# --------------------------------------------------------------------------- #
+def gat_score_operations(num_nodes: int, num_edges: int, heads: int,
+                         head_dim: int) -> int:
+    """FP32 ops of the GAT score stage: two per-head projections per node
+    plus leaky-relu + softmax per edge per head."""
+    return 4 * num_nodes * heads * head_dim + 6 * num_edges * heads
+
+
+def transformer_score_operations(num_edges: int, heads: int,
+                                 head_dim: int) -> int:
+    """FP32 ops of the transformer score stage: one ``head_dim``-wide dot
+    product plus scale/softmax per edge per head."""
+    return (2 * head_dim + 5) * num_edges * heads
+
+
+def attention_aggregate_operations(num_edges: int, heads: int,
+                                   head_dim: int) -> int:
+    """Integer ops of the per-edge aggregation: one multiply-accumulate per
+    edge per head per feature."""
+    return 2 * num_edges * heads * head_dim
+
 
 @dataclass(frozen=True)
 class AttentionEdges:

@@ -183,26 +183,57 @@ LAYER_FAMILIES: Dict[str, Callable[..., MessagePassing]] = {
     "transformer": TransformerConv,
 }
 
+#: Families whose layers carry a multi-head attention axis.
+HEADED_FAMILIES = ("gat", "transformer")
+
+
+def head_merge_for_layer(index: int, num_layers: int, heads: int,
+                         head_merge: str = "concat") -> str:
+    """Merge mode of layer ``index`` in a ``num_layers`` attention stack.
+
+    Hidden layers use ``head_merge`` (``concat`` by default, the GAT
+    convention); the output layer averages its heads (``mean``) so the
+    logits width never has to divide by the head count.  With a single head
+    both merges are numerically identical, so ``concat`` is kept everywhere
+    for exact backward compatibility.
+    """
+    if heads <= 1:
+        return "concat"
+    return "mean" if index == num_layers - 1 else head_merge
+
 
 def build_node_model(layer_type: str, in_features: int, hidden_features: int,
                      num_classes: int, num_layers: int = 2, dropout: float = 0.5,
+                     heads: int = 1, head_merge: str = "concat",
                      rng: Optional[np.random.Generator] = None) -> NodeClassifier:
     """Build a node classifier from a named layer family.
 
     One layer maps straight from input features to class logits; deeper
-    models insert ``hidden_features``-wide intermediate layers.
+    models insert ``hidden_features``-wide intermediate layers.  ``heads``
+    applies to the attention families (:data:`HEADED_FAMILIES`) only:
+    hidden layers merge by ``head_merge``, the output layer by ``mean``
+    (see :func:`head_merge_for_layer`).
     """
     key = layer_type.lower()
     if key not in LAYER_FAMILIES:
         raise KeyError(f"unknown layer family {layer_type!r}; "
                        f"options: {sorted(LAYER_FAMILIES)}")
     factory = LAYER_FAMILIES[key]
+
+    def build(index: int, fan_in: int, fan_out: int) -> MessagePassing:
+        if key in HEADED_FAMILIES:
+            return factory(fan_in, fan_out, heads=heads,
+                           head_merge=head_merge_for_layer(index, num_layers,
+                                                           heads, head_merge),
+                           rng=rng)
+        return factory(fan_in, fan_out, rng=rng)
+
     convs: List[MessagePassing] = []
     if num_layers == 1:
-        convs.append(factory(in_features, num_classes, rng=rng))
+        convs.append(build(0, in_features, num_classes))
     else:
-        convs.append(factory(in_features, hidden_features, rng=rng))
-        for _ in range(num_layers - 2):
-            convs.append(factory(hidden_features, hidden_features, rng=rng))
-        convs.append(factory(hidden_features, num_classes, rng=rng))
+        convs.append(build(0, in_features, hidden_features))
+        for middle in range(num_layers - 2):
+            convs.append(build(middle + 1, hidden_features, hidden_features))
+        convs.append(build(num_layers - 1, hidden_features, num_classes))
     return NodeClassifier(convs, dropout=dropout, rng=rng)

@@ -13,7 +13,27 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
+# Per-head attention operation counts: defined next to the attention edge
+# list (repro.gnn.attention) so the float layers share them without a
+# gnn -> quant dependency; re-exported here as the accounting-side import
+# point for the QAT modules and the serving executor.
+from repro.gnn.attention import (
+    attention_aggregate_operations,
+    gat_score_operations,
+    transformer_score_operations,
+)
+
 FP32_BITS = 32
+
+__all__ = [
+    "FP32_BITS",
+    "OperationRecord",
+    "BitOpsCounter",
+    "average_bits",
+    "gat_score_operations",
+    "transformer_score_operations",
+    "attention_aggregate_operations",
+]
 
 
 @dataclass

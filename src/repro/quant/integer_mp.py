@@ -138,9 +138,32 @@ def quantized_edge_spmm(q_edge: np.ndarray, s_edge: float,
     correction in floating point:
 
     ``Y[t] = s_e s_x (Σ q_e qx[src(e)] - z_x Σ q_e)``.
+
+    Multi-head form: ``q_edge`` with shape ``(E, H)`` and ``qx`` with shape
+    ``(N, H, D)`` run all heads in one pass and return ``(num_dst, H, D)``
+    — the single-head ``(E,)`` / ``(N, D)`` form is the ``H = 1`` special
+    case with the head axis squeezed.  Integer accumulation is exact, so
+    the head axis changes shapes only, never values.
     """
-    q_edge_int = np.asarray(q_edge, dtype=np.int64).reshape(-1)
+    q_edge_arr = np.asarray(q_edge, dtype=np.int64)
     qx_int = np.asarray(qx, dtype=np.int64)
+    if q_edge_arr.ndim == 2:
+        if qx_int.ndim != 3 or qx_int.shape[1] != q_edge_arr.shape[1]:
+            raise ValueError(f"multi-head edge coefficients {q_edge_arr.shape} "
+                             f"need features shaped (N, H, D), got {qx_int.shape}")
+        n_cols = qx_int.shape[2]
+        sx_axes = _as_row(sx, n_cols).reshape(1, 1, n_cols)
+        zx_axes = _as_row(zx, n_cols).reshape(1, 1, n_cols)
+        integer_product = np.zeros((num_dst,) + qx_int.shape[1:], dtype=np.int64)
+        np.add.at(integer_product, dst, q_edge_arr[:, :, None] * qx_int[src])
+        row_sum_qe = np.zeros((num_dst, q_edge_arr.shape[1]), dtype=np.int64)
+        np.add.at(row_sum_qe, dst, q_edge_arr)
+        main = float(s_edge) * integer_product.astype(np.float64) * sx_axes
+        correction_x = float(s_edge) * row_sum_qe.astype(np.float64)[:, :, None] \
+            * (zx_axes * sx_axes)
+        return main - correction_x
+
+    q_edge_int = q_edge_arr.reshape(-1)
     n_cols = qx_int.shape[1]
     sx_row = _as_row(sx, n_cols)
     zx_row = _as_row(zx, n_cols)

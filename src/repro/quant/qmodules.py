@@ -25,12 +25,12 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.gnn.attention import attention_edges
-from repro.gnn.gat import GATConv, TransformerConv
+from repro.gnn.attention import attention_edges, attention_head_dim
+from repro.gnn.gat import GATConv, TransformerConv, head_scores, merge_heads
 from repro.gnn.gcn import GCNConv
 from repro.gnn.gin import GINConv
 from repro.gnn.message_passing import GraphLike, MessagePassing
-from repro.gnn.models import NodeClassifier, forward_blocks
+from repro.gnn.models import NodeClassifier, forward_blocks, head_merge_for_layer
 from repro.gnn.sage import SAGEConv, mean_adjacency
 from repro.gnn.tag import TAGConv, TAGGraphLike, hop_views
 from repro.graphs.batch import GraphBatch
@@ -41,7 +41,14 @@ from repro.nn import init
 from repro.nn.activations import Dropout, ReLU
 from repro.nn.linear import Linear
 from repro.nn.module import Module, ModuleList, Parameter
-from repro.quant.bitops import FP32_BITS, BitOpsCounter, average_bits
+from repro.quant.bitops import (
+    FP32_BITS,
+    BitOpsCounter,
+    attention_aggregate_operations,
+    average_bits,
+    gat_score_operations,
+    transformer_score_operations,
+)
 from repro.quant.quantizer import AffineQuantizer, IdentityQuantizer
 from repro.tensor import functional as F
 from repro.tensor.sparse import SparseTensor, spmm
@@ -365,7 +372,7 @@ class QuantSAGEConv(MessagePassing):
 
 
 class QuantGATConv(MessagePassing):
-    """GAT convolution with per-component fake quantization.
+    """Multi-head GAT convolution with per-component fake quantization.
 
     Components: ``input`` (first layer only), ``weight`` (the feature
     transform), ``linear_out``, ``attention`` (the post-softmax attention
@@ -373,13 +380,16 @@ class QuantGATConv(MessagePassing):
     ``aggregate_out``.  The attention parameter vectors and the score /
     softmax stage stay in full precision — only the coefficient matrix that
     weights the aggregation is quantized, which is what lets the serving
-    executor run the aggregation as an integer per-edge score plan.
+    executor run the aggregation as an integer per-edge score plan.  Heads
+    add a score column each (coefficients ``(E, H)``, one shared
+    ``attention`` quantizer) and never change the component set.
     """
 
     COMPONENTS = ("input", "weight", "linear_out", "attention", "aggregate_out")
 
     def __init__(self, in_features: int, out_features: int, bits: ComponentBits,
                  quantize_input: bool = False, negative_slope: float = 0.2,
+                 heads: int = 1, head_merge: str = "concat",
                  quantizer_factory: QuantizerFactory = default_quantizer_factory,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
@@ -387,10 +397,16 @@ class QuantGATConv(MessagePassing):
         self.out_features = out_features
         self.quantize_input = quantize_input
         self.negative_slope = negative_slope
-        self.linear = Linear(in_features, out_features, bias=False, rng=rng)
-        self.attention_src = Parameter(init.glorot_uniform((out_features, 1), rng=rng),
+        self.heads = int(heads)
+        self.head_merge = head_merge
+        self.head_dim = attention_head_dim(out_features, self.heads, head_merge)
+        width = self.heads * self.head_dim
+        self.linear = Linear(in_features, width, bias=False, rng=rng)
+        self.attention_src = Parameter(init.glorot_uniform((self.head_dim, self.heads),
+                                                           rng=rng),
                                        name="attention_src")
-        self.attention_dst = Parameter(init.glorot_uniform((out_features, 1), rng=rng),
+        self.attention_dst = Parameter(init.glorot_uniform((self.head_dim, self.heads),
+                                                           rng=rng),
                                        name="attention_dst")
         self.bias = Parameter(init.zeros((out_features,)), name="bias")
 
@@ -410,16 +426,20 @@ class QuantGATConv(MessagePassing):
         weight = self.weight_quantizer(self.linear.weight)
         transformed = self.linear_out_quantizer(x.matmul(weight))
         edges = attention_edges(graph)
-        score_src = transformed.matmul(self.attention_src).reshape(-1)
-        score_dst = transformed.matmul(self.attention_dst).reshape(-1)
+        score_src = head_scores(transformed, self.attention_src,
+                                self.heads, self.head_dim)
+        score_dst = head_scores(transformed, self.attention_dst,
+                                self.heads, self.head_dim)
         edge_scores = F.leaky_relu(score_src[edges.src] + score_dst[edges.dst],
                                    negative_slope=self.negative_slope)
-        attention = F.scatter_softmax(edge_scores.reshape(-1, 1), edges.dst,
-                                      edges.num_dst)
+        attention = F.scatter_softmax(edge_scores, edges.dst, edges.num_dst)
         attention = self.attention_quantizer(attention)
-        messages = transformed[edges.src] * attention
+        per_head = transformed.reshape(-1, self.heads, self.head_dim)
+        messages = per_head[edges.src] * attention.reshape(-1, self.heads, 1)
         aggregated = F.segment_sum(messages, edges.dst, edges.num_dst)
-        return self.aggregate_out_quantizer(aggregated + self.bias)
+        merged = merge_heads(aggregated, self.heads, self.head_dim,
+                             self.head_merge)
+        return self.aggregate_out_quantizer(merged + self.bias)
 
     def component_bits(self, prefix: str) -> ComponentBits:
         bits: ComponentBits = {}
@@ -436,43 +456,53 @@ class QuantGATConv(MessagePassing):
         counter = BitOpsCounter()
         num_nodes = graph.num_nodes
         num_edges = graph.adjacency(add_self_loops=False).nnz + num_nodes
+        width = self.heads * self.head_dim
         input_bits = _bits_of(self.input_quantizer) if self.quantize_input \
             else incoming_bits
         counter.add(f"{prefix}.transform",
-                    2 * num_nodes * self.in_features * self.out_features,
+                    2 * num_nodes * self.in_features * width,
                     max(input_bits, _bits_of(self.weight_quantizer)))
         # Score projections + per-edge leaky-relu/softmax stay FP32.
         counter.add(f"{prefix}.score",
-                    4 * num_nodes * self.out_features + 6 * num_edges, FP32_BITS)
-        counter.add(f"{prefix}.aggregate", 2 * num_edges * self.out_features,
+                    gat_score_operations(num_nodes, num_edges, self.heads,
+                                         self.head_dim), FP32_BITS)
+        counter.add(f"{prefix}.aggregate",
+                    attention_aggregate_operations(num_edges, self.heads,
+                                                   self.head_dim),
                     max(_bits_of(self.attention_quantizer),
                         _bits_of(self.linear_out_quantizer)))
         return counter, _bits_of(self.aggregate_out_quantizer)
 
 
 class QuantTransformerConv(MessagePassing):
-    """Transformer convolution with per-component fake quantization.
+    """Multi-head transformer convolution with per-component fake quantization.
 
     Components: ``input`` (first layer only), ``weight_query`` /
     ``weight_key`` / ``weight_value``, ``value_out``, ``attention`` (the
     post-softmax coefficients) and ``aggregate_out``.  Scores (scaled
-    query·key dot products) and the softmax stay in full precision.
+    query·key dot products, one column per head) and the softmax stay in
+    full precision; heads never change the component set.
     """
 
     COMPONENTS = ("input", "weight_query", "weight_key", "weight_value",
                   "value_out", "attention", "aggregate_out")
 
     def __init__(self, in_features: int, out_features: int, bits: ComponentBits,
-                 quantize_input: bool = False,
+                 quantize_input: bool = False, heads: int = 1,
+                 head_merge: str = "concat",
                  quantizer_factory: QuantizerFactory = default_quantizer_factory,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
         self.in_features = in_features
         self.out_features = out_features
         self.quantize_input = quantize_input
-        self.query = Linear(in_features, out_features, bias=False, rng=rng)
-        self.key = Linear(in_features, out_features, bias=False, rng=rng)
-        self.value = Linear(in_features, out_features, bias=True, rng=rng)
+        self.heads = int(heads)
+        self.head_merge = head_merge
+        self.head_dim = attention_head_dim(out_features, self.heads, head_merge)
+        width = self.heads * self.head_dim
+        self.query = Linear(in_features, width, bias=False, rng=rng)
+        self.key = Linear(in_features, width, bias=False, rng=rng)
+        self.value = Linear(in_features, width, bias=True, rng=rng)
 
         def bit(component: str) -> int:
             return int(bits.get(component, FP32_BITS))
@@ -495,14 +525,18 @@ class QuantTransformerConv(MessagePassing):
             + self.value.bias
         values = self.value_out_quantizer(values)
         edges = attention_edges(graph)
-        scale = 1.0 / np.sqrt(self.out_features)
-        edge_scores = (queries[edges.dst] * keys[edges.src]).sum(
-            axis=-1, keepdims=True) * scale
+        queries = queries.reshape(-1, self.heads, self.head_dim)
+        keys = keys.reshape(-1, self.heads, self.head_dim)
+        values = values.reshape(-1, self.heads, self.head_dim)
+        scale = 1.0 / np.sqrt(self.head_dim)
+        edge_scores = (queries[edges.dst] * keys[edges.src]).sum(axis=-1) * scale
         attention = F.scatter_softmax(edge_scores, edges.dst, edges.num_dst)
         attention = self.attention_quantizer(attention)
-        messages = values[edges.src] * attention
+        messages = values[edges.src] * attention.reshape(-1, self.heads, 1)
         aggregated = F.segment_sum(messages, edges.dst, edges.num_dst)
-        return self.aggregate_out_quantizer(aggregated)
+        merged = merge_heads(aggregated, self.heads, self.head_dim,
+                             self.head_merge)
+        return self.aggregate_out_quantizer(merged)
 
     def component_bits(self, prefix: str) -> ComponentBits:
         bits: ComponentBits = {}
@@ -521,17 +555,21 @@ class QuantTransformerConv(MessagePassing):
         counter = BitOpsCounter()
         num_nodes = graph.num_nodes
         num_edges = graph.adjacency(add_self_loops=False).nnz + num_nodes
+        width = self.heads * self.head_dim
         input_bits = _bits_of(self.input_quantizer) if self.quantize_input \
             else incoming_bits
-        transform_ops = 2 * num_nodes * self.in_features * self.out_features
+        transform_ops = 2 * num_nodes * self.in_features * width
         for name, quantizer in (("query", self.weight_query_quantizer),
                                 ("key", self.weight_key_quantizer),
                                 ("value", self.weight_value_quantizer)):
             counter.add(f"{prefix}.transform_{name}", transform_ops,
                         max(input_bits, _bits_of(quantizer)))
         counter.add(f"{prefix}.score",
-                    (2 * self.out_features + 5) * num_edges, FP32_BITS)
-        counter.add(f"{prefix}.aggregate", 2 * num_edges * self.out_features,
+                    transformer_score_operations(num_edges, self.heads,
+                                                 self.head_dim), FP32_BITS)
+        counter.add(f"{prefix}.aggregate",
+                    attention_aggregate_operations(num_edges, self.heads,
+                                                   self.head_dim),
                     max(_bits_of(self.attention_quantizer),
                         _bits_of(self.value_out_quantizer)))
         return counter, _bits_of(self.aggregate_out_quantizer)
@@ -691,13 +729,16 @@ class QuantNodeClassifier(Module):
     def from_assignment(cls, layer_dims: List[tuple], conv_type: str,
                         assignment: BitWidthAssignment, dropout: float = 0.5,
                         quantizer_factory: QuantizerFactory = default_quantizer_factory,
-                        hops: int = 3,
+                        hops: int = 3, heads: int = 1, head_merge: str = "concat",
                         rng: Optional[np.random.Generator] = None) -> "QuantNodeClassifier":
         """Build a quantized classifier from layer dimensions and a bit assignment.
 
         ``layer_dims`` is a list of ``(in_features, out_features)`` tuples and
         ``conv_type`` one of ``"gcn"`` / ``"gin"`` / ``"sage"`` / ``"gat"`` /
-        ``"tag"`` / ``"transformer"``.  ``hops`` only applies to ``"tag"``.
+        ``"tag"`` / ``"transformer"``.  ``hops`` only applies to ``"tag"``;
+        ``heads`` / ``head_merge`` only to the attention families — hidden
+        layers merge by ``head_merge``, the output layer by ``mean``
+        (:func:`~repro.gnn.models.head_merge_for_layer`).
         """
         conv_classes = {"gcn": QuantGCNConv, "gin": QuantGINConv,
                         "sage": QuantSAGEConv, "gat": QuantGATConv,
@@ -708,7 +749,14 @@ class QuantNodeClassifier(Module):
         convs: List[MessagePassing] = []
         for index, (fan_in, fan_out) in enumerate(layer_dims):
             layer_bits = _layer_assignment(assignment, f"conv{index}")
-            extra = {"hops": hops} if conv_type == "tag" else {}
+            if conv_type == "tag":
+                extra = {"hops": hops}
+            elif conv_type in ("gat", "transformer"):
+                extra = {"heads": heads,
+                         "head_merge": head_merge_for_layer(index, len(layer_dims),
+                                                            heads, head_merge)}
+            else:
+                extra = {}
             convs.append(conv_class(fan_in, fan_out, layer_bits,
                                     quantize_input=(index == 0),
                                     quantizer_factory=quantizer_factory, rng=rng,
@@ -725,6 +773,8 @@ class QuantNodeClassifier(Module):
         conv_type = None
         hops = 3
         tag_hops = set()
+        layer_heads = set()
+        hidden_merges = set()
         for conv in model.convs:
             layer_dims.append((conv.in_features, conv.out_features))
             for float_class, name in ((GCNConv, "gcn"), (GINConv, "gin"),
@@ -745,9 +795,36 @@ class QuantNodeClassifier(Module):
                             f"got {sorted(tag_hops)}")
         if tag_hops:
             hops = tag_hops.pop()
+        if conv_type in ("gat", "transformer"):
+            for index, conv in enumerate(model.convs):
+                layer_heads.add(conv.heads)
+                if index < len(model.convs) - 1:
+                    hidden_merges.add(conv.head_merge)
+        if len(layer_heads) > 1:
+            raise TypeError(f"from_float needs a uniform head count per stack, "
+                            f"got {sorted(layer_heads)}")
+        if len(hidden_merges) > 1:
+            raise TypeError(f"from_float needs one hidden-layer head merge, "
+                            f"got {sorted(hidden_merges)}")
+        heads = layer_heads.pop() if layer_heads else 1
+        head_merge = hidden_merges.pop() if hidden_merges else "concat"
+        if heads > 1:
+            # from_assignment rebuilds each layer's merge through
+            # head_merge_for_layer; a float stack that deviates from that
+            # policy (e.g. a concat-merged output layer) would be silently
+            # mirrored into a different architecture — refuse instead.
+            for index, conv in enumerate(model.convs):
+                expected = head_merge_for_layer(index, len(model.convs),
+                                                heads, head_merge)
+                if conv.head_merge != expected:
+                    raise TypeError(
+                        f"from_float cannot mirror layer {index}'s head merge "
+                        f"{conv.head_merge!r}: multi-head stacks are rebuilt "
+                        f"with {expected!r} there (hidden layers merge by the "
+                        f"shared head_merge, the output layer by 'mean')")
         return cls.from_assignment(layer_dims, conv_type, assignment, dropout=dropout,
                                    quantizer_factory=quantizer_factory, hops=hops,
-                                   rng=rng)
+                                   heads=heads, head_merge=head_merge, rng=rng)
 
 
 class QuantGraphClassifier(Module):

@@ -39,9 +39,11 @@ PathLike = Union[str, Path]
 
 FORMAT_NAME = "repro.serving.artifact"
 #: v2 added the attention score plans (gat / tag / transformer conv
-#: families, per-layer ``hops`` and ``negative_slope``); v1 artifacts load
-#: unchanged.
-FORMAT_VERSION = 2
+#: families, per-layer ``hops`` and ``negative_slope``); v3 added the head
+#: axis (per-layer ``heads`` and ``head_merge``, per-head FP32 attention
+#: vectors stored column-per-head).  v1 and v2 artifacts load unchanged —
+#: missing head fields default to the single-head layout.
+FORMAT_VERSION = 3
 
 
 def tag_weight_slots(hops: int) -> Tuple[str, ...]:
@@ -96,7 +98,10 @@ class LayerPlan:
     ``hops`` is the number of propagation steps the layer consumes (1 for
     every family except TAG), so a block-serving sampler sizes its stacks by
     ``sum(plan.hops)``; ``negative_slope`` is the GAT leaky-relu slope of
-    the score stage.
+    the score stage.  ``heads`` / ``head_merge`` describe the attention
+    head axis (format v3): scores run per head over ``(E, heads)`` columns
+    and the per-head aggregations merge by ``concat`` (slices of
+    ``out_features // heads``) or ``mean`` (full-width heads, averaged).
     """
 
     conv_type: str
@@ -107,6 +112,8 @@ class LayerPlan:
     eps: float = 0.0
     hops: int = 1
     negative_slope: float = 0.2
+    heads: int = 1
+    head_merge: str = "concat"
 
     def params(self, slot: str) -> Optional[QuantizationParameters]:
         """Quantization parameters of a named slot (None for FP32 components)."""
@@ -115,6 +122,13 @@ class LayerPlan:
     def slot_bits(self, slot: str) -> int:
         parameters = self.quantizers.get(slot)
         return 32 if parameters is None else int(parameters.bits)
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head feature width (``out_features`` for single-head layers)."""
+        if self.head_merge == "mean":
+            return self.out_features
+        return self.out_features // self.heads
 
 
 def _parameters_of(quantizer) -> Optional[QuantizationParameters]:
@@ -199,7 +213,9 @@ def _export_gin(conv: QuantGINConv) -> LayerPlan:
 
 def _export_gat(conv: QuantGATConv) -> LayerPlan:
     # The GAT bias is added *after* the attention-weighted aggregation, so
-    # the executor applies the ``weight`` plan's bias post-aggregate.
+    # the executor applies the ``weight`` plan's bias post-aggregate.  The
+    # per-head FP32 attention vectors are stored column-per-head
+    # (``(head_dim, heads)``), matching the QAT parameter layout.
     return LayerPlan(
         conv_type="gat",
         in_features=conv.in_features,
@@ -216,7 +232,8 @@ def _export_gat(conv: QuantGATConv) -> LayerPlan:
             "attention": _parameters_of(conv.attention_quantizer),
             "aggregate_out": _parameters_of(conv.aggregate_out_quantizer),
         },
-        negative_slope=float(conv.negative_slope))
+        negative_slope=float(conv.negative_slope),
+        heads=int(conv.heads), head_merge=str(conv.head_merge))
 
 
 def _export_transformer(conv: QuantTransformerConv) -> LayerPlan:
@@ -238,7 +255,8 @@ def _export_transformer(conv: QuantTransformerConv) -> LayerPlan:
             "value_out": _parameters_of(conv.value_out_quantizer),
             "attention": _parameters_of(conv.attention_quantizer),
             "aggregate_out": _parameters_of(conv.aggregate_out_quantizer),
-        })
+        },
+        heads=int(conv.heads), head_merge=str(conv.head_merge))
 
 
 def _export_tag(conv: QuantTAGConv) -> LayerPlan:
@@ -422,6 +440,8 @@ class QuantizedArtifact:
                 "eps": float(plan.eps),
                 "hops": int(plan.hops),
                 "negative_slope": float(plan.negative_slope),
+                "heads": int(plan.heads),
+                "head_merge": str(plan.head_merge),
                 "weights": weights_payload,
                 "quantizers": {name: _params_to_json(params)
                                for name, params in plan.quantizers.items()},
@@ -467,6 +487,10 @@ class QuantizedArtifact:
                                 for name, params in layer["quantizers"].items()},
                     eps=float(layer.get("eps", 0.0)),
                     hops=int(layer.get("hops", 1)),
-                    negative_slope=float(layer.get("negative_slope", 0.2))))
+                    negative_slope=float(layer.get("negative_slope", 0.2)),
+                    # v1/v2 payloads predate the head axis: single head,
+                    # concat merge reproduces their execution exactly.
+                    heads=int(layer.get("heads", 1)),
+                    head_merge=str(layer.get("head_merge", "concat"))))
         return cls(conv_type=payload["conv_type"], layers=plans,
                    metadata=dict(payload.get("metadata", {})))

@@ -44,7 +44,12 @@ from repro.gnn.attention import AttentionEdges, attention_edges
 from repro.gnn.sage import mean_adjacency
 from repro.graphs.graph import Graph
 from repro.graphs.sampling import Fanout, NeighborSampler, SubgraphBlock
-from repro.quant.bitops import BitOpsCounter
+from repro.quant.bitops import (
+    BitOpsCounter,
+    attention_aggregate_operations,
+    gat_score_operations,
+    transformer_score_operations,
+)
 from repro.quant.integer_mp import quantized_edge_spmm, quantized_spmm
 from repro.quant.quantizer import QuantizationParameters
 from repro.serving.artifact import LayerPlan, QuantizedArtifact
@@ -78,13 +83,30 @@ def _target_rows(x: np.ndarray, graph_like: GraphLike) -> np.ndarray:
 
 
 def _edge_softmax(scores: np.ndarray, dst: np.ndarray, num_dst: int) -> np.ndarray:
-    """Numerically-shifted softmax of per-edge scores within each target."""
-    per_target_max = np.full(num_dst, -np.inf)
+    """Numerically-shifted softmax of per-edge scores within each target.
+
+    ``scores`` may carry trailing axes — the multi-head form ``(E, H)``
+    normalises every head independently in one pass.
+    """
+    per_target_max = np.full((num_dst,) + scores.shape[1:], -np.inf)
     np.maximum.at(per_target_max, dst, scores)
     exponent = np.exp(scores - per_target_max[dst])
-    denominator = np.zeros(num_dst)
+    denominator = np.zeros((num_dst,) + scores.shape[1:])
     np.add.at(denominator, dst, exponent)
     return exponent / denominator[dst]
+
+
+def _merge_heads(aggregated: np.ndarray, heads: int, head_dim: int,
+                 head_merge: str) -> np.ndarray:
+    """Merge per-head aggregations ``(N, H, D)`` into the layer output.
+
+    Mirrors :func:`repro.gnn.gat.merge_heads` (``concat`` reshapes, ``mean``
+    averages as ``sum * (1 / H)`` exactly like the QAT tensor path);
+    ``heads=1`` always takes the reshape branch, the identity on values.
+    """
+    if head_merge == "mean" and heads > 1:
+        return aggregated.sum(axis=1) * (1.0 / heads)
+    return aggregated.reshape(aggregated.shape[0], heads * head_dim)
 
 
 @dataclass
@@ -219,26 +241,34 @@ class InferenceSession:
                          attention_params: Optional[QuantizationParameters],
                          x: np.ndarray, x_int: Optional[np.ndarray],
                          x_params: Optional[QuantizationParameters],
-                         edges: AttentionEdges) -> np.ndarray:
+                         edges: AttentionEdges, heads: int,
+                         head_dim: int) -> np.ndarray:
         """Attention-weighted aggregation through the per-edge score plan.
 
-        ``attention`` holds the float post-softmax coefficients.  When both
-        the coefficients and the gathered features carry integer grids the
-        accumulation runs through Theorem 1's edge-list form
-        (:func:`~repro.quant.integer_mp.quantized_edge_spmm`); otherwise it
-        falls back to a float scatter-add with the coefficients still on
-        their fake-quantized grid, matching the QAT model.
+        ``attention`` holds the float post-softmax coefficients, one column
+        per head (``(E, heads)``); ``x`` / ``x_int`` the pre-merge features
+        ``(N, heads * head_dim)``.  When both the coefficients and the
+        gathered features carry integer grids the accumulation runs through
+        Theorem 1's edge-list form
+        (:func:`~repro.quant.integer_mp.quantized_edge_spmm`, head axis and
+        all); otherwise it falls back to a float scatter-add with the
+        coefficients still on their fake-quantized grid, matching the QAT
+        model.  Returns the per-head aggregations ``(num_dst, heads,
+        head_dim)`` — merging is the caller's job.
         """
         if attention_params is not None and x_params is not None and x_int is not None:
             attention_int = _quantize_with(attention_params, attention)
             scale_e, _ = attention_params.as_scalars()
             scale_x, zero_x = x_params.as_scalars()
-            return quantized_edge_spmm(attention_int, scale_e, x_int,
+            return quantized_edge_spmm(attention_int, scale_e,
+                                       x_int.reshape(-1, heads, head_dim),
                                        scale_x, zero_x, edges.src, edges.dst,
                                        edges.num_dst)
         attention = _fake_quantize(attention_params, attention)
-        aggregated = np.zeros((edges.num_dst, x.shape[1]))
-        np.add.at(aggregated, edges.dst, attention[:, None] * x[edges.src])
+        per_head = x.reshape(-1, heads, head_dim)
+        aggregated = np.zeros((edges.num_dst, heads, head_dim))
+        np.add.at(aggregated, edges.dst,
+                  attention[:, :, None] * per_head[edges.src])
         return aggregated
 
     # ------------------------------------------------------------------ #
@@ -256,33 +286,39 @@ class InferenceSession:
         """
         if plan.conv_type == "gat":
             weight = plan.weights["weight"]
+            width = plan.heads * plan.head_dim
             input_params = plan.params("input") if plan.params("input") is not None \
                 else incoming
             input_bits = 32 if input_params is None else input_params.bits
             counter.add(f"layer{index}.transform",
-                        2 * n_src * plan.in_features * plan.out_features,
+                        2 * n_src * plan.in_features * width,
                         min(max(input_bits, weight.bits), 32))
             # Score projections + per-edge leaky-relu/softmax stay FP32.
             counter.add(f"layer{index}.score",
-                        4 * n_src * plan.out_features + 6 * nnz, 32)
+                        gat_score_operations(n_src, nnz, plan.heads,
+                                             plan.head_dim), 32)
             counter.add(f"layer{index}.aggregate",
-                        2 * nnz * plan.out_features,
+                        attention_aggregate_operations(nnz, plan.heads,
+                                                       plan.head_dim),
                         min(max(plan.slot_bits("attention"),
                                 plan.slot_bits("linear_out")), 32))
             return plan.params("aggregate_out")
 
         if plan.conv_type == "transformer":
+            width = plan.heads * plan.head_dim
             input_params = plan.params("input") if plan.params("input") is not None \
                 else incoming
             input_bits = 32 if input_params is None else input_params.bits
-            transform_ops = 2 * n_src * plan.in_features * plan.out_features
+            transform_ops = 2 * n_src * plan.in_features * width
             for name in ("query", "key", "value"):
                 counter.add(f"layer{index}.transform_{name}", transform_ops,
                             min(max(input_bits, plan.weights[name].bits), 32))
             counter.add(f"layer{index}.score",
-                        (2 * plan.out_features + 5) * nnz, 32)
+                        transformer_score_operations(nnz, plan.heads,
+                                                     plan.head_dim), 32)
             counter.add(f"layer{index}.aggregate",
-                        2 * nnz * plan.out_features,
+                        attention_aggregate_operations(nnz, plan.heads,
+                                                       plan.head_dim),
                         min(max(plan.slot_bits("attention"),
                                 plan.slot_bits("value_out")), 32))
             return plan.params("aggregate_out")
@@ -505,33 +541,45 @@ class InferenceSession:
             transformed_int = _quantize_with(linear_out, transformed)
             transformed = _dequantize_with(linear_out, transformed_int)
 
+        heads, head_dim = plan.heads, plan.head_dim
         edges = attention_edges(graph_like)
-        score_src = transformed @ plan.weights["attention_src"].dequantized().reshape(-1)
-        score_dst = transformed @ plan.weights["attention_dst"].dequantized().reshape(-1)
-        scores = score_src[edges.src] + score_dst[edges.dst]
+        attention_src = plan.weights["attention_src"].dequantized() \
+            .reshape(head_dim, heads)
+        attention_dst = plan.weights["attention_dst"].dequantized() \
+            .reshape(head_dim, heads)
+        scores = np.empty((edges.num_edges, heads))
+        for head in range(heads):
+            block = transformed[:, head * head_dim:(head + 1) * head_dim]
+            score_src = block @ attention_src[:, head]
+            score_dst = block @ attention_dst[:, head]
+            scores[:, head] = score_src[edges.src] + score_dst[edges.dst]
         scores = np.where(scores > 0, scores, plan.negative_slope * scores)
         attention = _edge_softmax(scores, edges.dst, edges.num_dst)
 
         aggregated = self._aggregate_edges(attention, plan.params("attention"),
                                            transformed, transformed_int,
-                                           linear_out, edges)
+                                           linear_out, edges, heads, head_dim)
+        merged = _merge_heads(aggregated, heads, head_dim, plan.head_merge)
         if weight.bias is not None:
             # The GAT bias applies after the attention-weighted aggregation.
-            aggregated = aggregated + weight.bias
+            merged = merged + weight.bias
         aggregate_out = plan.params("aggregate_out")
-        aggregated = _fake_quantize(aggregate_out, aggregated)
+        merged = _fake_quantize(aggregate_out, merged)
 
-        self._count_layer(plan, index, x.shape[0], aggregated.shape[0],
+        self._count_layer(plan, index, x.shape[0], merged.shape[0],
                           edges.num_edges, counter, incoming)
-        return aggregated, aggregate_out, edges.num_edges
+        return merged, aggregate_out, edges.num_edges
 
     def _run_transformer(self, plan: LayerPlan, graph_like: GraphLike,
                          x: np.ndarray,
                          incoming: Optional[QuantizationParameters],
                          counter: BitOpsCounter, index: int):
         x = _fake_quantize(plan.params("input"), x)
-        queries = x @ plan.weights["query"].dequantized()
-        keys = x @ plan.weights["key"].dequantized()
+        heads, head_dim = plan.heads, plan.head_dim
+        queries = (x @ plan.weights["query"].dequantized()) \
+            .reshape(-1, heads, head_dim)
+        keys = (x @ plan.weights["key"].dequantized()) \
+            .reshape(-1, heads, head_dim)
         value = plan.weights["value"]
         values = x @ value.dequantized()
         if value.bias is not None:
@@ -544,18 +592,20 @@ class InferenceSession:
             values = _dequantize_with(value_out, values_int)
 
         edges = attention_edges(graph_like)
-        scale = 1.0 / np.sqrt(plan.out_features)
+        scale = 1.0 / np.sqrt(head_dim)
         scores = (queries[edges.dst] * keys[edges.src]).sum(axis=-1) * scale
         attention = _edge_softmax(scores, edges.dst, edges.num_dst)
 
         aggregated = self._aggregate_edges(attention, plan.params("attention"),
-                                           values, values_int, value_out, edges)
+                                           values, values_int, value_out,
+                                           edges, heads, head_dim)
+        merged = _merge_heads(aggregated, heads, head_dim, plan.head_merge)
         aggregate_out = plan.params("aggregate_out")
-        aggregated = _fake_quantize(aggregate_out, aggregated)
+        merged = _fake_quantize(aggregate_out, merged)
 
-        self._count_layer(plan, index, x.shape[0], aggregated.shape[0],
+        self._count_layer(plan, index, x.shape[0], merged.shape[0],
                           edges.num_edges, counter, incoming)
-        return aggregated, aggregate_out, edges.num_edges
+        return merged, aggregate_out, edges.num_edges
 
     def _run_tag(self, plan: LayerPlan, views: List[GraphLike], x: np.ndarray,
                  incoming: Optional[QuantizationParameters],

@@ -7,7 +7,6 @@ import pytest
 
 from repro.quant.qmodules import (
     QuantNodeClassifier,
-    gat_component_names,
     gcn_component_names,
     uniform_assignment,
 )
@@ -30,8 +29,5 @@ def cache_artifact(small_cora) -> QuantizedArtifact:
     """A trained INT8 GCN deployment artifact bound to ``small_cora``."""
     return _train_artifact(small_cora, "gcn", gcn_component_names(2))
 
-
-@pytest.fixture(scope="session")
-def attention_artifact(small_cora) -> QuantizedArtifact:
-    """A trained INT8 GAT artifact — the score-plan serving path."""
-    return _train_artifact(small_cora, "gat", gat_component_names(2))
+# The attention (score-plan) cache-parity coverage moved to the unified
+# parity matrix: tests/parity_matrix.py, integer × cached rows.

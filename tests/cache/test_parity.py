@@ -156,53 +156,10 @@ class TestServingParity:
 
 
 # --------------------------------------------------------------------------- #
-# attention (score-plan) serving parity
+# attention (score-plan) serving parity: migrated to the unified parity
+# matrix (tests/parity_matrix.py, integer × cached / served rows — every
+# conv family × head count, not just GAT).
 # --------------------------------------------------------------------------- #
-class TestAttentionServingParity:
-    """Regression: attention convs ride the same cache/parity contracts.
-
-    The per-edge score plans recompute attention from the block's edge list,
-    so a cached (reused) block must produce bit-identical coefficients — and
-    a fanout=∞ block must report exactly the full-graph BitOPs numbers.
-    """
-
-    @pytest.mark.parametrize("fanout", FANOUTS)
-    def test_cached_attention_serving_bit_identical(self, attention_artifact,
-                                                    small_cora, fanout):
-        seeds = np.arange(0, small_cora.num_nodes, 2, dtype=np.int64)
-        plain = BlockSession(attention_artifact, small_cora, fanouts=fanout,
-                             batch_size=32, seed=7)
-        cached = BlockSession(attention_artifact, small_cora, fanouts=fanout,
-                              batch_size=32, seed=7, cache_size=65536)
-        np.testing.assert_array_equal(cached.predict(seeds),
-                                      plain.predict(seeds))
-        stats = cached.cache_stats()
-        assert stats is not None and stats.misses > 0
-
-    def test_warm_attention_cache_repeats_bit_identical(self,
-                                                        attention_artifact,
-                                                        small_cora):
-        session = BlockSession(attention_artifact, small_cora, fanouts=4,
-                               batch_size=32, seed=0, cache_size=65536)
-        nodes = np.arange(40, dtype=np.int64)
-        first = session.predict(nodes)
-        cold = session.cache_stats()
-        second = session.predict(nodes)
-        warm = session.cache_stats()
-        np.testing.assert_array_equal(first, second)
-        assert warm.misses == cold.misses and warm.hits > cold.hits
-
-    def test_attention_bitops_fanout_inf_equal_full_graph(self,
-                                                          attention_artifact,
-                                                          small_cora):
-        from repro.serving import FullGraphSession
-
-        full = FullGraphSession(attention_artifact, small_cora).run()
-        block = BlockSession(attention_artifact, small_cora, fanouts=None,
-                             batch_size=small_cora.num_nodes).run()
-        assert block.bit_operations.total_bit_operations \
-            == full.bit_operations.total_bit_operations
-        np.testing.assert_array_equal(block.logits, full.logits)
 
 
 # --------------------------------------------------------------------------- #

@@ -1,4 +1,11 @@
-"""Shared fixtures: tiny graphs and datasets reused across the test suite."""
+"""Shared fixtures: tiny graphs, datasets, and the parity-matrix builders.
+
+The ``parity_*`` factory fixtures back ``tests/parity_matrix.py`` — one
+memoised builder per execution mode (float model, trained QAT model,
+exported integer artifact), keyed by ``(conv family, heads)``, so every
+matrix cell reuses the same trained weights and the whole matrix stays
+cheap enough for tier-1.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +15,11 @@ import pytest
 from repro.graphs.datasets import load_cora, load_tu_dataset
 from repro.graphs.datasets.synthetic import SBMConfig, generate_sbm_graph
 from repro.graphs.graph import Graph
+
+#: Hidden width of every parity-matrix model (divisible by every head count).
+PARITY_HIDDEN = 16
+#: TAG polynomial depth used by the parity matrix (kept small for speed).
+PARITY_TAG_HOPS = 2
 
 
 @pytest.fixture(scope="session")
@@ -52,3 +64,81 @@ def sbm_graph() -> Graph:
 def tu_graphs():
     """A small TU-style graph-classification dataset (shared, read-only)."""
     return load_tu_dataset("imdb-b", num_graphs=24, seed=0)
+
+
+# --------------------------------------------------------------------------- #
+# parity-matrix builders (see tests/parity_matrix.py)
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="session")
+def parity_graph(sbm_graph) -> Graph:
+    """The graph every parity-matrix cell runs against."""
+    return sbm_graph
+
+
+@pytest.fixture(scope="session")
+def parity_float_model(parity_graph):
+    """Memoised ``(family, heads) -> eval-mode float NodeClassifier``."""
+    from repro.gnn.models import build_node_model
+
+    cache = {}
+
+    def build(family: str, heads: int):
+        key = (family, heads)
+        if key not in cache:
+            model = build_node_model(family, parity_graph.num_features,
+                                     PARITY_HIDDEN, parity_graph.num_classes,
+                                     heads=heads, dropout=0.0,
+                                     rng=np.random.default_rng(0))
+            model.eval()
+            cache[key] = model
+        return cache[key]
+
+    return build
+
+
+@pytest.fixture(scope="session")
+def parity_quant_model(parity_graph):
+    """Memoised ``(family, heads) -> trained eval-mode QuantNodeClassifier``.
+
+    A few QAT epochs initialise every observer on realistic activations;
+    parity is an execution-path contract, so accuracy is irrelevant here.
+    """
+    from repro.core.search_space import conv_component_names
+    from repro.quant.qmodules import QuantNodeClassifier, uniform_assignment
+    from repro.training.trainer import train_node_classifier
+
+    cache = {}
+
+    def build(family: str, heads: int):
+        key = (family, heads)
+        if key not in cache:
+            assignment = uniform_assignment(
+                conv_component_names(family, 2, hops=PARITY_TAG_HOPS), 8)
+            model = QuantNodeClassifier.from_assignment(
+                [(parity_graph.num_features, PARITY_HIDDEN),
+                 (PARITY_HIDDEN, parity_graph.num_classes)], family,
+                assignment, dropout=0.0, hops=PARITY_TAG_HOPS, heads=heads,
+                rng=np.random.default_rng(1))
+            train_node_classifier(model, parity_graph, epochs=4, lr=0.02)
+            model.eval()
+            cache[key] = model
+        return cache[key]
+
+    return build
+
+
+@pytest.fixture(scope="session")
+def parity_artifact(parity_quant_model):
+    """Memoised ``(family, heads) -> QuantizedArtifact`` for integer serving."""
+    from repro.serving import QuantizedArtifact
+
+    cache = {}
+
+    def build(family: str, heads: int):
+        key = (family, heads)
+        if key not in cache:
+            cache[key] = QuantizedArtifact.from_model(
+                parity_quant_model(family, heads))
+        return cache[key]
+
+    return build

@@ -1,11 +1,11 @@
-"""Attention layers on bipartite blocks: fanout=∞ parity and hop plans.
+"""Attention layers on bipartite blocks: head axis, hop plans, block mode.
 
-The contract these tests pin down is the block-mode extension of the
-attention families: with unlimited fanout and all nodes as seeds, block
-execution must reproduce full-graph execution *bit-identically* (the
-canonical edge list of ``repro.gnn.attention`` makes the per-target float
-accumulation order identical on both paths), and TAG layers must consume
-exactly one block per adjacency power (their hop plan).
+The fanout=∞ bit-identity contract itself (block execution == full-graph
+execution for every conv family × float/QAT/integer × head count) lives in
+the unified parity matrix, ``tests/parity_matrix.py`` — this file keeps the
+float-layer behaviour around it: the canonical edge list, the multi-head
+configuration (score columns ``(E, H)``, concat/mean merges, width
+accounting), TAG hop plans and minibatch training.
 """
 
 from __future__ import annotations
@@ -13,7 +13,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.gnn.attention import attention_edges
+from repro.gnn.attention import attention_edges, attention_head_dim
+from repro.gnn.gat import GATConv, TransformerConv
 from repro.gnn.models import build_node_model, hop_plan, total_hops
 from repro.gnn.tag import TAGConv, hop_views
 from repro.graphs.sampling import NeighborSampler
@@ -21,6 +22,7 @@ from repro.tensor.tensor import Tensor, no_grad
 from repro.training.minibatch import MinibatchTrainer
 
 ATTENTION_FAMILIES = ("gat", "transformer", "tag")
+HEADED_FAMILIES = ("gat", "transformer")
 
 
 def _full_batch(graph, num_hops, seed=0):
@@ -56,18 +58,9 @@ class TestAttentionEdges:
         assert attention_edges(tiny_graph) is attention_edges(tiny_graph)
 
 
-class TestUnlimitedFanoutParity:
-    @pytest.mark.parametrize("family", ATTENTION_FAMILIES)
-    def test_block_logits_bit_identical_to_full_graph(self, sbm_graph, family):
-        model = build_node_model(family, sbm_graph.num_features, 16,
-                                 sbm_graph.num_classes,
-                                 rng=np.random.default_rng(0), dropout=0.0)
-        model.eval()
-        batch = _full_batch(sbm_graph, total_hops(model.convs))
-        with no_grad():
-            full = model(sbm_graph).data
-            block = model(batch).data
-        np.testing.assert_array_equal(block, full)
+class TestBlockExecution:
+    # fanout=∞ bit-identity is a parity-matrix row (tests/parity_matrix.py,
+    # float × direct) — here only the fanout-capped behaviours remain.
 
     @pytest.mark.parametrize("family", ATTENTION_FAMILIES)
     def test_fanout_capped_forward_is_finite(self, sbm_graph, family):
@@ -91,6 +84,64 @@ class TestUnlimitedFanoutParity:
         trainer = MinibatchTrainer(model, fanouts=4, batch_size=32, seed=0)
         result = trainer.fit(sbm_graph, epochs=5)
         assert result.loss_history[-1] < result.loss_history[0]
+
+
+class TestMultiHeadConfiguration:
+    def test_head_dim_concat_splits_width(self):
+        assert attention_head_dim(16, 4, "concat") == 4
+        assert attention_head_dim(16, 1, "concat") == 16
+        assert attention_head_dim(7, 4, "mean") == 7
+
+    def test_concat_rejects_indivisible_width(self):
+        with pytest.raises(ValueError, match="divisible"):
+            attention_head_dim(7, 4, "concat")
+        with pytest.raises(ValueError, match="divisible"):
+            GATConv(5, 7, heads=4, rng=np.random.default_rng(0))
+
+    def test_rejects_unknown_merge_and_zero_heads(self):
+        with pytest.raises(ValueError, match="head merge"):
+            attention_head_dim(8, 2, "sum")
+        with pytest.raises(ValueError, match="at least one head"):
+            TransformerConv(5, 8, heads=0, rng=np.random.default_rng(0))
+
+    @pytest.mark.parametrize("conv_class", [GATConv, TransformerConv])
+    @pytest.mark.parametrize("heads,merge", [(2, "concat"), (4, "concat"),
+                                             (3, "mean")])
+    def test_merged_width_is_always_out_features(self, sbm_graph, conv_class,
+                                                 heads, merge):
+        conv = conv_class(sbm_graph.num_features, 8, heads=heads,
+                          head_merge=merge, rng=np.random.default_rng(0))
+        with no_grad():
+            out = conv(Tensor(sbm_graph.x), sbm_graph)
+        assert out.shape == (sbm_graph.num_nodes, 8)
+        assert np.isfinite(out.data).all()
+
+    @pytest.mark.parametrize("family", HEADED_FAMILIES)
+    def test_builder_merges_hidden_concat_output_mean(self, sbm_graph, family):
+        model = build_node_model(family, sbm_graph.num_features, 16,
+                                 sbm_graph.num_classes, num_layers=3, heads=4,
+                                 rng=np.random.default_rng(0), dropout=0.0)
+        assert [conv.head_merge for conv in model.convs] \
+            == ["concat", "concat", "mean"]
+        assert [conv.head_dim for conv in model.convs] \
+            == [4, 4, sbm_graph.num_classes]
+
+    @pytest.mark.parametrize("family", HEADED_FAMILIES)
+    def test_multi_head_minibatch_training_learns(self, sbm_graph, family):
+        model = build_node_model(family, sbm_graph.num_features, 16,
+                                 sbm_graph.num_classes, heads=2,
+                                 rng=np.random.default_rng(3), dropout=0.0)
+        trainer = MinibatchTrainer(model, fanouts=4, batch_size=32, seed=0)
+        result = trainer.fit(sbm_graph, epochs=5)
+        assert result.loss_history[-1] < result.loss_history[0]
+
+    def test_operation_count_grows_with_heads_under_mean(self, sbm_graph):
+        single = GATConv(sbm_graph.num_features, 8, heads=1,
+                         rng=np.random.default_rng(0))
+        multi = GATConv(sbm_graph.num_features, 8, heads=4, head_merge="mean",
+                        rng=np.random.default_rng(0))
+        assert multi.operation_count(sbm_graph) \
+            > single.operation_count(sbm_graph)
 
 
 class TestHopPlans:

@@ -1,0 +1,118 @@
+"""The unified fanout=∞ parity matrix.
+
+One parametrized engine for the invariant that underpins every serving
+claim: **block execution at unlimited fanout is bit-identical to full-graph
+execution** — across
+
+* all six conv families (gcn / sage / gin / gat / tag / transformer),
+* the three numeric modes (float forward, QAT fake-quantized forward,
+  integer artifact serving),
+* the three execution paths (direct model call, cached block serving,
+  uncached block serving), and
+* head counts 1 / 2 / 4 where the family has a head axis.
+
+Before this matrix existed the same assert was re-implemented ad hoc in
+``tests/gnn/test_attention_blocks.py``, ``tests/quant/test_attention_
+qmodules.py``, ``tests/serving/test_attention_serving.py`` and
+``tests/cache/test_parity.py`` — those suites now keep only their
+mode-specific behaviour and point here for the parity contract, so a new
+conv family adds matrix *rows*, not duplicated test code.
+
+Model/artifact builders are the memoised ``parity_*`` fixtures in
+``tests/conftest.py``.  The CI ``cache-serving`` job runs this file as its
+own named step so a parity break is attributable at a glance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gnn.models import total_hops
+from repro.graphs.sampling import NeighborSampler
+from repro.serving import BlockSession, FullGraphSession
+from repro.tensor.tensor import no_grad
+
+#: Families with a head axis get one row per head count; the matrix keeps
+#: ``heads`` in every case id so failures name their cell exactly.
+HEADED_FAMILIES = ("gat", "transformer")
+MATRIX_HEADS = (1, 2, 4)
+PARITY_CASES = [(family, heads)
+                for family in ("gcn", "sage", "gin", "tag", "gat", "transformer")
+                for heads in (MATRIX_HEADS if family in HEADED_FAMILIES
+                              else (1,))]
+CASE_IDS = [f"{family}-h{heads}" for family, heads in PARITY_CASES]
+
+
+def _unlimited_batch(graph, num_hops: int):
+    """One fanout=∞ batch covering every node, in natural order."""
+    sampler = NeighborSampler(graph, None, batch_size=graph.num_nodes,
+                              num_layers=num_hops,
+                              seed_nodes=np.arange(graph.num_nodes),
+                              shuffle=False, seed=0)
+    return sampler.sample(np.arange(graph.num_nodes, dtype=np.int64))
+
+
+@pytest.mark.parametrize("family,heads", PARITY_CASES, ids=CASE_IDS)
+class TestParityMatrix:
+    # ------------------------------------------------------------------ #
+    # float × direct
+    # ------------------------------------------------------------------ #
+    def test_float_direct(self, parity_graph, parity_float_model, family,
+                          heads):
+        model = parity_float_model(family, heads)
+        batch = _unlimited_batch(parity_graph, total_hops(model.convs))
+        with no_grad():
+            full = model(parity_graph).data
+            block = model(batch).data
+        np.testing.assert_array_equal(block, full)
+
+    # ------------------------------------------------------------------ #
+    # QAT × direct
+    # ------------------------------------------------------------------ #
+    def test_qat_direct(self, parity_graph, parity_quant_model, family, heads):
+        model = parity_quant_model(family, heads)
+        batch = _unlimited_batch(parity_graph, total_hops(model.convs))
+        with no_grad():
+            full = model(parity_graph).data
+            block = model(batch).data
+        np.testing.assert_array_equal(block, full)
+
+    # ------------------------------------------------------------------ #
+    # integer × served (and the BitOPs half of the contract)
+    # ------------------------------------------------------------------ #
+    def test_integer_served(self, parity_graph, parity_artifact, family,
+                            heads):
+        artifact = parity_artifact(family, heads)
+        full_session = FullGraphSession(artifact, parity_graph)
+        full = full_session.run()
+        block = BlockSession(artifact, parity_graph, fanouts=None,
+                             batch_size=parity_graph.num_nodes).run()
+        np.testing.assert_array_equal(block.logits, full.logits)
+        # fanout=∞ block BitOPs == full-graph BitOPs, executed and static
+        assert block.bit_operations.total_bit_operations \
+            == full.bit_operations.total_bit_operations
+        assert full_session.bit_operations().total_bit_operations \
+            == full.bit_operations.total_bit_operations
+
+    # ------------------------------------------------------------------ #
+    # integer × cached (cached == uncached, bounded and unlimited fanout)
+    # ------------------------------------------------------------------ #
+    def test_integer_cached(self, parity_graph, parity_artifact, family,
+                            heads):
+        artifact = parity_artifact(family, heads)
+        seeds = np.arange(0, parity_graph.num_nodes, 2, dtype=np.int64)
+        for fanout in (3, None):
+            plain = BlockSession(artifact, parity_graph, fanouts=fanout,
+                                 batch_size=32, seed=7)
+            cached = BlockSession(artifact, parity_graph, fanouts=fanout,
+                                  batch_size=32, seed=7, cache_size=65536)
+            np.testing.assert_array_equal(cached.predict(seeds),
+                                          plain.predict(seeds))
+            cold = cached.cache_stats()
+            assert cold.misses > 0
+            # a warm repeat is answered from the cache, still bit-identical
+            np.testing.assert_array_equal(cached.predict(seeds),
+                                          plain.predict(seeds))
+            warm = cached.cache_stats()
+            assert warm.hits > cold.hits and warm.misses == cold.misses

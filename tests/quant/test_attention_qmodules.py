@@ -1,4 +1,10 @@
-"""Quantized attention convolutions: components, QAT behaviour, block parity."""
+"""Quantized attention convolutions: components, QAT behaviour, head axis.
+
+The fanout=∞ block-vs-full bit-identity contract for the QAT models lives
+in the unified parity matrix (``tests/parity_matrix.py``, QAT × direct
+rows) — this file keeps the quantization-specific behaviour: component
+sets, head-axis plumbing, Degree-Quant alignment and relaxed mirrors.
+"""
 
 from __future__ import annotations
 
@@ -6,8 +12,6 @@ import numpy as np
 import pytest
 
 from repro.core.build import build_relaxed_node_classifier
-from repro.gnn.models import total_hops
-from repro.graphs.sampling import NeighborSampler
 from repro.quant.qmodules import (
     QuantGATConv,
     QuantNodeClassifier,
@@ -18,9 +22,10 @@ from repro.quant.qmodules import (
     transformer_component_names,
     uniform_assignment,
 )
-from repro.tensor.tensor import no_grad
+from repro.graphs.sampling import NeighborSampler
 
 FAMILIES = ("gat", "tag", "transformer")
+HEADED_FAMILIES = ("gat", "transformer")
 
 _NAMES = {
     "gat": lambda layers: gat_component_names(layers),
@@ -29,9 +34,9 @@ _NAMES = {
 }
 
 
-def _build(conv_type, graph, bits=8, hidden=12, seed=0):
+def _build(conv_type, graph, bits=8, hidden=12, seed=0, heads=1):
     assignment = uniform_assignment(_NAMES[conv_type](2), bits)
-    extra = {"hops": 2} if conv_type == "tag" else {}
+    extra = {"hops": 2} if conv_type == "tag" else {"heads": heads}
     return QuantNodeClassifier.from_assignment(
         [(graph.num_features, hidden), (hidden, graph.num_classes)], conv_type,
         assignment, dropout=0.0, rng=np.random.default_rng(seed), **extra)
@@ -70,22 +75,7 @@ class TestQuantForward:
         assert logits.shape == (sbm_graph.num_nodes, sbm_graph.num_classes)
         assert np.isfinite(logits.data).all()
 
-    @pytest.mark.parametrize("family", FAMILIES)
-    def test_block_forward_matches_full_at_unlimited_fanout(self, sbm_graph,
-                                                            family):
-        model = _build(family, sbm_graph)
-        model(sbm_graph)  # initialise the observers once
-        model.eval()
-        sampler = NeighborSampler(sbm_graph, None,
-                                  batch_size=sbm_graph.num_nodes,
-                                  num_layers=total_hops(model.convs),
-                                  seed_nodes=np.arange(sbm_graph.num_nodes),
-                                  shuffle=False, seed=0)
-        batch = sampler.sample(np.arange(sbm_graph.num_nodes, dtype=np.int64))
-        with no_grad():
-            full = model(sbm_graph).data
-            block = model(batch).data
-        np.testing.assert_array_equal(block, full)
+    # fanout=∞ block-vs-full bit-identity: parity-matrix rows (QAT × direct).
 
     @pytest.mark.parametrize("family", FAMILIES)
     def test_lower_bits_fewer_bitops(self, sbm_graph, family):
@@ -101,6 +91,67 @@ class TestQuantForward:
         conv = _build("gat", sbm_graph).convs[0]
         assert isinstance(conv, QuantGATConv)
         assert conv.attention_quantizer.symmetric
+
+
+class TestMultiHeadQuant:
+    @pytest.mark.parametrize("family", HEADED_FAMILIES)
+    def test_heads_never_change_the_component_set(self, sbm_graph, family):
+        single = _build(family, sbm_graph, bits=4, heads=1)
+        multi = _build(family, sbm_graph, bits=4, heads=4, hidden=12)
+        assert set(single.component_bits()) == set(multi.component_bits())
+        assert multi.average_bits() == pytest.approx(4.0)
+
+    @pytest.mark.parametrize("family", HEADED_FAMILIES)
+    def test_multi_head_forward_and_merge_policy(self, sbm_graph, family):
+        model = _build(family, sbm_graph, heads=4, hidden=12)
+        assert [conv.head_merge for conv in model.convs] == ["concat", "mean"]
+        assert model.convs[0].head_dim == 3
+        logits = model(sbm_graph)
+        assert logits.shape == (sbm_graph.num_nodes, sbm_graph.num_classes)
+        assert np.isfinite(logits.data).all()
+
+    @pytest.mark.parametrize("family", HEADED_FAMILIES)
+    def test_more_heads_more_bitops(self, sbm_graph, family):
+        single = _build(family, sbm_graph, heads=1).bit_operations(sbm_graph)
+        multi = _build(family, sbm_graph, heads=4, hidden=12) \
+            .bit_operations(sbm_graph)
+        assert multi.total_bit_operations > single.total_bit_operations
+
+    def test_from_float_copies_heads_and_merge(self, sbm_graph):
+        from repro.gnn.models import build_node_model
+
+        model = build_node_model("gat", sbm_graph.num_features, 16,
+                                 sbm_graph.num_classes, heads=2,
+                                 rng=np.random.default_rng(0))
+        mirrored = QuantNodeClassifier.from_float(model, {})
+        assert [conv.heads for conv in mirrored.convs] == [2, 2]
+        assert [conv.head_merge for conv in mirrored.convs] \
+            == ["concat", "mean"]
+
+    def test_from_float_rejects_mixed_heads(self, sbm_graph):
+        from repro.gnn.gat import GATConv
+        from repro.gnn.models import NodeClassifier
+
+        rng = np.random.default_rng(0)
+        model = NodeClassifier([
+            GATConv(sbm_graph.num_features, 8, heads=2, rng=rng),
+            GATConv(8, sbm_graph.num_classes, heads=1, rng=rng)])
+        with pytest.raises(TypeError, match="uniform head count"):
+            QuantNodeClassifier.from_float(model, {})
+
+    def test_from_float_rejects_concat_merged_output_layer(self, sbm_graph):
+        """A concat-merged multi-head *output* layer is a legal float stack
+        but from_assignment rebuilds the last layer with mean merge — the
+        mirror must refuse rather than silently change the architecture."""
+        from repro.gnn.gat import GATConv
+        from repro.gnn.models import NodeClassifier
+
+        rng = np.random.default_rng(0)
+        model = NodeClassifier([
+            GATConv(sbm_graph.num_features, 8, heads=2, rng=rng),
+            GATConv(8, 8, heads=2, head_merge="concat", rng=rng)])
+        with pytest.raises(TypeError, match="cannot mirror layer 1"):
+            QuantNodeClassifier.from_float(model, {})
 
 
 class TestDegreeQuantAlignment:

@@ -36,10 +36,16 @@ _COMPONENT_NAMES = {
 
 
 def train_quantized(conv_type: str, graph, bits: int = 8, hidden: int = 16,
-                    epochs: int = 12, seed: int = 0) -> QuantNodeClassifier:
+                    epochs: int = 12, seed: int = 0,
+                    heads: int = 1) -> QuantNodeClassifier:
     """A small trained (observers initialised) quantized classifier."""
     assignment = uniform_assignment(_COMPONENT_NAMES[conv_type](2), bits)
-    extra = {"hops": TAG_TEST_HOPS} if conv_type == "tag" else {}
+    if conv_type == "tag":
+        extra = {"hops": TAG_TEST_HOPS}
+    elif conv_type in ("gat", "transformer"):
+        extra = {"heads": heads}
+    else:
+        extra = {}
     model = QuantNodeClassifier.from_assignment(
         [(graph.num_features, hidden), (hidden, graph.num_classes)], conv_type,
         assignment, dropout=0.0, rng=np.random.default_rng(seed), **extra)
@@ -59,3 +65,10 @@ def attention_models(small_cora):
     """One trained int8 model per attention conv family (shared, read-only)."""
     return {conv: train_quantized(conv, small_cora, epochs=8)
             for conv in ATTENTION_CONV_TYPES}
+
+
+@pytest.fixture(scope="session")
+def multi_head_models(small_cora):
+    """Trained 4-head GAT / Transformer classifiers (shared, read-only)."""
+    return {conv: train_quantized(conv, small_cora, epochs=8, heads=4)
+            for conv in ("gat", "transformer")}

@@ -1,11 +1,11 @@
-"""Score-plan serving: artifact export, integer execution, fanout=∞ parity.
+"""Score-plan serving: artifact export, integer execution, the head axis.
 
 Acceptance contract of the attention serving path: a ``QuantizedArtifact``
 exported from a GAT / TAG / Transformer classifier round-trips through disk
-bit-exactly, integer sessions match the QAT reference closely, and block
-serving with unlimited fanout is **bit-identical** to the full-graph engine
-— float, QAT and integer paths alike (the float/QAT halves live in
-``tests/gnn`` / ``tests/quant``).
+bit-exactly (head axis included), integer sessions match the QAT reference
+closely, and the per-head BitOPs accounting behaves.  The fanout=∞
+bit-identity rows (block == full across float/QAT/integer × heads) live in
+the unified parity matrix, ``tests/parity_matrix.py``.
 """
 
 from __future__ import annotations
@@ -32,6 +32,12 @@ TAG_TEST_HOPS = 2
 def artifacts(attention_models):
     return {conv: QuantizedArtifact.from_model(model)
             for conv, model in attention_models.items()}
+
+
+@pytest.fixture(scope="module")
+def multi_head_artifacts(multi_head_models):
+    return {conv: QuantizedArtifact.from_model(model)
+            for conv, model in multi_head_models.items()}
 
 
 class TestAttentionArtifacts:
@@ -83,13 +89,8 @@ class TestAttentionSessions:
         agreement = (logits.argmax(1) == reference.argmax(1)).mean()
         assert agreement > 0.95
 
-    @pytest.mark.parametrize("conv", ATTENTION_CONV_TYPES)
-    def test_unlimited_fanout_block_bit_identical_to_full(self, artifacts,
-                                                          small_cora, conv):
-        full = FullGraphSession(artifacts[conv], small_cora).predict()
-        block = BlockSession(artifacts[conv], small_cora, fanouts=None,
-                             batch_size=small_cora.num_nodes).predict()
-        np.testing.assert_array_equal(block, full)
+    # fanout=∞ block == full bit-identity: parity-matrix rows
+    # (tests/parity_matrix.py, integer × served).
 
     @pytest.mark.parametrize("conv", ATTENTION_CONV_TYPES)
     def test_fanout_capped_serving_is_finite_and_bounded(self, artifacts,
@@ -113,20 +114,8 @@ class TestAttentionSessions:
 
 
 class TestAttentionBitOps:
-    @pytest.mark.parametrize("conv", ATTENTION_CONV_TYPES)
-    def test_block_bitops_at_unlimited_fanout_equal_full_graph(self, artifacts,
-                                                               small_cora,
-                                                               conv):
-        full = FullGraphSession(artifacts[conv], small_cora)
-        block = BlockSession(artifacts[conv], small_cora, fanouts=None,
-                             batch_size=small_cora.num_nodes)
-        full_counter = full.run().bit_operations
-        block_counter = block.run().bit_operations
-        assert block_counter.total_bit_operations \
-            == full_counter.total_bit_operations
-        # and the statically derived count agrees with the executed one
-        assert full.bit_operations().total_bit_operations \
-            == full_counter.total_bit_operations
+    # fanout=∞ BitOPs equality (block == full, executed == static): parity-
+    # matrix rows (tests/parity_matrix.py, integer × served).
 
     @pytest.mark.parametrize("conv", ATTENTION_CONV_TYPES)
     def test_score_stage_is_accounted(self, artifacts, small_cora, conv):
@@ -145,3 +134,61 @@ class TestAttentionBitOps:
                               batch_size=8).run(np.arange(8, dtype=np.int64))
         assert capped.bit_operations.total_bit_operations \
             < full.bit_operations.total_bit_operations
+
+
+class TestMultiHeadServing:
+    """Format v3: the head axis travels export → disk → integer execution."""
+
+    @pytest.mark.parametrize("conv", ("gat", "transformer"))
+    def test_export_carries_head_axis(self, multi_head_artifacts, conv):
+        artifact = multi_head_artifacts[conv]
+        hidden, classes = artifact.layers[0].out_features, \
+            artifact.layers[1].out_features
+        assert [plan.heads for plan in artifact.layers] == [4, 4]
+        assert [plan.head_merge for plan in artifact.layers] \
+            == ["concat", "mean"]
+        assert artifact.layers[0].head_dim == hidden // 4
+        assert artifact.layers[1].head_dim == classes
+
+    def test_gat_attention_vectors_store_one_column_per_head(
+            self, multi_head_artifacts):
+        for plan in multi_head_artifacts["gat"].layers:
+            assert plan.weights["attention_src"].integers.shape \
+                == (plan.head_dim, 4)
+            assert plan.weights["attention_src"].bits == 32
+
+    @pytest.mark.parametrize("conv", ("gat", "transformer"))
+    def test_save_load_round_trip_bit_exact(self, multi_head_artifacts,
+                                            small_cora, tmp_path, conv):
+        artifact = multi_head_artifacts[conv]
+        artifact.save(tmp_path / "artifact")
+        loaded = QuantizedArtifact.load(tmp_path / "artifact")
+        np.testing.assert_array_equal(
+            FullGraphSession(loaded, small_cora).predict(),
+            FullGraphSession(artifact, small_cora).predict())
+        assert [plan.heads for plan in loaded.layers] == [4, 4]
+        assert [plan.head_merge for plan in loaded.layers] \
+            == ["concat", "mean"]
+
+    @pytest.mark.parametrize("conv", ("gat", "transformer"))
+    def test_integer_matches_multi_head_qat_reference(self,
+                                                      multi_head_artifacts,
+                                                      multi_head_models,
+                                                      small_cora, conv):
+        with no_grad():
+            reference = multi_head_models[conv](small_cora).data
+        logits = FullGraphSession(multi_head_artifacts[conv],
+                                  small_cora).predict()
+        np.testing.assert_allclose(logits, reference, atol=5e-2)
+        agreement = (logits.argmax(1) == reference.argmax(1)).mean()
+        assert agreement > 0.95
+
+    @pytest.mark.parametrize("conv", ("gat", "transformer"))
+    def test_more_heads_cost_more_bitops(self, artifacts,
+                                         multi_head_artifacts, small_cora,
+                                         conv):
+        single = FullGraphSession(artifacts[conv], small_cora) \
+            .bit_operations().total_bit_operations
+        multi = FullGraphSession(multi_head_artifacts[conv], small_cora) \
+            .bit_operations().total_bit_operations
+        assert multi > single

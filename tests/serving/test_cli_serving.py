@@ -94,13 +94,15 @@ class TestParserSnapshot:
     def test_export_options_snapshot(self):
         snapshot = _option_snapshot(_subcommands(build_parser())["export"])
         assert set(snapshot) == {
-            "--dataset", "--conv", "--hidden", "--layers", "--hops", "--scale",
-            "--seed", "--degree-quant", "--assignment", "--uniform-bits",
-            "--epochs", "--lr", "--out"}
+            "--dataset", "--conv", "--hidden", "--layers", "--hops", "--heads",
+            "--head-merge", "--scale", "--seed", "--degree-quant",
+            "--assignment", "--uniform-bits", "--epochs", "--lr", "--out"}
         assert snapshot["--conv"][0] == "gcn"
         assert snapshot["--uniform-bits"][0] == 8
         assert snapshot["--epochs"][0] == 100
         assert snapshot["--hops"][0] == 3
+        assert snapshot["--heads"][0] == 1
+        assert snapshot["--head-merge"][0] == "concat"
         assert snapshot["--lr"][0] == pytest.approx(0.01)
         # export serves every conv family the serving layer plans support
         conv_action = next(
