@@ -1,12 +1,13 @@
 """Command-line interface for the MixQ-GNN reproduction.
 
-Five sub-commands cover the everyday workflows::
+Six sub-commands cover the everyday workflows::
 
-    python -m repro.cli search  --dataset cora --lambda 0.1 --out assignment.json
-    python -m repro.cli train   --dataset cora --assignment assignment.json
-    python -m repro.cli table   --name table3 --datasets cora
-    python -m repro.cli export  --dataset cora --uniform-bits 8 --out artifact.npz
-    python -m repro.cli predict --artifact artifact.npz --dataset cora
+    python -m repro.cli search   --dataset cora --lambda 0.1 --out assignment.json
+    python -m repro.cli train    --dataset cora --assignment assignment.json
+    python -m repro.cli table    --name table3 --datasets cora
+    python -m repro.cli export   --dataset cora --uniform-bits 8 --out artifact.npz
+    python -m repro.cli predict  --artifact artifact.npz --dataset cora
+    python -m repro.cli loadtest --dataset cora --qps 200 --duration 2 --emit BENCH.json
 
 ``search`` runs the differentiable bit-width search and stores the selected
 assignment; ``train`` quantization-aware-trains a model from a stored (or
@@ -15,7 +16,12 @@ one of the paper-table experiment runners at the quick scale and prints it;
 ``export`` QAT-trains and writes a self-contained integer deployment
 artifact (npz + json sidecar); ``predict`` serves requests from a saved
 artifact with integer arithmetic — full-graph or memory-bounded
-neighbor-sampled blocks — and reports per-request latency and BitOPs.
+neighbor-sampled blocks — and reports per-request latency and BitOPs;
+``loadtest`` replays deterministic production-shaped traffic (zipfian seed
+popularity, open- or closed-loop) against the async serving engine and
+reports p50/p95/p99 latency, achieved vs offered QPS, SLO violations and
+cache hit rate — optionally persisting them into a ``BENCH_*.json``
+trajectory file (see ``docs/benchmarks.md``).
 
 Every sub-command accepts ``--conv`` from the six supported layer families
 (gcn / sage / gin / gat / tag / transformer); the attention families run in
@@ -293,6 +299,99 @@ def _command_predict(args) -> int:
     return 0
 
 
+def _loadtest_session(args):
+    """(graph, session) for the load test: saved artifact or quick QAT."""
+    from repro.serving import BlockSession, QuantizedArtifact
+
+    if args.artifact:
+        graph = load_node_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        artifact = QuantizedArtifact.load(args.artifact)
+        if artifact.num_features != graph.num_features:
+            raise SystemExit(
+                f"artifact expects {artifact.num_features} features but "
+                f"{args.dataset} (scale {args.scale}) has "
+                f"{graph.num_features}; pass the export-time "
+                f"--dataset/--scale/--seed")
+    else:
+        assignment = uniform_assignment(
+            conv_component_names(args.conv, args.layers, hops=3),
+            args.uniform_bits)
+        graph, model, _ = _train_for_export(
+            args.dataset, args.conv, args.hidden, args.layers, args.scale,
+            args.seed, assignment, args.train_epochs, 0.01, False)
+        artifact = QuantizedArtifact.from_model(model)
+
+    fanout = None if args.fanout <= 0 else args.fanout
+    session = BlockSession(artifact, graph, fanouts=fanout,
+                           batch_size=args.batch_size, seed=args.seed,
+                           cache_size=args.cache_size)
+    return graph, session
+
+
+def _loadtest_result_name(args) -> str:
+    """Stable default result name: pattern, arrival process, replay mode."""
+    if args.name:
+        return args.name
+    if args.mode == "closed":
+        return f"loadtest.{args.pattern}.closed"
+    return f"loadtest.{args.pattern}.{args.arrival}.open"
+
+
+def _command_loadtest(args) -> int:
+    from repro.loadgen import TrafficConfig, generate_trace, metrics_from_run, \
+        run_load
+    from repro.loadgen import report as trajectory
+    from repro.serving import AsyncServingEngine
+
+    graph, session = _loadtest_session(args)
+    config = TrafficConfig(
+        num_nodes=graph.num_nodes, pattern=args.pattern, skew=args.skew,
+        seeds_per_request=min(args.seeds_per_request, graph.num_nodes),
+        arrival=args.arrival, qps=args.qps,
+        duration_seconds=args.duration,
+        num_requests=args.requests if args.requests > 0 else None,
+        seed=args.traffic_seed)
+    trace = generate_trace(config)
+
+    with AsyncServingEngine(session, max_batch=args.batch_size,
+                            max_wait_ms=args.max_wait_ms,
+                            workers=args.workers) as engine:
+        run = run_load(engine, trace, mode=args.mode, clients=args.clients,
+                       warmup_requests=args.warmup)
+    metrics = metrics_from_run(run, deadline_ms=args.deadline_ms)
+
+    print(f"loadtest: {args.pattern} traffic (skew {args.skew}), "
+          f"{args.mode} loop, {run.requests} measured requests x "
+          f"{config.seeds_per_request} seeds "
+          f"(+{trace.num_requests - run.requests} warm-up)")
+    print(f"{'offered QPS':>18} {run.offered_qps:>10.1f}")
+    print(f"{'achieved QPS':>18} {run.achieved_qps:>10.1f}")
+    for key in ("p50_ms", "p95_ms", "p99_ms", "max_ms", "mean_ms"):
+        print(f"{key:>18} {metrics[key]:>10.2f}")
+    print(f"{'SLO violations':>18} {metrics['slo_violation_rate']:>10.1%} "
+          f"(deadline {args.deadline_ms:.0f} ms)")
+    print(f"{'cache hit rate':>18} {metrics['cache_hit_rate']:>10.1%}")
+    print(f"{'micro-batches':>18} {run.micro_batches:>10} "
+          f"({run.nodes} seed nodes, {run.giga_bit_operations:.4f} GBitOPs, "
+          f"workers={args.workers})")
+
+    if args.emit:
+        meta = {"dataset": args.dataset, "scale": args.scale,
+                "seed": args.seed, "traffic_seed": args.traffic_seed,
+                "conv": args.conv, "pattern": args.pattern,
+                "skew": args.skew, "arrival": args.arrival,
+                "mode": args.mode, "clients": args.clients,
+                "seeds_per_request": config.seeds_per_request,
+                "warmup_requests": trace.num_requests - run.requests,
+                "fanout": args.fanout, "batch_size": args.batch_size,
+                "cache_size": args.cache_size, "workers": args.workers,
+                "max_wait_ms": args.max_wait_ms}
+        path = trajectory.emit(args.emit, _loadtest_result_name(args),
+                               metrics, meta=meta, kind="loadtest")
+        print(f"trajectory written to {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -408,6 +507,101 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--out", default="",
                          help="write served nodes/logits/classes to this npz file")
     predict.set_defaults(handler=_command_predict)
+
+    loadtest = subparsers.add_parser(
+        "loadtest", help="replay production-shaped traffic against the "
+                         "async serving engine",
+        description="Generate a deterministic, seeded traffic trace (zipfian "
+                    "or uniform seed popularity; Poisson or fixed-rate "
+                    "open-loop arrivals, or closed-loop N-client replay), "
+                    "drive it through AsyncServingEngine over a block "
+                    "session, and report p50/p95/p99/max latency, achieved "
+                    "vs offered QPS, SLO-violation rate and cache hit rate. "
+                    "--emit appends the result to a BENCH_*.json perf "
+                    "trajectory file (see docs/benchmarks.md); CI's perf "
+                    "job gates it against the committed baseline.")
+    loadtest.add_argument("--artifact", default="",
+                          help="serve this `repro export` artifact; when "
+                               "omitted, a small uniform-bits model is "
+                               "QAT-trained in memory first")
+    loadtest.add_argument("--dataset", default="cora",
+                          choices=sorted(NODE_DATASETS),
+                          help="graph to serve against (default: cora)")
+    loadtest.add_argument("--scale", type=float, default=0.2,
+                          help="dataset down-scaling factor (default: 0.2)")
+    loadtest.add_argument("--seed", type=int, default=0,
+                          help="dataset / sampler / training seed (default: 0)")
+    loadtest.add_argument("--conv", default="gcn", choices=list(CONV_CHOICES),
+                          help="layer family of the in-memory model "
+                               "(default: gcn; ignored with --artifact)")
+    loadtest.add_argument("--hidden", type=int, default=16,
+                          help="hidden width of the in-memory model "
+                               "(default: 16)")
+    loadtest.add_argument("--layers", type=int, default=2,
+                          help="layers of the in-memory model (default: 2)")
+    loadtest.add_argument("--uniform-bits", type=int, default=8,
+                          help="bit-width of the in-memory model (default: 8)")
+    loadtest.add_argument("--train-epochs", type=int, default=3,
+                          help="QAT epochs of the in-memory model "
+                               "(default: 3)")
+    loadtest.add_argument("--pattern", default="zipfian",
+                          choices=["zipfian", "uniform"],
+                          help="seed-popularity law (default: zipfian)")
+    loadtest.add_argument("--skew", type=float, default=1.1,
+                          help="zipfian exponent; 0 degenerates to uniform "
+                               "(default: 1.1)")
+    loadtest.add_argument("--arrival", default="poisson",
+                          choices=["poisson", "fixed"],
+                          help="open-loop arrival process (default: poisson)")
+    loadtest.add_argument("--qps", type=float, default=200.0,
+                          help="offered request rate (default: 200)")
+    loadtest.add_argument("--duration", type=float, default=1.0,
+                          help="trace length in seconds; request count is "
+                               "qps * duration unless --requests pins it "
+                               "(default: 1.0)")
+    loadtest.add_argument("--requests", type=int, default=0,
+                          help="explicit request count (default: 0 = derive "
+                               "from --qps and --duration)")
+    loadtest.add_argument("--seeds-per-request", type=int, default=8,
+                          help="distinct seed nodes per request (default: 8)")
+    loadtest.add_argument("--mode", default="open", choices=["open", "closed"],
+                          help="open-loop (submit at scheduled arrivals) or "
+                               "closed-loop (N clients back-to-back) replay "
+                               "(default: open)")
+    loadtest.add_argument("--clients", type=int, default=4,
+                          help="client threads in closed-loop mode "
+                               "(default: 4)")
+    loadtest.add_argument("--warmup", type=int, default=16,
+                          help="requests served (then discarded, stats "
+                               "reset) before the measured window "
+                               "(default: 16)")
+    loadtest.add_argument("--deadline-ms", type=float, default=50.0,
+                          help="per-request latency SLO in milliseconds "
+                               "(default: 50)")
+    loadtest.add_argument("--traffic-seed", type=int, default=0,
+                          help="trace generator seed — same seed, same "
+                               "trace, bit for bit (default: 0)")
+    loadtest.add_argument("--fanout", type=int, default=10,
+                          help="block-session fanout (default: 10; <= 0 "
+                               "keeps every neighbour)")
+    loadtest.add_argument("--batch-size", type=int, default=256,
+                          help="engine max batch / micro-batch size "
+                               "(default: 256)")
+    loadtest.add_argument("--cache-size", type=int, default=0,
+                          help="block-cache entries (default: 0 = off)")
+    loadtest.add_argument("--workers", type=int, default=1,
+                          help="thread-pool width inside one flush "
+                               "(default: 1)")
+    loadtest.add_argument("--max-wait-ms", type=float, default=2.0,
+                          help="deadline-batching wait of the async engine "
+                               "(default: 2.0)")
+    loadtest.add_argument("--emit", default="",
+                          help="append the result to this BENCH_*.json "
+                               "trajectory file (default: print only)")
+    loadtest.add_argument("--name", default="",
+                          help="result name inside the trajectory file "
+                               "(default: loadtest.<pattern>.<arrival>.<mode>)")
+    loadtest.set_defaults(handler=_command_loadtest)
     return parser
 
 

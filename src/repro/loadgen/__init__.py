@@ -1,0 +1,36 @@
+"""Traffic-replay load harness for the serving stack.
+
+Three pieces, used together by ``repro loadtest`` and the benchmarks:
+
+* :mod:`repro.loadgen.traffic` — deterministic production-shaped traffic
+  (zipfian seed popularity, Poisson / fixed-rate open-loop arrivals).
+* :mod:`repro.loadgen.harness` — open- and closed-loop replay against an
+  :class:`~repro.serving.AsyncServingEngine`, with a warm-up phase and
+  steady-state cache-delta accounting.
+* :mod:`repro.loadgen.report` — the versioned ``BENCH_*.json`` perf
+  trajectory format shared with the benchmark suite and gated in CI by
+  ``tools/check_bench.py``.
+"""
+
+from repro.loadgen.harness import LoadRunResult, metrics_from_run, run_load
+from repro.loadgen.report import LOADTEST_REQUIRED_METRICS, summarize_latencies
+from repro.loadgen.traffic import (
+    ARRIVALS,
+    PATTERNS,
+    LoadTrace,
+    TrafficConfig,
+    generate_trace,
+)
+
+__all__ = [
+    "ARRIVALS",
+    "LOADTEST_REQUIRED_METRICS",
+    "PATTERNS",
+    "LoadRunResult",
+    "LoadTrace",
+    "TrafficConfig",
+    "generate_trace",
+    "metrics_from_run",
+    "run_load",
+    "summarize_latencies",
+]

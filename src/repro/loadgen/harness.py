@@ -1,0 +1,200 @@
+"""Traffic replay against :class:`~repro.serving.AsyncServingEngine`.
+
+:func:`run_load` drives one deterministic :class:`~repro.loadgen.traffic.
+LoadTrace` through a running engine and measures what production would
+see:
+
+* **Open-loop** replay submits each request at its scheduled arrival time
+  regardless of completions, so queueing delay under overload is *measured*
+  instead of hidden — per-request latency is ``completion − scheduled
+  arrival`` (coordinated-omission-free), not ``completion − submit``.
+* **Closed-loop** replay runs ``clients`` threads that each submit the next
+  request the moment their previous one completes — the classic N-client
+  saturation probe.  Arrival times in the trace are ignored; latency is the
+  engine-reported queue + service time.
+
+An optional warm-up prefix serves the head of the trace first and then
+calls :meth:`~repro.serving.ServingEngine.reset_stats` (and snapshots the
+block-cache counters), so the reported window measures steady state — the
+cache hit rate is a *delta* over the measured window, not a lifetime
+average diluted by cold misses.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.loadgen.traffic import LoadTrace
+from repro.serving.async_engine import AsyncServingEngine
+
+#: Replay modes :func:`run_load` understands.
+MODES = ("open", "closed")
+
+
+@dataclass(frozen=True)
+class LoadRunResult:
+    """Raw measurements of one replayed window (summarised by
+    :func:`~repro.loadgen.report.summarize_latencies` /
+    :func:`metrics_from_run`)."""
+
+    #: Per-request latency, aligned with the measured trace order.
+    latencies_seconds: np.ndarray
+    #: Wall-clock span of the measured window (first submit → last completion).
+    measured_seconds: float
+    #: The rate the trace offered (closed-loop: the achieved rate).
+    offered_qps: float
+    requests: int
+    nodes: int
+    micro_batches: int
+    giga_bit_operations: float
+    #: Block-cache hit/lookup deltas over the measured window (None = no cache).
+    cache_hits: Optional[int]
+    cache_lookups: Optional[int]
+
+    @property
+    def achieved_qps(self) -> float:
+        return self.requests / self.measured_seconds \
+            if self.measured_seconds > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hit rate over the measured window (0 when no cache is attached)."""
+        if not self.cache_lookups:
+            return 0.0
+        return self.cache_hits / self.cache_lookups
+
+
+def metrics_from_run(run: LoadRunResult, deadline_ms: float) -> dict:
+    """The full ``kind="loadtest"`` metric set of one measured window."""
+    from repro.loadgen.report import summarize_latencies
+
+    metrics = summarize_latencies(run.latencies_seconds, deadline_ms)
+    metrics.update({
+        "requests": run.requests,
+        "offered_qps": float(run.offered_qps),
+        "achieved_qps": float(run.achieved_qps),
+        "cache_hit_rate": float(run.cache_hit_rate),
+    })
+    return metrics
+
+
+def _cache_counters(engine: AsyncServingEngine):
+    """(hits, lookups) of the session's block cache, or None without one."""
+    stats = getattr(engine.session, "cache_stats", lambda: None)()
+    return None if stats is None else (stats.hits, stats.lookups)
+
+
+def _replay_open(engine: AsyncServingEngine, trace: LoadTrace) -> tuple:
+    """Submit at scheduled arrivals; latency = completion − scheduled arrival."""
+    count = trace.num_requests
+    completions = np.zeros(count, dtype=np.float64)
+
+    def completion_recorder(index: int):
+        def record(_future) -> None:
+            completions[index] = time.perf_counter()
+        return record
+
+    futures = []
+    start = time.perf_counter()
+    for index, (arrival, nodes) in enumerate(zip(trace.arrivals,
+                                                 trace.requests)):
+        delay = start + float(arrival) - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        future = engine.submit(nodes)
+        future.add_done_callback(completion_recorder(index))
+        futures.append(future)
+    engine.flush_now()
+    for future in futures:
+        future.result()
+    latencies = completions - (start + trace.arrivals)
+    measured = float(completions.max() - start)
+    return latencies, measured
+
+
+def _replay_closed(engine: AsyncServingEngine, trace: LoadTrace,
+                   clients: int) -> tuple:
+    """N clients, each back-to-back over a shared request queue."""
+    count = trace.num_requests
+    latencies = np.zeros(count, dtype=np.float64)
+    cursor = iter(range(count))
+    lock = threading.Lock()
+
+    def client_loop() -> None:
+        while True:
+            with lock:
+                index = next(cursor, None)
+            if index is None:
+                return
+            result = engine.submit(trace.requests[index]).result()
+            latencies[index] = result.latency_seconds
+
+    threads = [threading.Thread(target=client_loop,
+                                name=f"repro-loadgen-client-{i}")
+               for i in range(max(1, int(clients)))]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    measured = time.perf_counter() - start
+    return latencies, float(measured)
+
+
+def run_load(engine: AsyncServingEngine, trace: LoadTrace, *,
+             mode: str = "open", clients: int = 4,
+             warmup_requests: int = 0) -> LoadRunResult:
+    """Replay a trace through a running engine and measure the window.
+
+    ``warmup_requests`` requests are taken off the *head* of the trace,
+    served closed-loop, and excluded from every reported number (engine
+    stats are reset at the warm-up boundary); the measured window replays
+    the remainder in the requested ``mode``.
+    """
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    if trace.num_requests == 0:
+        raise ValueError("cannot replay an empty trace")
+
+    warmup_requests = max(0, min(int(warmup_requests),
+                                 trace.num_requests - 1))
+    if warmup_requests:
+        for nodes in trace.requests[:warmup_requests]:
+            engine.submit(nodes).result()
+    measured_trace = trace.tail(warmup_requests)
+
+    # Warm-up boundary: every warm-up future has resolved, so its flush's
+    # counters are committed and the reset cannot race the dispatcher.
+    engine.reset_stats()
+    cache_before = _cache_counters(engine)
+
+    if mode == "open":
+        latencies, measured = _replay_open(engine, measured_trace)
+        offered = measured_trace.config.qps
+    else:
+        latencies, measured = _replay_closed(engine, measured_trace, clients)
+        offered = measured_trace.num_requests / measured if measured > 0 else 0.0
+
+    cache_after = _cache_counters(engine)
+    cache_hits = cache_lookups = None
+    if cache_before is not None and cache_after is not None:
+        cache_hits = cache_after[0] - cache_before[0]
+        cache_lookups = cache_after[1] - cache_before[1]
+
+    stats = engine.stats
+    return LoadRunResult(
+        latencies_seconds=latencies,
+        measured_seconds=measured,
+        offered_qps=float(offered),
+        requests=measured_trace.num_requests,
+        nodes=stats.nodes,
+        micro_batches=stats.micro_batches,
+        giga_bit_operations=stats.giga_bit_operations,
+        cache_hits=cache_hits,
+        cache_lookups=cache_lookups,
+    )

@@ -1,0 +1,233 @@
+"""The persisted perf-trajectory format (``BENCH_*.json``) and its schema.
+
+Every benchmark in the repository used to print a table and throw the
+numbers away; this module is the one place results flow through instead.
+A trajectory file is a single versioned JSON document::
+
+    {
+      "schema": "repro-bench",
+      "schema_version": 1,
+      "results": {
+        "loadtest.zipfian.poisson.open": {
+          "kind": "loadtest",
+          "metrics": {"p50_ms": 3.1, "p95_ms": 7.9, ...},
+          "meta": {"dataset": "cora", "workers": 2, ...}
+        },
+        "serving.n3000": {"kind": "benchmark", "metrics": {...}}
+      }
+    }
+
+``kind="loadtest"`` results must carry the full latency/QPS/SLO metric set
+(:data:`LOADTEST_REQUIRED_METRICS`); ``kind="benchmark"`` results carry
+whatever scalars their benchmark measures.  Metric *names* encode the
+regression direction for ``tools/check_bench.py`` (see
+:func:`metric_direction`): ``*_ms`` / ``*_mb`` / ``*_gbitops`` /
+``slo_violation_rate`` regress upward, ``*_qps`` / ``*hit_rate`` regress
+downward, everything else is informational.  Emission always merges into
+an existing file, so one ``BENCH_PR<k>.json`` accumulates the whole perf
+surface of a PR.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+SCHEMA_NAME = "repro-bench"
+SCHEMA_VERSION = 1
+
+#: Result kinds a trajectory file may hold.
+RESULT_KINDS = ("loadtest", "benchmark")
+
+#: Every ``loadtest`` result must report at least these metrics.
+LOADTEST_REQUIRED_METRICS = frozenset({
+    "requests", "offered_qps", "achieved_qps",
+    "p50_ms", "p95_ms", "p99_ms", "max_ms", "mean_ms",
+    "deadline_ms", "slo_violation_rate", "cache_hit_rate",
+})
+
+#: Metrics that echo configuration (or are load-determined) and must never
+#: be gated even though their suffix suggests a direction.
+_DIRECTION_OVERRIDES: Dict[str, Optional[str]] = {
+    "deadline_ms": None,
+    "offered_qps": None,
+}
+
+
+def metric_direction(name: str) -> Optional[str]:
+    """``"lower"`` / ``"higher"`` = which way is *better*; ``None`` = not gated."""
+    if name in _DIRECTION_OVERRIDES:
+        return _DIRECTION_OVERRIDES[name]
+    if name == "slo_violation_rate" or name.endswith(("_ms", "_mb", "_gbitops")):
+        return "lower"
+    if name.endswith("_qps") or name.endswith("hit_rate"):
+        return "higher"
+    return None
+
+
+#: (suffix, absolute slack) pairs — the flat part of the tolerance band,
+#: so near-zero baselines (an empty SLO budget, a sub-millisecond p50)
+#: don't turn measurement noise into a failed gate.
+_ABSOLUTE_SLACKS = (
+    ("_rate", 0.05),
+    ("hit_rate", 0.05),
+    ("_ms", 2.0),
+    ("_mb", 2.0),
+    ("_qps", 5.0),
+    ("_gbitops", 1e-6),
+)
+
+
+def metric_slack(name: str) -> float:
+    """Absolute slack added on top of the relative tolerance band."""
+    for suffix, slack in _ABSOLUTE_SLACKS:
+        if name.endswith(suffix):
+            return slack
+    return 0.0
+
+
+# --------------------------------------------------------------------- #
+# latency / SLO accounting
+# --------------------------------------------------------------------- #
+def summarize_latencies(latencies_seconds: np.ndarray,
+                        deadline_ms: float) -> Dict[str, float]:
+    """Percentile and SLO accounting over one measured latency trace.
+
+    Returns the ``p50/p95/p99/max/mean`` milliseconds plus the fraction of
+    requests that missed the ``deadline_ms`` SLO.
+    """
+    latencies = np.asarray(latencies_seconds, dtype=np.float64).reshape(-1)
+    if latencies.size == 0:
+        raise ValueError("cannot summarize an empty latency trace")
+    if deadline_ms <= 0:
+        raise ValueError("deadline_ms must be positive")
+    milliseconds = latencies * 1e3
+    p50, p95, p99 = np.percentile(milliseconds, [50.0, 95.0, 99.0])
+    return {
+        "p50_ms": float(p50),
+        "p95_ms": float(p95),
+        "p99_ms": float(p99),
+        "max_ms": float(milliseconds.max()),
+        "mean_ms": float(milliseconds.mean()),
+        "deadline_ms": float(deadline_ms),
+        "slo_violation_rate": float((milliseconds > deadline_ms).mean()),
+    }
+
+
+# --------------------------------------------------------------------- #
+# payload construction / validation / persistence
+# --------------------------------------------------------------------- #
+def new_payload() -> dict:
+    """An empty trajectory document at the current schema version."""
+    return {"schema": SCHEMA_NAME, "schema_version": SCHEMA_VERSION,
+            "results": {}}
+
+
+def merge_result(payload: dict, name: str, metrics: Dict[str, float],
+                 meta: Optional[dict] = None, kind: str = "loadtest") -> dict:
+    """Add (or replace) one named result in a payload, validated.
+
+    Results are re-sorted by name so emitted files diff stably.
+    """
+    if kind not in RESULT_KINDS:
+        raise ValueError(f"kind must be one of {RESULT_KINDS}, got {kind!r}")
+    if not name or not isinstance(name, str):
+        raise ValueError("result name must be a non-empty string")
+    clean: Dict[str, Union[int, float]] = {}
+    for key, value in metrics.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float, np.number)):
+            raise ValueError(f"metric {key!r} must be a number, got {value!r}")
+        number = float(value)
+        if not math.isfinite(number):
+            raise ValueError(f"metric {key!r} must be finite, got {value!r}")
+        clean[key] = int(value) if float(value).is_integer() else round(number, 6)
+    if not clean:
+        raise ValueError("a result needs at least one metric")
+    if kind == "loadtest":
+        missing = LOADTEST_REQUIRED_METRICS - clean.keys()
+        if missing:
+            raise ValueError(f"loadtest result is missing metrics: "
+                             f"{sorted(missing)}")
+    entry: dict = {"kind": kind, "metrics": clean}
+    if meta:
+        entry["meta"] = {str(key): value for key, value in meta.items()}
+    payload["results"][name] = entry
+    payload["results"] = dict(sorted(payload["results"].items()))
+    return payload
+
+
+def validate_payload(payload: object) -> List[str]:
+    """Schema errors of a trajectory document (empty list = valid)."""
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not a JSON object"]
+    if payload.get("schema") != SCHEMA_NAME:
+        errors.append(f"schema must be {SCHEMA_NAME!r}, "
+                      f"got {payload.get('schema')!r}")
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        errors.append(f"schema_version must be {SCHEMA_VERSION}, "
+                      f"got {payload.get('schema_version')!r}")
+    results = payload.get("results")
+    if not isinstance(results, dict) or not results:
+        errors.append("results must be a non-empty object")
+        return errors
+    for name, entry in results.items():
+        where = f"results[{name!r}]"
+        if not isinstance(entry, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        kind = entry.get("kind")
+        if kind not in RESULT_KINDS:
+            errors.append(f"{where}.kind must be one of {RESULT_KINDS}, "
+                          f"got {kind!r}")
+        metrics = entry.get("metrics")
+        if not isinstance(metrics, dict) or not metrics:
+            errors.append(f"{where}.metrics must be a non-empty object")
+            continue
+        for key, value in metrics.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)) \
+                    or not math.isfinite(value):
+                errors.append(f"{where}.metrics[{key!r}] must be a finite "
+                              f"number, got {value!r}")
+        if kind == "loadtest":
+            missing = LOADTEST_REQUIRED_METRICS - metrics.keys()
+            if missing:
+                errors.append(f"{where} is missing loadtest metrics: "
+                              f"{sorted(missing)}")
+        if "meta" in entry and not isinstance(entry["meta"], dict):
+            errors.append(f"{where}.meta must be an object")
+    return errors
+
+
+def load_payload(path: Union[str, Path]) -> dict:
+    """Read and schema-check a trajectory file (raises on invalid)."""
+    payload = json.loads(Path(path).read_text())
+    errors = validate_payload(payload)
+    if errors:
+        raise ValueError(f"{path}: " + "; ".join(errors))
+    return payload
+
+
+def save_payload(path: Union[str, Path], payload: dict) -> Path:
+    """Write a payload as stable, diff-friendly JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def emit(path: Union[str, Path], name: str, metrics: Dict[str, float],
+         meta: Optional[dict] = None, kind: str = "loadtest") -> Path:
+    """Merge one result into the trajectory file at ``path``.
+
+    Creates the file when absent; an existing file must already be
+    schema-valid (a corrupt trajectory is an error, never silently
+    clobbered).
+    """
+    path = Path(path)
+    payload = load_payload(path) if path.exists() else new_payload()
+    merge_result(payload, name, metrics, meta=meta, kind=kind)
+    return save_payload(path, payload)

@@ -1,0 +1,168 @@
+"""Deterministic, production-shaped serving traffic.
+
+The load harness exists to exercise the serving stack in the regime the
+cache, coalescing, and seed-dedup work were built for: *skewed, repetitive*
+traffic.  This module generates that traffic as a pure function of a
+:class:`TrafficConfig` — same config, same seed, same trace, bit for bit —
+so a load test is replayable across machines and PRs:
+
+* **Seed popularity** follows a Zipf law over a seeded permutation of the
+  node ids (``pattern="zipfian"``, ``skew`` configurable; ``skew=0`` or
+  ``pattern="uniform"`` degenerates to uniform draws).  Ranks map to node
+  ids through a permutation so "popular" nodes are spread across the id
+  space instead of clustering at 0.
+* **Arrival times** come from an open-loop process: Poisson
+  (``arrival="poisson"``, exponential inter-arrival gaps at the offered
+  QPS) or fixed-rate (``arrival="fixed"``, exact ``1/qps`` spacing).
+  Open-loop means arrivals never wait for completions — the offered load
+  is what production offers, not what the server can absorb.  Closed-loop
+  N-client replay (see :func:`~repro.loadgen.harness.run_load`) ignores
+  the arrival column and drives requests back to back instead.
+
+Every request draws ``seeds_per_request`` distinct nodes from the
+popularity distribution, mirroring the multi-seed requests the coalescing
+engine is optimised for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Seed-popularity patterns the generator understands.
+PATTERNS = ("zipfian", "uniform")
+#: Open-loop arrival processes the generator understands.
+ARRIVALS = ("poisson", "fixed")
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Full description of one deterministic traffic trace.
+
+    Parameters
+    ----------
+    num_nodes:
+        Size of the served graph's node id space.
+    pattern / skew:
+        Seed-popularity law.  ``zipfian`` draws node *ranks* with
+        probability proportional to ``rank ** -skew``; ``uniform`` (or
+        ``skew=0``) draws every node equally often.
+    seeds_per_request:
+        Distinct seed nodes per request (the coalescing engine's unit).
+    arrival / qps / duration_seconds / num_requests:
+        Open-loop schedule: ``qps`` is the offered rate, the request count
+        defaults to ``round(qps * duration_seconds)`` unless
+        ``num_requests`` pins it explicitly.
+    seed:
+        Root of the generator; the entire trace is a pure function of the
+        config including this value.
+    """
+
+    num_nodes: int
+    pattern: str = "zipfian"
+    skew: float = 1.1
+    seeds_per_request: int = 8
+    arrival: str = "poisson"
+    qps: float = 200.0
+    duration_seconds: float = 1.0
+    num_requests: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if self.pattern not in PATTERNS:
+            raise ValueError(f"pattern must be one of {PATTERNS}, got {self.pattern!r}")
+        if self.arrival not in ARRIVALS:
+            raise ValueError(f"arrival must be one of {ARRIVALS}, got {self.arrival!r}")
+        if self.skew < 0:
+            raise ValueError("skew must be non-negative")
+        if not 1 <= self.seeds_per_request <= self.num_nodes:
+            raise ValueError("seeds_per_request must lie in [1, num_nodes]")
+        if self.qps <= 0:
+            raise ValueError("qps must be positive")
+        if self.num_requests is None and self.duration_seconds <= 0:
+            raise ValueError("duration_seconds must be positive when "
+                             "num_requests is not given")
+        if self.num_requests is not None and self.num_requests <= 0:
+            raise ValueError("num_requests must be positive when given")
+
+    @property
+    def request_count(self) -> int:
+        """Number of requests in the trace."""
+        if self.num_requests is not None:
+            return int(self.num_requests)
+        return max(1, int(round(self.qps * self.duration_seconds)))
+
+
+@dataclass(frozen=True)
+class LoadTrace:
+    """One replayable traffic trace: arrival offsets plus per-request seeds."""
+
+    #: Seconds from trace start, non-decreasing, one per request.
+    arrivals: np.ndarray
+    #: Seed-node arrays, one per request, aligned with :attr:`arrivals`.
+    requests: Tuple[np.ndarray, ...]
+    config: TrafficConfig
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def num_seeds(self) -> int:
+        """Total seed nodes over the whole trace."""
+        return int(sum(nodes.shape[0] for nodes in self.requests))
+
+    def tail(self, skip: int) -> "LoadTrace":
+        """The trace with its first ``skip`` requests removed and arrivals
+        re-based to the first remaining request (the measured window after
+        a warm-up prefix)."""
+        skip = max(0, min(int(skip), self.num_requests - 1))
+        if skip == 0:
+            return self
+        arrivals = self.arrivals[skip:] - self.arrivals[skip]
+        return LoadTrace(arrivals=arrivals, requests=self.requests[skip:],
+                        config=self.config)
+
+
+def popularity_probabilities(num_nodes: int, pattern: str,
+                             skew: float) -> Optional[np.ndarray]:
+    """Per-rank draw probabilities, or ``None`` for uniform traffic."""
+    if pattern == "uniform" or skew == 0.0:
+        return None
+    ranks = np.arange(1, num_nodes + 1, dtype=np.float64)
+    weights = ranks ** -float(skew)
+    return weights / weights.sum()
+
+
+def generate_trace(config: TrafficConfig) -> LoadTrace:
+    """Materialise the deterministic trace a config describes.
+
+    Same config (seed included) → bit-identical arrivals and request
+    arrays; this is the property the harness's replayability and the CI
+    perf gate lean on.
+    """
+    rng = np.random.default_rng(config.seed)
+    count = config.request_count
+
+    # Popular ranks land on a seeded permutation of the id space so the
+    # hot set is not an artifact of node numbering.
+    node_by_rank = rng.permutation(config.num_nodes)
+    probabilities = popularity_probabilities(config.num_nodes, config.pattern,
+                                             config.skew)
+    requests = []
+    for _ in range(count):
+        ranks = rng.choice(config.num_nodes, size=config.seeds_per_request,
+                           replace=False, p=probabilities)
+        requests.append(np.asarray(node_by_rank[ranks], dtype=np.int64))
+
+    if config.arrival == "fixed":
+        arrivals = np.arange(count, dtype=np.float64) / config.qps
+    else:
+        gaps = rng.exponential(1.0 / config.qps, size=count)
+        arrivals = np.cumsum(gaps) - gaps[0]
+
+    return LoadTrace(arrivals=arrivals, requests=tuple(requests), config=config)

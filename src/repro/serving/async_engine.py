@@ -92,6 +92,17 @@ class AsyncServingEngine:
         """Engine counters; only the dispatcher thread ever mutates them."""
         return self.engine.stats
 
+    def reset_stats(self) -> EngineStats:
+        """Start a fresh measurement window; returns the closed window's
+        counters.
+
+        The wrapped engine's counters are committed before any of a
+        flush's futures resolve, so once every outstanding future has been
+        waited on (a load harness's warm-up boundary) the reset cannot
+        race the dispatcher.
+        """
+        return self.engine.reset_stats()
+
     @property
     def pending(self) -> int:
         with self._lock:

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor, as_completed
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -69,6 +69,14 @@ class EngineStats:
     def throughput(self) -> float:
         """Seed nodes served per second (0 before anything ran)."""
         return self.nodes / self.seconds if self.seconds > 0 else 0.0
+
+    def reset(self) -> None:
+        """Zero every counter — the start of a new measurement window."""
+        self.requests = 0
+        self.nodes = 0
+        self.micro_batches = 0
+        self.seconds = 0.0
+        self.giga_bit_operations = 0.0
 
 
 @dataclass
@@ -141,6 +149,19 @@ class ServingEngine:
     def pending(self) -> int:
         """Number of requests waiting for the next :meth:`flush`."""
         return len(self._queue)
+
+    def reset_stats(self) -> EngineStats:
+        """Start a fresh measurement window; returns the closed window's
+        counters.
+
+        Counters only move inside :meth:`flush`, so calling this between
+        flushes (e.g. after a load harness's warm-up phase has drained)
+        cleanly separates windows; pending unflushed requests are
+        unaffected and will be counted in the new window.
+        """
+        snapshot = replace(self.stats)
+        self.stats = EngineStats()
+        return snapshot
 
     def submit(self, nodes: Sequence[int]) -> int:
         """Queue a request for the given seed nodes; returns its request id.

@@ -1,0 +1,153 @@
+"""Replay harness accounting against a stub inference session."""
+
+import threading
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.loadgen import (
+    LOADTEST_REQUIRED_METRICS,
+    TrafficConfig,
+    generate_trace,
+    metrics_from_run,
+    run_load,
+)
+from repro.serving import AsyncServingEngine
+
+NUM_NODES = 64
+NUM_CLASSES = 3
+
+
+class StubSession:
+    """Counts every served row; optionally exposes block-cache counters."""
+
+    request_invariant_cost = False
+
+    def __init__(self, with_cache: bool = False):
+        self.graph = SimpleNamespace(num_nodes=NUM_NODES)
+        self.rows_served = 0
+        self.runs = 0
+        self._lock = threading.Lock()
+        self._with_cache = with_cache
+        self._hits = 0
+        self._lookups = 0
+
+    def run(self, nodes):
+        nodes = np.asarray(nodes)
+        with self._lock:
+            self.rows_served += int(nodes.size)
+            self.runs += 1
+            if self._with_cache:
+                # every row is a lookup; every second one a hit
+                self._lookups += int(nodes.size)
+                self._hits += int(nodes.size) // 2
+        return SimpleNamespace(
+            logits=np.zeros((nodes.size, NUM_CLASSES)),
+            giga_bit_operations=lambda: 1e-3 * nodes.size)
+
+    def cache_stats(self):
+        if not self._with_cache:
+            return None
+        return SimpleNamespace(hits=self._hits, lookups=self._lookups)
+
+
+def _trace(num_requests=24, seeds_per_request=4, qps=400.0, arrival="fixed"):
+    return generate_trace(TrafficConfig(
+        num_nodes=NUM_NODES, seeds_per_request=seeds_per_request,
+        arrival=arrival, qps=qps, num_requests=num_requests, seed=3))
+
+
+def _engine(session):
+    return AsyncServingEngine(session, max_batch=32, max_wait_ms=1.0,
+                              workers=1)
+
+
+class TestReplayModes:
+    @pytest.mark.parametrize("mode", ["open", "closed"])
+    def test_every_request_served_exactly_once(self, mode):
+        session = StubSession()
+        trace = _trace()
+        with _engine(session) as engine:
+            run = run_load(engine, trace, mode=mode, clients=3)
+        assert run.requests == trace.num_requests
+        assert run.nodes == trace.num_requests * 4
+        assert session.rows_served == trace.num_requests * 4
+        assert run.latencies_seconds.shape == (trace.num_requests,)
+        assert (run.latencies_seconds > 0).all()
+        assert run.measured_seconds > 0
+        assert run.achieved_qps > 0
+
+    def test_open_loop_reports_configured_offered_rate(self):
+        trace = _trace(qps=400.0)
+        with _engine(StubSession()) as engine:
+            run = run_load(engine, trace, mode="open")
+        assert run.offered_qps == 400.0
+
+    def test_closed_loop_offered_equals_achieved(self):
+        trace = _trace()
+        with _engine(StubSession()) as engine:
+            run = run_load(engine, trace, mode="closed", clients=2)
+        assert run.offered_qps == pytest.approx(run.achieved_qps)
+
+    def test_bad_mode_rejected(self):
+        trace = _trace(num_requests=2)
+        with _engine(StubSession()) as engine:
+            with pytest.raises(ValueError, match="mode"):
+                run_load(engine, trace, mode="sideways")
+
+
+class TestWarmup:
+    def test_warmup_excluded_from_measured_window(self):
+        session = StubSession()
+        trace = _trace(num_requests=20)
+        with _engine(session) as engine:
+            run = run_load(engine, trace, mode="open", warmup_requests=8)
+        # the stub saw every row, the measured window only the tail
+        assert session.rows_served == 20 * 4
+        assert run.requests == 12
+        assert run.nodes == 12 * 4
+        assert run.latencies_seconds.shape == (12,)
+
+    def test_warmup_capped_below_trace_length(self):
+        session = StubSession()
+        trace = _trace(num_requests=5)
+        with _engine(session) as engine:
+            run = run_load(engine, trace, mode="closed", clients=1,
+                           warmup_requests=100)
+        # at least one measured request always remains
+        assert run.requests == 1
+        assert session.rows_served == 5 * 4
+
+
+class TestCacheDelta:
+    def test_hit_rate_is_window_delta_not_lifetime(self):
+        session = StubSession(with_cache=True)
+        trace = _trace(num_requests=16)
+        with _engine(session) as engine:
+            run = run_load(engine, trace, mode="closed", clients=1,
+                           warmup_requests=6)
+        # stub hits exactly half its lookups in every window, so a correct
+        # delta matches 0.5 even though warm-up traffic also moved counters
+        assert run.cache_lookups == 10 * 4
+        assert run.cache_hit_rate == pytest.approx(0.5)
+
+    def test_no_cache_reports_zero(self):
+        with _engine(StubSession(with_cache=False)) as engine:
+            run = run_load(engine, _trace(num_requests=4), mode="closed",
+                           clients=1)
+        assert run.cache_hits is None
+        assert run.cache_lookups is None
+        assert run.cache_hit_rate == 0.0
+
+
+class TestMetrics:
+    def test_metrics_from_run_covers_loadtest_schema(self):
+        with _engine(StubSession()) as engine:
+            run = run_load(engine, _trace(), mode="open", warmup_requests=4)
+        metrics = metrics_from_run(run, deadline_ms=50.0)
+        assert LOADTEST_REQUIRED_METRICS <= metrics.keys()
+        assert metrics["requests"] == run.requests
+        assert metrics["p50_ms"] <= metrics["p95_ms"] <= metrics["p99_ms"] \
+            <= metrics["max_ms"]
+        assert 0.0 <= metrics["slo_violation_rate"] <= 1.0

@@ -1,0 +1,126 @@
+"""Percentile/SLO accounting and the BENCH_*.json schema round trip."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.loadgen import report
+
+
+class TestLatencySummary:
+    def test_known_synthetic_trace(self):
+        """1..100 ms ramp: every statistic is checkable by hand."""
+        latencies = np.arange(1, 101) / 1e3     # 1ms ... 100ms
+        metrics = report.summarize_latencies(latencies, deadline_ms=90.0)
+        assert metrics["max_ms"] == pytest.approx(100.0)
+        assert metrics["mean_ms"] == pytest.approx(50.5)
+        # 10 of 100 samples exceed the 90 ms deadline
+        assert metrics["slo_violation_rate"] == pytest.approx(0.10)
+        assert metrics["deadline_ms"] == 90.0
+        for key, q in (("p50_ms", 50.0), ("p95_ms", 95.0), ("p99_ms", 99.0)):
+            expected = np.percentile(np.arange(1.0, 101.0), q)
+            assert metrics[key] == pytest.approx(expected)
+        assert metrics["p50_ms"] <= metrics["p95_ms"] <= metrics["p99_ms"] \
+            <= metrics["max_ms"]
+
+    def test_all_within_deadline(self):
+        metrics = report.summarize_latencies(np.full(10, 1e-3), deadline_ms=5.0)
+        assert metrics["slo_violation_rate"] == 0.0
+        assert metrics["p99_ms"] == pytest.approx(1.0)
+
+    def test_rejects_empty_or_bad_deadline(self):
+        with pytest.raises(ValueError):
+            report.summarize_latencies(np.array([]), deadline_ms=10.0)
+        with pytest.raises(ValueError):
+            report.summarize_latencies(np.array([1e-3]), deadline_ms=0.0)
+
+
+def _loadtest_metrics(**overrides):
+    metrics = {"requests": 10, "offered_qps": 100.0, "achieved_qps": 99.0,
+               "p50_ms": 2.0, "p95_ms": 4.0, "p99_ms": 6.0, "max_ms": 8.0,
+               "mean_ms": 2.5, "deadline_ms": 50.0,
+               "slo_violation_rate": 0.0, "cache_hit_rate": 0.8}
+    metrics.update(overrides)
+    return metrics
+
+
+class TestPayload:
+    def test_merge_validate_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_TEST.json"
+        report.emit(path, "loadtest.zipfian.poisson.open", _loadtest_metrics(),
+                    meta={"dataset": "cora"})
+        report.emit(path, "serving.n3000", {"full_ms": 12.0, "block_ms": 3.0},
+                    kind="benchmark")
+        payload = json.loads(path.read_text())
+        assert report.validate_payload(payload) == []
+        assert sorted(payload["results"]) == ["loadtest.zipfian.poisson.open",
+                                              "serving.n3000"]
+        # re-emitting the same name replaces, never duplicates
+        report.emit(path, "serving.n3000", {"full_ms": 11.0}, kind="benchmark")
+        payload = report.load_payload(path)
+        assert payload["results"]["serving.n3000"]["metrics"] == {"full_ms": 11}
+
+    def test_loadtest_kind_requires_full_metric_set(self):
+        payload = report.new_payload()
+        with pytest.raises(ValueError, match="missing metrics"):
+            report.merge_result(payload, "loadtest.x", {"p50_ms": 1.0})
+        # the same partial set is fine as a plain benchmark result
+        report.merge_result(payload, "bench.x", {"p50_ms": 1.0},
+                            kind="benchmark")
+
+    def test_rejects_non_finite_and_non_numeric_metrics(self):
+        payload = report.new_payload()
+        with pytest.raises(ValueError):
+            report.merge_result(payload, "bench.x", {"bad": float("nan")},
+                                kind="benchmark")
+        with pytest.raises(ValueError):
+            report.merge_result(payload, "bench.x", {"bad": "fast"},
+                                kind="benchmark")
+        with pytest.raises(ValueError):
+            report.merge_result(payload, "bench.x", {"bad": True},
+                                kind="benchmark")
+
+    def test_validate_flags_schema_drift(self):
+        good = report.merge_result(report.new_payload(), "bench.x",
+                                   {"full_ms": 1.0}, kind="benchmark")
+        assert report.validate_payload(good) == []
+        assert report.validate_payload({"schema": "other"})
+        wrong_version = json.loads(json.dumps(good))
+        wrong_version["schema_version"] = 99
+        assert any("schema_version" in e
+                   for e in report.validate_payload(wrong_version))
+        bad_kind = json.loads(json.dumps(good))
+        bad_kind["results"]["bench.x"]["kind"] = "mystery"
+        assert any(".kind" in e for e in report.validate_payload(bad_kind))
+        missing = json.loads(json.dumps(good))
+        missing["results"]["bench.x"]["kind"] = "loadtest"
+        assert any("missing loadtest metrics" in e
+                   for e in report.validate_payload(missing))
+
+    def test_emit_refuses_corrupt_existing_file(self, tmp_path):
+        path = tmp_path / "BENCH_TEST.json"
+        path.write_text('{"schema": "something-else"}')
+        with pytest.raises(ValueError):
+            report.emit(path, "bench.x", {"full_ms": 1.0}, kind="benchmark")
+
+
+class TestMetricDirections:
+    def test_directions_follow_naming_convention(self):
+        assert report.metric_direction("p99_ms") == "lower"
+        assert report.metric_direction("warm_ms") == "lower"
+        assert report.metric_direction("block_peak_mb") == "lower"
+        assert report.metric_direction("full_gbitops") == "lower"
+        assert report.metric_direction("slo_violation_rate") == "lower"
+        assert report.metric_direction("achieved_qps") == "higher"
+        assert report.metric_direction("cache_hit_rate") == "higher"
+        # config echoes and counts are informational, never gated
+        assert report.metric_direction("deadline_ms") is None
+        assert report.metric_direction("offered_qps") is None
+        assert report.metric_direction("requests") is None
+        assert report.metric_direction("input_nodes") is None
+
+    def test_slacks_positive_for_gated_suffixes(self):
+        for name in ("p50_ms", "achieved_qps", "slo_violation_rate",
+                     "cache_hit_rate", "full_peak_mb", "block_gbitops"):
+            assert report.metric_slack(name) > 0

@@ -1,0 +1,114 @@
+"""Determinism, popularity shape and schedule math of the traffic generator."""
+
+import numpy as np
+import pytest
+
+from repro.loadgen import LoadTrace, TrafficConfig, generate_trace
+from repro.loadgen.traffic import popularity_probabilities
+
+
+def _request_matrix(trace: LoadTrace) -> np.ndarray:
+    return np.stack(trace.requests)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace_bitwise(self):
+        config = TrafficConfig(num_nodes=1000, skew=1.2, qps=500.0,
+                               duration_seconds=0.5, seeds_per_request=6,
+                               seed=11)
+        first, second = generate_trace(config), generate_trace(config)
+        np.testing.assert_array_equal(first.arrivals, second.arrivals)
+        np.testing.assert_array_equal(_request_matrix(first),
+                                      _request_matrix(second))
+
+    def test_different_seed_different_trace(self):
+        base = TrafficConfig(num_nodes=1000, qps=500.0, duration_seconds=0.5,
+                             seed=0)
+        other = TrafficConfig(num_nodes=1000, qps=500.0, duration_seconds=0.5,
+                              seed=1)
+        assert not np.array_equal(_request_matrix(generate_trace(base)),
+                                  _request_matrix(generate_trace(other)))
+
+    def test_poisson_arrivals_deterministic_per_seed(self):
+        config = TrafficConfig(num_nodes=100, arrival="poisson", qps=200.0,
+                               num_requests=64, seed=5)
+        np.testing.assert_array_equal(generate_trace(config).arrivals,
+                                      generate_trace(config).arrivals)
+
+
+class TestPopularity:
+    def test_zipfian_concentrates_with_skew(self):
+        """Higher skew -> the most popular node owns a larger traffic share."""
+        def top_share(skew):
+            config = TrafficConfig(num_nodes=200, skew=skew,
+                                   seeds_per_request=4, qps=100.0,
+                                   num_requests=300, seed=3)
+            drawn = _request_matrix(generate_trace(config)).ravel()
+            return np.bincount(drawn, minlength=200).max() / drawn.size
+
+        assert top_share(1.5) > top_share(0.8) > top_share(0.0)
+
+    def test_uniform_pattern_has_no_probability_table(self):
+        assert popularity_probabilities(100, "uniform", 1.1) is None
+        assert popularity_probabilities(100, "zipfian", 0.0) is None
+        table = popularity_probabilities(100, "zipfian", 1.1)
+        assert table.shape == (100,)
+        assert table[0] == table.max()          # rank 1 is the hottest
+        assert table.sum() == pytest.approx(1.0)
+
+    def test_requests_are_distinct_in_range(self):
+        config = TrafficConfig(num_nodes=50, seeds_per_request=8, qps=100.0,
+                               num_requests=40, seed=2)
+        for nodes in generate_trace(config).requests:
+            assert nodes.dtype == np.int64
+            assert len(np.unique(nodes)) == 8   # replace=False within a request
+            assert nodes.min() >= 0 and nodes.max() < 50
+
+
+class TestSchedule:
+    def test_fixed_rate_spacing_is_exact(self):
+        config = TrafficConfig(num_nodes=100, arrival="fixed", qps=250.0,
+                               num_requests=20)
+        np.testing.assert_allclose(generate_trace(config).arrivals,
+                                   np.arange(20) / 250.0)
+
+    def test_poisson_mean_gap_matches_offered_rate(self):
+        config = TrafficConfig(num_nodes=100, arrival="poisson", qps=1000.0,
+                               num_requests=5000, seed=9)
+        arrivals = generate_trace(config).arrivals
+        assert arrivals[0] == 0.0               # re-based to the first arrival
+        gaps = np.diff(arrivals)
+        assert (gaps >= 0).all()
+        assert np.mean(gaps) == pytest.approx(1e-3, rel=0.1)
+
+    def test_request_count_derivation(self):
+        derived = TrafficConfig(num_nodes=10, qps=40.0, duration_seconds=0.5)
+        assert derived.request_count == 20
+        pinned = TrafficConfig(num_nodes=10, qps=40.0, duration_seconds=0.5,
+                               num_requests=7)
+        assert pinned.request_count == 7
+        assert generate_trace(pinned).num_requests == 7
+
+    def test_tail_rebases_arrivals(self):
+        config = TrafficConfig(num_nodes=100, arrival="fixed", qps=100.0,
+                               num_requests=10)
+        tail = generate_trace(config).tail(4)
+        assert tail.num_requests == 6
+        assert tail.arrivals[0] == 0.0
+        np.testing.assert_allclose(tail.arrivals, np.arange(6) / 100.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"num_nodes": 0},
+        {"num_nodes": 10, "pattern": "bursty"},
+        {"num_nodes": 10, "arrival": "uniform"},
+        {"num_nodes": 10, "skew": -1.0},
+        {"num_nodes": 10, "seeds_per_request": 11},
+        {"num_nodes": 10, "qps": 0.0},
+        {"num_nodes": 10, "duration_seconds": 0.0},
+        {"num_nodes": 10, "num_requests": 0},
+    ])
+    def test_bad_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TrafficConfig(**kwargs)

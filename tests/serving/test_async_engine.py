@@ -162,6 +162,23 @@ class TestAsyncServingEngine:
         with pytest.raises(RuntimeError):
             engine.submit([0])
 
+    def test_reset_stats_separates_measurement_windows(
+            self, block_session_factory):
+        with AsyncServingEngine(block_session_factory(), max_batch=16,
+                                max_wait_ms=1.0) as engine:
+            # warm-up traffic; waiting on the futures commits the counters
+            for node in range(4):
+                engine.submit([node]).result(timeout=30)
+            snapshot = engine.reset_stats()
+            assert snapshot.requests == 4
+            assert engine.stats.requests == 0
+            # the measured window counts only post-reset traffic
+            futures = [engine.submit([node]) for node in range(4, 10)]
+            for future in futures:
+                future.result(timeout=30)
+            assert engine.stats.requests == 6
+            assert engine.stats.nodes == 6
+
     def test_submit_validates_on_caller_thread(self, block_session_factory):
         with AsyncServingEngine(block_session_factory()) as engine:
             with pytest.raises(ValueError):

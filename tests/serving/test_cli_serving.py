@@ -89,7 +89,7 @@ class TestEndToEnd:
 class TestParserSnapshot:
     def test_subcommand_set(self):
         assert set(_subcommands(build_parser())) == \
-            {"search", "train", "table", "export", "predict"}
+            {"search", "train", "table", "export", "predict", "loadtest"}
 
     def test_export_options_snapshot(self):
         snapshot = _option_snapshot(_subcommands(build_parser())["export"])
@@ -127,6 +127,57 @@ class TestParserSnapshot:
         assert snapshot["--cache-mb"][0] == pytest.approx(256.0)
         assert snapshot["--workers"][0] == 1
         assert snapshot["--repeat"][0] == 1
+
+    def test_loadtest_options_snapshot(self):
+        snapshot = _option_snapshot(_subcommands(build_parser())["loadtest"])
+        assert set(snapshot) == {
+            "--artifact", "--dataset", "--scale", "--seed", "--conv",
+            "--hidden", "--layers", "--uniform-bits", "--train-epochs",
+            "--pattern", "--skew", "--arrival", "--qps", "--duration",
+            "--requests", "--seeds-per-request", "--mode", "--clients",
+            "--warmup", "--deadline-ms", "--traffic-seed", "--fanout",
+            "--batch-size", "--cache-size", "--workers", "--max-wait-ms",
+            "--emit", "--name"}
+        assert snapshot["--pattern"][0] == "zipfian"
+        assert snapshot["--skew"][0] == pytest.approx(1.1)
+        assert snapshot["--arrival"][0] == "poisson"
+        assert snapshot["--qps"][0] == pytest.approx(200.0)
+        assert snapshot["--duration"][0] == pytest.approx(1.0)
+        assert snapshot["--mode"][0] == "open"
+        assert snapshot["--clients"][0] == 4
+        assert snapshot["--warmup"][0] == 16
+        assert snapshot["--deadline-ms"][0] == pytest.approx(50.0)
+        assert snapshot["--seeds-per-request"][0] == 8
+        assert snapshot["--cache-size"][0] == 0
+        assert snapshot["--workers"][0] == 1
+        assert snapshot["--max-wait-ms"][0] == pytest.approx(2.0)
+        assert snapshot["--emit"][0] == ""
+        # pattern/arrival/mode expose exactly the harness's vocabulary
+        loadtest = _subcommands(build_parser())["loadtest"]
+        choices = {action.option_strings[0]: list(action.choices)
+                   for action in loadtest._actions if action.choices}
+        assert choices["--pattern"] == ["zipfian", "uniform"]
+        assert choices["--arrival"] == ["poisson", "fixed"]
+        assert choices["--mode"] == ["open", "closed"]
+
+    def test_loadtest_emits_schema_valid_trajectory(self, tmp_path, capsys):
+        from repro.loadgen.report import load_payload
+
+        emit_path = tmp_path / "bench.json"
+        assert main(["loadtest", "--dataset", "cora", "--scale", "0.05",
+                     "--train-epochs", "2", "--pattern", "zipfian",
+                     "--mode", "closed", "--clients", "2", "--requests", "12",
+                     "--seeds-per-request", "4", "--warmup", "4",
+                     "--deadline-ms", "200", "--cache-size", "2048",
+                     "--emit", str(emit_path)]) == 0
+        out = capsys.readouterr().out
+        assert "p95" in out and "SLO" in out
+        # load_payload schema-checks on read — a bad emit raises here
+        payload = load_payload(emit_path)
+        result = payload["results"]["loadtest.zipfian.closed"]
+        assert result["kind"] == "loadtest"
+        assert result["metrics"]["requests"] == 8  # 12 requests - 4 warm-up
+        assert result["meta"]["dataset"] == "cora"
 
     def test_predict_help_documents_defaults(self):
         # collapse argparse's terminal-width wrapping before matching

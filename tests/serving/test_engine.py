@@ -46,6 +46,37 @@ class TestServingEngine:
             sum(result.giga_bit_operations for result in results))
         assert engine.stats.throughput() > 0.0
 
+    def test_reset_stats_opens_fresh_window(self, gcn_session):
+        engine = ServingEngine(gcn_session, max_batch_size=8)
+        engine.submit([0, 1, 2])
+        engine.flush()
+        snapshot = engine.reset_stats()
+        # the closed window's counters come back as a snapshot...
+        assert snapshot.requests == 1
+        assert snapshot.nodes == 3
+        assert snapshot.giga_bit_operations > 0.0
+        # ...and the live counters restart from zero
+        assert engine.stats.requests == 0
+        assert engine.stats.nodes == 0
+        assert engine.stats.seconds == 0.0
+        engine.submit([4])
+        engine.flush()
+        # the new window counts only post-reset traffic
+        assert engine.stats.requests == 1
+        assert engine.stats.nodes == 1
+        # and the snapshot is detached from the live stats object
+        assert snapshot.requests == 1
+
+    def test_reset_stats_keeps_pending_requests(self, gcn_session):
+        engine = ServingEngine(gcn_session, max_batch_size=8)
+        engine.submit([0, 1])
+        engine.reset_stats()
+        assert engine.pending == 1
+        engine.flush()
+        # pending-at-reset requests land in the new window
+        assert engine.stats.requests == 1
+        assert engine.stats.nodes == 2
+
     def test_flush_without_requests(self, gcn_session):
         assert ServingEngine(gcn_session).flush() == []
 

@@ -1,0 +1,115 @@
+"""Exit-code contract of the CI perf-regression gate (tools/check_bench.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.loadgen import report
+
+_TOOL = Path(__file__).resolve().parents[2] / "tools" / "check_bench.py"
+
+
+@pytest.fixture(scope="module")
+def check_bench():
+    spec = importlib.util.spec_from_file_location("check_bench", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write(path: Path, results: dict) -> Path:
+    payload = report.new_payload()
+    for name, metrics in results.items():
+        report.merge_result(payload, name, metrics, kind="benchmark")
+    report.save_payload(path, payload)
+    return path
+
+
+def _run(check_bench, baseline: Path, candidate: Path,
+         tolerance: float = 0.5) -> int:
+    return check_bench.main(["--baseline", str(baseline),
+                             "--candidate", str(candidate),
+                             "--tolerance", str(tolerance)])
+
+
+class TestExitCodes:
+    def test_identical_payloads_pass(self, check_bench, tmp_path):
+        base = _write(tmp_path / "base.json",
+                      {"serving.n1000": {"full_ms": 10.0, "block_ms": 3.0,
+                                         "achieved_qps": 120.0}})
+        cand = _write(tmp_path / "cand.json",
+                      {"serving.n1000": {"full_ms": 10.0, "block_ms": 3.0,
+                                         "achieved_qps": 120.0}})
+        assert _run(check_bench, base, cand) == 0
+
+    def test_synthetic_latency_regression_fails(self, check_bench, tmp_path):
+        base = _write(tmp_path / "base.json",
+                      {"loadtest.x": {"p95_ms": 8.0}})
+        cand = _write(tmp_path / "cand.json",
+                      {"loadtest.x": {"p95_ms": 80.0}})  # 10x the baseline
+        assert _run(check_bench, base, cand, tolerance=0.5) == 1
+
+    def test_synthetic_throughput_regression_fails(self, check_bench,
+                                                   tmp_path):
+        base = _write(tmp_path / "base.json",
+                      {"loadtest.x": {"achieved_qps": 200.0}})
+        cand = _write(tmp_path / "cand.json",
+                      {"loadtest.x": {"achieved_qps": 20.0}})
+        assert _run(check_bench, base, cand, tolerance=0.5) == 1
+
+    def test_within_band_passes(self, check_bench, tmp_path):
+        base = _write(tmp_path / "base.json",
+                      {"loadtest.x": {"p95_ms": 8.0, "achieved_qps": 200.0}})
+        cand = _write(tmp_path / "cand.json",
+                      {"loadtest.x": {"p95_ms": 11.0, "achieved_qps": 150.0}})
+        assert _run(check_bench, base, cand, tolerance=0.5) == 0
+
+    def test_absolute_slack_absorbs_near_zero_baselines(self, check_bench,
+                                                        tmp_path):
+        # relative band alone would fail 0.0 -> 0.03; the slack absorbs it
+        base = _write(tmp_path / "base.json",
+                      {"loadtest.x": {"slo_violation_rate": 0.0}})
+        cand = _write(tmp_path / "cand.json",
+                      {"loadtest.x": {"slo_violation_rate": 0.03}})
+        assert _run(check_bench, base, cand, tolerance=0.5) == 0
+
+    def test_invalid_schema_is_exit_2(self, check_bench, tmp_path):
+        base = _write(tmp_path / "base.json",
+                      {"loadtest.x": {"p95_ms": 8.0}})
+        bad = tmp_path / "cand.json"
+        bad.write_text(json.dumps({"schema": "something-else"}))
+        assert _run(check_bench, base, bad) == 2
+        assert _run(check_bench, tmp_path / "missing.json", base) == 2
+        assert check_bench.main(["--baseline", str(base), "--candidate",
+                                 str(base), "--tolerance", "-1"]) == 2
+
+    def test_vacuous_comparison_is_exit_3(self, check_bench, tmp_path):
+        # disjoint result names: nothing to gate must not look like success
+        base = _write(tmp_path / "base.json",
+                      {"loadtest.a": {"p95_ms": 8.0}})
+        cand = _write(tmp_path / "cand.json",
+                      {"loadtest.b": {"p95_ms": 8.0}})
+        assert _run(check_bench, base, cand) == 3
+        # overlapping names but only informational metrics: still vacuous
+        base = _write(tmp_path / "base2.json",
+                      {"loadtest.a": {"requests": 32, "deadline_ms": 50.0}})
+        cand = _write(tmp_path / "cand2.json",
+                      {"loadtest.a": {"requests": 32, "deadline_ms": 50.0}})
+        assert _run(check_bench, base, cand) == 3
+
+
+class TestCompare:
+    def test_only_shared_names_and_metrics_compared(self, check_bench):
+        baseline = report.merge_result(
+            report.new_payload(), "a", {"p95_ms": 8.0, "warm_ms": 1.0},
+            kind="benchmark")
+        report.merge_result(baseline, "only-base", {"p95_ms": 1.0},
+                            kind="benchmark")
+        candidate = report.merge_result(
+            report.new_payload(), "a", {"p95_ms": 8.5, "full_ms": 2.0},
+            kind="benchmark")
+        regressions, checked = check_bench.compare(baseline, candidate, 0.5)
+        assert checked == 1          # p95_ms only — the intersection
+        assert regressions == []

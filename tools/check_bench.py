@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Perf-regression gate over ``BENCH_*.json`` trajectory files.
+
+Compares a freshly measured *candidate* trajectory against the committed
+*baseline* and exits non-zero when any gated metric regressed beyond the
+tolerance band.  Used by CI's ``perf`` job (smoke-mode load harness →
+schema check → this comparator) and locally by perf PRs::
+
+    python tools/check_bench.py --baseline BENCH_PR6.json \
+        --candidate bench_candidate.json --tolerance 0.5
+
+Direction and slack come from the metric *name*
+(:func:`repro.loadgen.report.metric_direction` /
+:func:`~repro.loadgen.report.metric_slack`):
+
+* lower-is-better (``*_ms``, ``*_mb``, ``*_gbitops``,
+  ``slo_violation_rate``) regresses when
+  ``candidate > baseline * (1 + tolerance) + slack``;
+* higher-is-better (``*_qps``, ``*hit_rate``) regresses when
+  ``candidate < baseline / (1 + tolerance) - slack``;
+* everything else (request counts, config echoes like ``deadline_ms`` and
+  ``offered_qps``) is informational.
+
+Only result names present in **both** files are compared, so a baseline
+may carry the whole perf surface while CI re-measures just the smoke
+subset — but if the overlap gates *nothing*, the run fails (exit 3): a
+vacuous gate is rot, not success.
+
+Exit codes: 0 ok, 1 regression, 2 schema/IO error, 3 vacuous comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.loadgen.report import (  # noqa: E402 - path bootstrap above
+    metric_direction,
+    metric_slack,
+    validate_payload,
+)
+
+
+def _load(path: str) -> Optional[dict]:
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"ERROR {path}: {error}", file=sys.stderr)
+        return None
+    errors = validate_payload(payload)
+    for error in errors:
+        print(f"SCHEMA {path}: {error}", file=sys.stderr)
+    return None if errors else payload
+
+
+def compare(baseline: dict, candidate: dict,
+            tolerance: float) -> "tuple[List[str], int]":
+    """(regression messages, number of gated metrics checked)."""
+    regressions: List[str] = []
+    checked = 0
+    shared = sorted(set(baseline["results"]) & set(candidate["results"]))
+    for name in shared:
+        base_metrics = baseline["results"][name]["metrics"]
+        cand_metrics = candidate["results"][name]["metrics"]
+        for metric in sorted(set(base_metrics) & set(cand_metrics)):
+            direction = metric_direction(metric)
+            if direction is None:
+                continue
+            base = float(base_metrics[metric])
+            cand = float(cand_metrics[metric])
+            slack = metric_slack(metric)
+            if direction == "lower":
+                limit = base * (1.0 + tolerance) + slack
+                regressed = cand > limit
+                arrow = "<="
+            else:
+                limit = base / (1.0 + tolerance) - slack
+                regressed = cand < limit
+                arrow = ">="
+            checked += 1
+            verdict = "REGRESSION" if regressed else "ok"
+            line = (f"{verdict:>10}  {name}.{metric}: candidate {cand:.4f} "
+                    f"{arrow} limit {limit:.4f} (baseline {base:.4f})")
+            print(line)
+            if regressed:
+                regressions.append(line.strip())
+    return regressions, checked
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed trajectory file (e.g. BENCH_PR6.json)")
+    parser.add_argument("--candidate", required=True,
+                        help="freshly measured trajectory file")
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="relative tolerance band (default: 0.5 = 50%%; "
+                             "CI uses a wider band to absorb runner "
+                             "variance)")
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        print("ERROR tolerance must be non-negative", file=sys.stderr)
+        return 2
+
+    baseline = _load(args.baseline)
+    candidate = _load(args.candidate)
+    if baseline is None or candidate is None:
+        return 2
+
+    regressions, checked = compare(baseline, candidate, args.tolerance)
+    if checked == 0:
+        print("ERROR no overlapping gated metrics between baseline and "
+              "candidate — the gate checked nothing", file=sys.stderr)
+        return 3
+    if regressions:
+        print(f"\nFAIL {len(regressions)} of {checked} gated metrics "
+              f"regressed beyond the {args.tolerance:.0%} band:",
+              file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"\nOK {checked} gated metrics within the "
+          f"{args.tolerance:.0%} tolerance band")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
