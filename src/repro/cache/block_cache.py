@@ -77,14 +77,14 @@ class BlockCache:
     """
 
     def __init__(self, max_entries: int = 65536,
-                 max_bytes: Optional[int] = None):
+                 max_bytes: Optional[int] = None) -> None:
         self._lru = LRUCache(max_entries, max_bytes=max_bytes)
         # One logical hit/miss per *row or batch lookup* (a probe that falls
         # through from the sampled-row key to the raw-row key still counts
         # once), so hit_rate() reads as "fraction of work served from cache".
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
+        self._hits = 0  # guarded-by: self._lock
+        self._misses = 0  # guarded-by: self._lock
 
     # ------------------------------------------------------------------ #
     # per-seed rows

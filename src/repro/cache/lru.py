@@ -58,7 +58,8 @@ class LRUCache:
         the cache never inspects values.
     """
 
-    def __init__(self, max_entries: int, max_bytes: Optional[int] = None):
+    def __init__(self, max_entries: int,
+                 max_bytes: Optional[int] = None) -> None:
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
         if max_bytes is not None and max_bytes <= 0:
@@ -66,11 +67,12 @@ class LRUCache:
         self.max_entries = int(max_entries)
         self.max_bytes = None if max_bytes is None else int(max_bytes)
         self._lock = threading.RLock()
-        self._store: "OrderedDict[Hashable, Tuple[Any, int]]" = OrderedDict()
-        self._bytes = 0
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        self._store: "OrderedDict[Hashable, Tuple[Any, int]]"
+        self._store = OrderedDict()  # guarded-by: self._lock
+        self._bytes = 0  # guarded-by: self._lock
+        self._hits = 0  # guarded-by: self._lock
+        self._misses = 0  # guarded-by: self._lock
+        self._evictions = 0  # guarded-by: self._lock
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -170,7 +172,7 @@ class LRUCache:
             return list(self._store.keys())
 
     # ------------------------------------------------------------------ #
-    def _get_locked(self, key: Hashable, default: Any) -> Any:
+    def _get_locked(self, key: Hashable, default: Any) -> Any:  # requires-lock: self._lock
         entry = self._store.get(key)
         if entry is None:
             self._misses += 1
@@ -179,7 +181,7 @@ class LRUCache:
         self._store.move_to_end(key)
         return entry[0]
 
-    def _put_locked(self, key: Hashable, value: Any, nbytes: int) -> None:
+    def _put_locked(self, key: Hashable, value: Any, nbytes: int) -> None:  # requires-lock: self._lock
         nbytes = int(nbytes)
         if self.max_bytes is not None and nbytes > self.max_bytes:
             # Refuse entries that could never fit: admitting one would only

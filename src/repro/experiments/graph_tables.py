@@ -128,7 +128,8 @@ def table8_graph_classification(datasets: Sequence[str] = ("imdb-b", "proteins")
             reference_model.operation_count(reference_batch) * FP32_BITS / 1e9)
         qat_row.giga_bit_operations = fp32_row.giga_bit_operations \
             * min(bit_choices) / FP32_BITS
-        results[dataset] = [fp32_row, qat_row] + [mixq_rows[lam] for lam in lambdas]
+        results[dataset] = [fp32_row, qat_row,
+                            *(mixq_rows[lam] for lam in lambdas)]
     return results
 
 

@@ -63,4 +63,4 @@ class GINConv(MessagePassing):
 
 def gin_architecture_dims(in_features: int, hidden: int, num_layers: int) -> Sequence[int]:
     """Helper returning the feature dimensions of a standard GIN stack."""
-    return [in_features] + [hidden] * num_layers
+    return [in_features, *([hidden] * num_layers)]

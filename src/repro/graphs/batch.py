@@ -21,7 +21,7 @@ class GraphBatch(Graph):
     def __init__(self, graphs: Sequence[Graph]):
         if not graphs:
             raise ValueError("cannot batch an empty list of graphs")
-        offsets = np.cumsum([0] + [g.num_nodes for g in graphs])
+        offsets = np.cumsum([0, *(g.num_nodes for g in graphs)])
         x = np.concatenate([g.x for g in graphs], axis=0)
         edge_index = np.concatenate(
             [g.edge_index + offset for g, offset in zip(graphs, offsets[:-1])], axis=1)

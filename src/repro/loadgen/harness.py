@@ -25,7 +25,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -83,19 +83,20 @@ def metrics_from_run(run: LoadRunResult, deadline_ms: float) -> dict:
     return metrics
 
 
-def _cache_counters(engine: AsyncServingEngine):
+def _cache_counters(engine: AsyncServingEngine) -> Optional[Tuple[int, int]]:
     """(hits, lookups) of the session's block cache, or None without one."""
     stats = getattr(engine.session, "cache_stats", lambda: None)()
     return None if stats is None else (stats.hits, stats.lookups)
 
 
-def _replay_open(engine: AsyncServingEngine, trace: LoadTrace) -> tuple:
+def _replay_open(engine: AsyncServingEngine,
+                 trace: LoadTrace) -> Tuple[np.ndarray, float]:
     """Submit at scheduled arrivals; latency = completion − scheduled arrival."""
     count = trace.num_requests
     completions = np.zeros(count, dtype=np.float64)
 
-    def completion_recorder(index: int):
-        def record(_future) -> None:
+    def completion_recorder(index: int) -> Callable[[object], None]:
+        def record(_future: object) -> None:
             completions[index] = time.perf_counter()
         return record
 
@@ -118,7 +119,7 @@ def _replay_open(engine: AsyncServingEngine, trace: LoadTrace) -> tuple:
 
 
 def _replay_closed(engine: AsyncServingEngine, trace: LoadTrace,
-                   clients: int) -> tuple:
+                   clients: int) -> Tuple[np.ndarray, float]:
     """N clients, each back-to-back over a shared request queue."""
     count = trace.num_requests
     latencies = np.zeros(count, dtype=np.float64)

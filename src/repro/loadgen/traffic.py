@@ -70,7 +70,7 @@ class TrafficConfig:
     num_requests: Optional[int] = None
     seed: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
         if self.pattern not in PATTERNS:

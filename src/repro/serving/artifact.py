@@ -358,8 +358,8 @@ class QuantizedArtifact:
 
     def summary(self) -> str:
         bits = sorted({w.bits for plan in self.layers for w in plan.weights.values()})
-        dims = " -> ".join([str(self.num_features)]
-                           + [str(out) for _, out in self.layer_dims])
+        dims = " -> ".join([str(self.num_features),
+                            *(str(out) for _, out in self.layer_dims)])
         return (f"QuantizedArtifact({self.conv_type}, layers={self.num_layers}, "
                 f"dims={dims}, weight_bits={bits})")
 

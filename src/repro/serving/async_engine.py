@@ -71,12 +71,12 @@ class AsyncServingEngine:
         self.max_wait_ms = float(max_wait_ms)
         self.engine = ServingEngine(session, max_batch_size=self.max_batch,
                                     workers=workers)
-        self._pending: List[Tuple[Future, np.ndarray, float]] = []
-        self._pending_seeds = 0
-        self._force_flush = False
         self._lock = threading.Lock()
+        self._pending: List[Tuple[Future, np.ndarray, float]] = []  # guarded-by: self._lock
+        self._pending_seeds = 0  # guarded-by: self._lock
+        self._force_flush = False  # guarded-by: self._lock
         self._wakeup = threading.Condition(self._lock)
-        self._closed = False
+        self._closed = False  # guarded-by: self._lock
         self._dispatcher = threading.Thread(target=self._dispatch_loop,
                                             name="repro-serving-dispatcher",
                                             daemon=True)
@@ -130,13 +130,14 @@ class AsyncServingEngine:
         return self.submit(nodes).result().logits
 
     # ------------------------------------------------------------------ #
-    def _take_batch_locked(self) -> List[Tuple[Future, np.ndarray, float]]:
+    def _take_batch_locked(  # requires-lock: self._lock
+            self) -> List[Tuple[Future, np.ndarray, float]]:
         batch, self._pending = self._pending, []
         self._pending_seeds = 0
         self._force_flush = False
         return batch
 
-    def _due(self, now: float) -> bool:
+    def _due(self, now: float) -> bool:  # requires-lock: self._lock
         """Flush condition (lock held): full batch, expired deadline, or an
         explicit :meth:`flush_now`."""
         if not self._pending:

@@ -148,9 +148,9 @@ class InferenceSession:
         # variants.  Block operators are per-request and bypass these.  The
         # lock keeps the memoisation safe under the serving engine's worker
         # pool (sessions are otherwise stateless per request).
-        self._operator_cache: dict = {}
-        self._quantized_cache: dict = {}
         self._cache_lock = threading.Lock()
+        self._operator_cache: dict = {}  # guarded-by: self._cache_lock
+        self._quantized_cache: dict = {}  # guarded-by: self._cache_lock
 
     # ------------------------------------------------------------------ #
     def run(self, nodes: Optional[Sequence[int]] = None) -> SessionRun:
@@ -216,6 +216,7 @@ class InferenceSession:
                     self._quantized_cache.pop(next(iter(self._quantized_cache)))
         return entry[2]
 
+    # reprolint: integer-stage
     def _aggregate(self, adjacency: SparseTensor,
                    adjacency_params: Optional[QuantizationParameters],
                    x: np.ndarray, x_int: Optional[np.ndarray],
@@ -237,6 +238,7 @@ class InferenceSession:
                                                  fake=True)
         return np.asarray(adjacency.csr @ x, dtype=np.float64)
 
+    # reprolint: integer-stage
     def _aggregate_edges(self, attention: np.ndarray,
                          attention_params: Optional[QuantizationParameters],
                          x: np.ndarray, x_int: Optional[np.ndarray],

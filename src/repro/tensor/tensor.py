@@ -459,7 +459,7 @@ class Tensor:
         tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
         data = np.concatenate([t.data for t in tensors], axis=axis)
         sizes = [t.shape[axis] for t in tensors]
-        offsets = np.cumsum([0] + sizes)
+        offsets = np.cumsum([0, *sizes])
 
         def backward(grad):
             for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):

@@ -1,4 +1,5 @@
 """Tests for the end-to-end integer inference engine (Figure 7, stage 5)."""
+# reprolint: disable-file=RL04  (this module exists to pin the deprecated alias)
 
 import numpy as np
 import pytest

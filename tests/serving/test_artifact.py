@@ -133,7 +133,7 @@ class TestSaveLoad:
         artifact = QuantizedArtifact.from_model(served_models["gcn"])
         _, json_path = artifact.save(tmp_path / "artifact")
         payload = json.loads(json_path.read_text())
-        payload["format_version"] = 999
+        payload["format_version"] = 999  # reprolint: disable=RL04
         json_path.write_text(json.dumps(payload))
         with pytest.raises(ValueError):
             QuantizedArtifact.load(tmp_path / "artifact")
@@ -148,7 +148,7 @@ def _downgrade_payload(json_path, version: int) -> None:
     writers emitted, so these are true version-negotiation regressions.
     """
     payload = json.loads(json_path.read_text())
-    payload["format_version"] = version
+    payload["format_version"] = version  # reprolint: disable=RL04
     dropped = {"heads", "head_merge"} if version == 2 else \
         {"heads", "head_merge", "hops", "negative_slope"}
     for layer in payload["layers"]:

@@ -5,7 +5,7 @@ import warnings
 import numpy as np
 import pytest
 
-from repro.quant.inference import IntegerGCNInference
+from repro.quant.inference import IntegerGCNInference  # reprolint: disable=RL04
 from repro.serving import FullGraphSession, QuantizedArtifact, ServingEngine
 
 
@@ -129,7 +129,8 @@ class TestServingEngine:
 class TestDeprecatedShim:
     def test_alias_still_serves_gcn(self, served_models, small_cora):
         with pytest.warns(DeprecationWarning):
-            engine = IntegerGCNInference.from_quantized_model(served_models["gcn"])
+            engine = IntegerGCNInference.from_quantized_model(  # reprolint: disable=RL04
+                served_models["gcn"])
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", DeprecationWarning)
             session_logits = FullGraphSession(
@@ -141,4 +142,5 @@ class TestDeprecatedShim:
     def test_alias_rejects_non_gcn(self, served_models):
         with pytest.warns(DeprecationWarning):
             with pytest.raises(TypeError):
-                IntegerGCNInference.from_quantized_model(served_models["sage"])
+                IntegerGCNInference.from_quantized_model(  # reprolint: disable=RL04
+                    served_models["sage"])

@@ -1,0 +1,1 @@
+"""Repository tooling: CI gates (check_bench, check_docs) and reprolint."""

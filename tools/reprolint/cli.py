@@ -1,0 +1,99 @@
+"""``python -m tools.reprolint`` — the invariant linter's command line.
+
+Exit codes: 0 = clean, 1 = violations found, 2 = usage error.  Every
+finding prints ``path:line:col: RLxx message`` plus a fix hint, so a CI
+failure is actionable without opening the file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from tools.reprolint.core import Violation, analyze_paths
+from tools.reprolint.rules import ALL_RULES, RULES_BY_ID
+from tools.reprolint.rules.rl03_locks import build_lock_order_graph, find_cycle
+
+
+def _select_rules(spec: Optional[str]):
+    if not spec:
+        return list(ALL_RULES)
+    selected = []
+    for rule_id in (part.strip() for part in spec.split(",")):
+        if rule_id not in RULES_BY_ID:
+            raise SystemExit(2)
+        selected.append(RULES_BY_ID[rule_id])
+    return selected
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="Invariant-enforcing static analysis: determinism "
+                    "(RL01), integer-path purity (RL02), lock discipline "
+                    "(RL03), API hygiene (RL04).")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze "
+                             "(default: src)")
+    parser.add_argument("--rules", metavar="RL01,RL03",
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule inventory and exit")
+    arguments = parser.parse_args(argv)
+
+    if arguments.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  {rule.name}")
+        return 0
+
+    try:
+        rules = _select_rules(arguments.rules)
+    except SystemExit:
+        known = ", ".join(sorted(RULES_BY_ID))
+        print(f"error: --rules accepts a comma-separated subset of "
+              f"{known}", file=sys.stderr)
+        return 2
+
+    paths = [Path(raw) for raw in arguments.paths]
+    missing = [str(path) for path in paths if not path.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+
+    violations, file_count = analyze_paths(paths, rules)
+
+    # Lock ordering is a whole-tree property: per-file cycles are caught by
+    # RL03 itself, cross-file cycles only by merging every file's graph.
+    if any(rule.rule_id == "RL03" for rule in rules):
+        graph = build_lock_order_graph(paths)
+        cycle = find_cycle(graph)
+        if cycle:
+            violations.append(Violation(
+                rule="RL03", path=Path("<cross-file>"), line=0, col=0,
+                message="lock-acquisition-order cycle across files "
+                        "(potential deadlock): "
+                        + " -> ".join(cycle + [cycle[0]]),
+                hint="acquire these locks in one globally consistent "
+                     "order"))
+
+    root = Path.cwd()
+    for violation in violations:
+        print(violation.format(root=root))
+    rule_ids = ", ".join(rule.rule_id for rule in rules)
+    if violations:
+        print(f"\nreprolint: {len(violations)} violation(s) in "
+              f"{file_count} file(s) [{rule_ids}]", file=sys.stderr)
+        return 1
+    print(f"reprolint: clean — {file_count} file(s) checked [{rule_ids}]")
+    return 0
+
+
+def run(paths: Sequence[str], rules: Optional[str] = None) -> List[Violation]:
+    """Programmatic entry point (used by the self-check test and docs)."""
+    selected = _select_rules(rules)
+    violations, _ = analyze_paths([Path(raw) for raw in paths], selected)
+    return violations

@@ -1,0 +1,282 @@
+"""reprolint's engine: file discovery, suppression parsing, rule protocol.
+
+The suite exists because the repository's load-bearing guarantees are
+*invariants of the source text*, not just of test runs: bit-identical
+replay requires that no global RNG state is ever consulted, Theorem-1 hot
+paths must keep their heavy accumulation in integer dtypes, and the
+cache/serving locks only protect what is actually accessed under them.
+Each rule turns one of those invariants into an AST check that fails the
+build the moment a violating line lands, instead of a parity or
+concurrency test failing probabilistically later.
+
+Architecture (see ``docs/static-analysis.md`` for the authoring guide):
+
+* :class:`Rule` — one named family of checks (``RL01`` …).  A rule sees a
+  fully parsed :class:`FileContext` and yields :class:`Violation`\\ s.
+* :class:`FileContext` — path, source, AST and the per-line comment map a
+  file's suppressions are parsed from.
+* :func:`analyze_paths` — walk files, run every (selected) rule, drop
+  suppressed findings, return the survivors sorted for stable output.
+
+Suppression syntax (narrowest scope that works, always rule-scoped):
+
+* ``# reprolint: disable=RL01`` on a line suppresses the named rule(s)
+  for violations reported *on that line* (comma-separate several ids).
+* ``# reprolint: disable-file=RL04`` anywhere in a file suppresses the
+  named rule(s) for the whole file.
+
+An unknown rule id inside a suppression comment is itself an error
+(``RL00``), so typos can never silently disable nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Directories never worth walking into.
+SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache", ".ruff_cache",
+             ".mypy_cache", "node_modules", ".venv", "venv"}
+
+_SUPPRESS = re.compile(r"#\s*reprolint:\s*(disable|disable-file)\s*=\s*"
+                       r"([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule id anchored to a source location."""
+
+    rule: str
+    path: Path
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+
+    def format(self, root: Optional[Path] = None) -> str:
+        path = self.path
+        if root is not None:
+            try:
+                path = path.relative_to(root)
+            except ValueError:
+                pass
+        text = f"{path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+@dataclass
+class Suppressions:
+    """Parsed ``# reprolint:`` comments of one file."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    whole_file: Set[str] = field(default_factory=set)
+    #: (line, bad id) pairs for malformed suppression comments.
+    errors: List[Tuple[int, str]] = field(default_factory=list)
+
+    def active(self, rule: str, line: int) -> bool:
+        if rule in self.whole_file:
+            return True
+        return rule in self.by_line.get(line, set())
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may look at for one file."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+    #: Trailing/own-line comments keyed by physical line number.
+    comments: Dict[int, str] = field(default_factory=dict)
+
+    def comment_on(self, line: int) -> str:
+        return self.comments.get(line, "")
+
+
+class Rule:
+    """Base class every rule family subclasses.
+
+    Subclasses set :attr:`rule_id` / :attr:`name` / :attr:`hint` and
+    implement :meth:`check`.  ``hint`` is the generic fix suggestion the
+    CLI prints under a finding; :meth:`check` may override it per
+    violation.
+    """
+
+    rule_id: str = "RL00"
+    name: str = "base"
+    hint: str = ""
+
+    def check(self, context: FileContext) -> Iterable[Violation]:
+        raise NotImplementedError
+
+    def violation(self, context: FileContext, node: ast.AST, message: str,
+                  hint: Optional[str] = None) -> Violation:
+        return Violation(rule=self.rule_id, path=context.path,
+                         line=getattr(node, "lineno", 1),
+                         col=getattr(node, "col_offset", 0),
+                         message=message,
+                         hint=self.hint if hint is None else hint)
+
+
+def _collect_comments(source: str) -> Dict[int, str]:
+    comments: Dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        pass
+    return comments
+
+
+def parse_suppressions(comments: Dict[int, str],
+                       known_rules: Set[str]) -> Suppressions:
+    suppressions = Suppressions()
+    for line, comment in comments.items():
+        for kind, ids in _SUPPRESS.findall(comment):
+            for rule_id in (part.strip() for part in ids.split(",")):
+                if not rule_id:
+                    continue
+                if rule_id not in known_rules:
+                    suppressions.errors.append((line, rule_id))
+                    continue
+                if kind == "disable-file":
+                    suppressions.whole_file.add(rule_id)
+                else:
+                    suppressions.by_line.setdefault(line, set()).add(rule_id)
+    return suppressions
+
+
+def collect_files(paths: Sequence[Path]) -> List[Path]:
+    """Every ``.py`` file under the given files/directories, de-duplicated."""
+    seen: Set[Path] = set()
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file() and path.suffix == ".py":
+            resolved = path.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(path)
+            continue
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if any(part in SKIP_DIRS for part in candidate.parts):
+                    continue
+                resolved = candidate.resolve()
+                if resolved not in seen:
+                    seen.add(resolved)
+                    files.append(candidate)
+    return files
+
+
+def load_context(path: Path, known_rules: Set[str]) -> FileContext:
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    comments = _collect_comments(source)
+    suppressions = parse_suppressions(comments, known_rules)
+    return FileContext(path=path, source=source, tree=tree,
+                       suppressions=suppressions, comments=comments)
+
+
+def analyze_source(source: str, rules: Sequence[Rule],
+                   path: Path = Path("<snippet>")) -> List[Violation]:
+    """Run rules over in-memory source — the unit-test entry point."""
+    known = {rule.rule_id for rule in rules}
+    tree = ast.parse(source, filename=str(path))
+    comments = _collect_comments(source)
+    context = FileContext(path=path, source=source, tree=tree,
+                          suppressions=parse_suppressions(comments, known),
+                          comments=comments)
+    return _check_context(context, rules)
+
+
+def _check_context(context: FileContext,
+                   rules: Sequence[Rule]) -> List[Violation]:
+    violations: List[Violation] = []
+    for line, bad_id in context.suppressions.errors:
+        violations.append(Violation(
+            rule="RL00", path=context.path, line=line, col=0,
+            message=f"suppression names unknown rule {bad_id!r}",
+            hint="valid ids: " + ", ".join(sorted(r.rule_id for r in rules))))
+    for rule in rules:
+        for violation in rule.check(context):
+            if not context.suppressions.active(violation.rule, violation.line):
+                violations.append(violation)
+    violations.sort(key=lambda v: (str(v.path), v.line, v.col, v.rule))
+    return violations
+
+
+def analyze_paths(paths: Sequence[Path], rules: Sequence[Rule]
+                  ) -> Tuple[List[Violation], int]:
+    """Run rules over files/directories; returns (violations, files seen)."""
+    known = {rule.rule_id for rule in rules}
+    violations: List[Violation] = []
+    files = collect_files(paths)
+    for path in files:
+        try:
+            context = load_context(path, known)
+        except SyntaxError as error:
+            violations.append(Violation(
+                rule="RL00", path=path, line=error.lineno or 1, col=0,
+                message=f"file does not parse: {error.msg}"))
+            continue
+        violations.extend(_check_context(context, rules))
+    violations.sort(key=lambda v: (str(v.path), v.line, v.col, v.rule))
+    return violations, len(files)
+
+
+# --------------------------------------------------------------------- #
+# shared AST helpers
+# --------------------------------------------------------------------- #
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the dotted module/symbol they were bound to.
+
+    ``import numpy as np`` → ``{"np": "numpy"}``; ``from numpy import
+    random`` → ``{"random": "numpy.random"}``; ``from numpy.random import
+    rand as r`` → ``{"r": "numpy.random.rand"}``.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                local = name.asname or name.name.split(".", 1)[0]
+                aliases[local] = name.name if name.asname else local
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                aliases[name.asname or name.name] = \
+                    f"{node.module}.{name.name}"
+    return aliases
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def resolve_name(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Fully-qualified dotted name of an expression, through import aliases."""
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    root = aliases.get(head, head)
+    return f"{root}.{rest}" if rest else root

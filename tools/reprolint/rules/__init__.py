@@ -1,0 +1,29 @@
+"""Rule registry.  Adding a rule = one module + one entry here.
+
+Each module defines a :class:`~tools.reprolint.core.Rule` subclass; the
+registry order is the report order within a line.  See
+``docs/static-analysis.md`` ("Adding a rule") for the authoring guide.
+"""
+
+from tools.reprolint.rules.rl01_determinism import DeterminismRule
+from tools.reprolint.rules.rl02_integer_purity import IntegerPurityRule
+from tools.reprolint.rules.rl03_locks import LockDisciplineRule
+from tools.reprolint.rules.rl04_api_hygiene import ApiHygieneRule
+
+ALL_RULES = (
+    DeterminismRule(),
+    IntegerPurityRule(),
+    LockDisciplineRule(),
+    ApiHygieneRule(),
+)
+
+RULES_BY_ID = {rule.rule_id: rule for rule in ALL_RULES}
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "ApiHygieneRule",
+    "DeterminismRule",
+    "IntegerPurityRule",
+    "LockDisciplineRule",
+]

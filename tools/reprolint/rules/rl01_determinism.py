@@ -1,0 +1,126 @@
+"""RL01 — determinism: ban global-state RNG and wall-clock seeding.
+
+Bit-identical replay is the house invariant: every sample is a pure
+function of ``(seed, rng-epoch, hop, node, edge-position)`` through the
+counter-based SplitMix64 keys, and everything else draws from an
+explicitly seeded, explicitly threaded ``numpy.random.Generator``.  A
+single ``np.random.rand()`` (global state), ``random.shuffle()`` (global
+state), or ``default_rng(time.time())`` (wall-clock seed) breaks replay in
+a way the parity matrix only catches probabilistically — this rule bans
+the whole class statically.
+
+Banned:
+
+* module-level ``numpy.random`` functions (``np.random.rand``,
+  ``np.random.seed``, ``np.random.shuffle`` …).  Constructing explicit
+  generators stays legal: ``np.random.default_rng``,
+  ``np.random.Generator``, ``np.random.SeedSequence`` and the bit
+  generators.
+* stdlib ``random`` module functions (``random.random``,
+  ``random.choice`` …).  ``random.Random(seed)`` / ``random.SystemRandom``
+  instances are explicit objects and stay legal.
+* seeding anything from the wall clock or the OS entropy pool:
+  ``time.time`` / ``time.time_ns`` / ``datetime.now`` / ``os.urandom``
+  inside a ``default_rng(...)`` / ``random.Random(...)`` call or a
+  ``seed=`` keyword.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from tools.reprolint.core import FileContext, Rule, Violation, import_aliases, resolve_name
+
+#: ``numpy.random`` attributes that construct *explicit* generators.
+ALLOWED_NP_RANDOM = {
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+}
+
+#: stdlib ``random`` attributes that construct explicit generator objects.
+ALLOWED_STDLIB_RANDOM = {"Random", "SystemRandom"}
+
+#: Calls whose result must never seed an RNG (wall clock / entropy pool).
+NONDETERMINISTIC_SOURCES = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow", "datetime.date.today",
+    "os.urandom", "uuid.uuid4", "secrets.token_bytes", "secrets.randbits",
+}
+
+#: Call targets whose arguments are RNG seeds.
+SEED_SINKS = {"numpy.random.default_rng", "numpy.random.seed",
+              "random.Random", "random.seed", "numpy.random.SeedSequence"}
+
+
+class DeterminismRule(Rule):
+    rule_id = "RL01"
+    name = "determinism"
+    hint = ("thread an explicitly seeded np.random.default_rng(seed) (or the "
+            "sampler's counter-based keys) instead of global RNG state")
+
+    def check(self, context: FileContext) -> Iterable[Violation]:
+        aliases = import_aliases(context.tree)
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ImportFrom):
+                yield from self._check_import_from(context, node)
+            elif isinstance(node, ast.Call):
+                name = resolve_name(node.func, aliases)
+                if name is None:
+                    continue
+                yield from self._check_call(context, node, name)
+                yield from self._check_seed_args(context, node, name, aliases)
+
+    # -------------------------------------------------------------- #
+    def _check_import_from(self, context: FileContext,
+                           node: ast.ImportFrom) -> Iterator[Violation]:
+        if node.module == "numpy.random":
+            for name in node.names:
+                if name.name not in ALLOWED_NP_RANDOM and name.name != "*":
+                    yield self.violation(
+                        context, node,
+                        f"import of global-state RNG function "
+                        f"numpy.random.{name.name}")
+        elif node.module == "random":
+            for name in node.names:
+                if name.name not in ALLOWED_STDLIB_RANDOM:
+                    yield self.violation(
+                        context, node,
+                        f"import of global-state RNG function "
+                        f"random.{name.name}")
+
+    def _check_call(self, context: FileContext, node: ast.Call,
+                    name: str) -> Iterator[Violation]:
+        if name.startswith("numpy.random."):
+            attr = name[len("numpy.random."):]
+            if "." not in attr and attr not in ALLOWED_NP_RANDOM:
+                yield self.violation(
+                    context, node,
+                    f"call to global-state RNG numpy.random.{attr}()")
+        elif name.startswith("random."):
+            attr = name[len("random."):]
+            if "." not in attr and attr not in ALLOWED_STDLIB_RANDOM:
+                yield self.violation(
+                    context, node,
+                    f"call to global-state RNG random.{attr}()")
+
+    def _check_seed_args(self, context: FileContext, node: ast.Call,
+                         name: str, aliases: dict) -> Iterator[Violation]:
+        is_sink = name in SEED_SINKS
+        seed_keywords = [kw.value for kw in node.keywords
+                         if kw.arg in ("seed", "random_state")]
+        candidates = list(node.args) + [kw.value for kw in node.keywords] \
+            if is_sink else seed_keywords
+        for argument in candidates:
+            for sub in ast.walk(argument):
+                if not isinstance(sub, ast.Call):
+                    continue
+                source = resolve_name(sub.func, aliases)
+                if source in NONDETERMINISTIC_SOURCES:
+                    yield self.violation(
+                        context, sub,
+                        f"RNG seeded from non-deterministic source "
+                        f"{source}()",
+                        hint="derive seeds from configuration, not the "
+                             "wall clock or the entropy pool")

@@ -1,0 +1,319 @@
+"""RL02 — integer-path purity: no float leaks inside Theorem-1 hot paths.
+
+Theorem 1 prescribes *exactly* where floating point re-enters the
+quantized aggregation: the heavy product runs on int64 arrays, and only
+the rank-one corrections touch floats, entered through an explicit
+``astype(np.float64)`` / ``np.asarray(..., dtype=np.float64)`` (exact for
+every representable int64 accumulation the kernels produce).  Anything
+else — a true division on an integer accumulator, an implicit int × float
+promotion, a narrowing ``astype(np.float32)`` — silently trades
+bit-exactness for round-off, and the parity matrix only notices when the
+rounded value crosses a quantization boundary.
+
+The rule runs a forward dtype-flow walk over *integer stages* only:
+
+* functions named in :data:`REQUIRED_STAGES` (the Theorem-1 kernels),
+  wherever they are defined, and
+* any function carrying a ``# reprolint: integer-stage`` comment on (or
+  directly above) its ``def`` line — the session executor's integer
+  stages opt in this way.
+
+Within a stage it tracks which local names hold integer arrays
+(``astype(np.int64)``, ``np.asarray(..., dtype=np.int64)``,
+``np.zeros(..., dtype=np.int64)`` …) and flags:
+
+* ``/`` true division with an integer-tracked operand (use ``//`` or exit
+  through ``astype(np.float64)`` first);
+* arithmetic between an integer-tracked operand and a float operand
+  (implicit promotion — the float exit must be explicit);
+* ``astype`` to a narrowing float dtype (``float32`` / ``float16``) on an
+  integer-tracked value (loses exactness above 2**24);
+* float-dtype re-introduction by re-binding an integer-tracked name to a
+  float expression without an explicit cast.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from tools.reprolint.core import FileContext, Rule, Violation, dotted_name
+
+#: Function names that are *always* integer stages when defined.
+REQUIRED_STAGES = {"quantized_spmm", "quantized_edge_spmm"}
+
+#: Marker comment opting a function into the dtype-flow walk.
+STAGE_MARKER = "reprolint: integer-stage"
+
+_INT_DTYPES = {"int", "int8", "int16", "int32", "int64",
+               "uint8", "uint16", "uint32", "uint64", "intp", "int_"}
+_EXACT_FLOAT_DTYPES = {"float64", "double", "longdouble", "float_"}
+_NARROW_FLOAT_DTYPES = {"float16", "float32", "half", "single"}
+
+#: ndarray methods that keep integer dtype.
+_INT_PRESERVING_METHODS = {
+    "sum", "cumsum", "prod", "cumprod", "reshape", "ravel", "flatten",
+    "copy", "transpose", "squeeze", "take", "clip", "min", "max", "dot",
+    "astype",  # handled specially before this set is consulted
+}
+
+#: numpy constructors whose ``dtype=`` keyword decides the result dtype.
+_ARRAY_CONSTRUCTORS = {"asarray", "array", "zeros", "ones", "empty", "full",
+                       "zeros_like", "ones_like", "empty_like", "full_like"}
+
+INT = "int"
+FLOAT = "float"
+OTHER = "other"
+
+
+def _dtype_kind(node: Optional[ast.AST]) -> str:
+    """Classify a ``dtype=`` argument expression."""
+    if node is None:
+        return OTHER
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        name = node.value
+    else:
+        dotted = dotted_name(node)
+        if dotted is None:
+            return OTHER
+        name = dotted.rsplit(".", 1)[-1]
+    if name in _INT_DTYPES:
+        return INT
+    if name in _EXACT_FLOAT_DTYPES or name == "float":
+        return FLOAT
+    if name in _NARROW_FLOAT_DTYPES:
+        return "narrow-float"
+    return OTHER
+
+
+def _is_stage(node: ast.FunctionDef, context: FileContext) -> bool:
+    if node.name in REQUIRED_STAGES:
+        return True
+    for line in (node.lineno, node.lineno - 1):
+        if STAGE_MARKER in context.comment_on(line):
+            return True
+    # decorators push the def line down; scan the decorated span too
+    if node.decorator_list:
+        first = node.decorator_list[0].lineno - 1
+        for line in range(first, node.lineno + 1):
+            if STAGE_MARKER in context.comment_on(line):
+                return True
+    return False
+
+
+class IntegerPurityRule(Rule):
+    rule_id = "RL02"
+    name = "integer-purity"
+    hint = ("keep the Theorem-1 accumulation in int64; exit to floats only "
+            "through an explicit astype(np.float64)")
+
+    def check(self, context: FileContext) -> Iterable[Violation]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and _is_stage(node, context):
+                yield from _StageWalker(self, context, node).run()
+
+
+class _StageWalker:
+    """Forward dtype-flow over one integer-stage function body."""
+
+    def __init__(self, rule: IntegerPurityRule, context: FileContext,
+                 function: ast.FunctionDef):
+        self.rule = rule
+        self.context = context
+        self.function = function
+        self.env: Dict[str, str] = {}
+        self.violations: List[Violation] = []
+
+    def run(self) -> Iterator[Violation]:
+        for statement in self.function.body:
+            self._statement(statement)
+        return iter(self.violations)
+
+    # ------------------------------------------------------------------ #
+    def _statement(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Assign):
+            kind = self._expr(node.value)
+            for target in node.targets:
+                self._bind(target, kind)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            kind = self._expr(node.value)
+            self._bind(node.target, kind)
+        elif isinstance(node, ast.AugAssign):
+            target_kind = self.env.get(_target_name(node.target) or "", OTHER)
+            value_kind = self._expr(node.value)
+            self._binop_check(node, node.op, target_kind, value_kind)
+        elif isinstance(node, (ast.Expr, ast.Return)):
+            if node.value is not None:
+                self._expr(node.value)
+        elif isinstance(node, (ast.If, ast.For, ast.While)):
+            if isinstance(node, (ast.For,)):
+                self._bind(node.target, OTHER)
+            test = getattr(node, "test", None) or getattr(node, "iter", None)
+            if test is not None:
+                self._expr(test)
+            for child in node.body + node.orelse:
+                self._statement(child)
+        elif isinstance(node, ast.With):
+            for item in node.items:
+                self._expr(item.context_expr)
+            for child in node.body:
+                self._statement(child)
+        elif isinstance(node, (ast.Try,)):
+            for child in node.body + node.orelse + node.finalbody:
+                self._statement(child)
+            for handler in node.handlers:
+                for child in handler.body:
+                    self._statement(child)
+        elif isinstance(node, ast.Raise) and node.exc is not None:
+            self._expr(node.exc)
+        # nested defs/classes are their own (non-)stages — skip
+
+    def _bind(self, target: ast.AST, kind: str) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = kind
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, OTHER)
+        # attribute/subscript stores don't rebind locals
+
+    # ------------------------------------------------------------------ #
+    def _expr(self, node: ast.expr) -> str:
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, OTHER)
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, float):
+                return FLOAT
+            if isinstance(node.value, bool):
+                return OTHER
+            if isinstance(node.value, int):
+                return OTHER  # int literals combine with either side
+            return OTHER
+        if isinstance(node, ast.BinOp):
+            left = self._expr(node.left)
+            right = self._expr(node.right)
+            return self._binop_check(node, node.op, left, right)
+        if isinstance(node, ast.UnaryOp):
+            return self._expr(node.operand)
+        if isinstance(node, ast.Subscript):
+            base = self._expr(node.value)
+            return base if base in (INT, FLOAT) else OTHER
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.Attribute):
+            # plain attribute reads (.shape, .T) lose tracking except .T
+            base = self._expr(node.value)
+            if node.attr == "T" and base == INT:
+                return INT
+            return OTHER
+        if isinstance(node, ast.IfExp):
+            self._expr(node.test)
+            body = self._expr(node.body)
+            orelse = self._expr(node.orelse)
+            return body if body == orelse else OTHER
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for element in node.elts:
+                self._expr(element)
+            return OTHER
+        if isinstance(node, ast.Compare):
+            self._expr(node.left)
+            for comparator in node.comparators:
+                self._expr(comparator)
+            return OTHER
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self._expr(value)
+            return OTHER
+        if isinstance(node, ast.Starred):
+            return self._expr(node.value)
+        if isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp,
+                             ast.DictComp, ast.Lambda)):
+            return OTHER
+        if isinstance(node, ast.JoinedStr):
+            return OTHER
+        if isinstance(node, ast.Slice):
+            return OTHER
+        return OTHER
+
+    def _binop_check(self, node: ast.AST, op: ast.operator,
+                     left: str, right: str) -> str:
+        if isinstance(op, ast.Div) and INT in (left, right):
+            self.violations.append(self.rule.violation(
+                self.context, node,
+                "true division on an integer-path value",
+                hint="use // for exact integer arithmetic, or exit through "
+                     "astype(np.float64) before dividing"))
+            return FLOAT
+        if {left, right} == {INT, FLOAT}:
+            self.violations.append(self.rule.violation(
+                self.context, node,
+                "implicit int→float promotion in an integer stage",
+                hint="make the float exit explicit: "
+                     "value.astype(np.float64) at the Theorem-1 boundary"))
+            return FLOAT
+        if left == INT and right == INT:
+            return INT
+        if isinstance(op, ast.Div):
+            return FLOAT
+        if FLOAT in (left, right):
+            return FLOAT
+        if INT in (left, right):
+            return INT
+        return OTHER
+
+    # ------------------------------------------------------------------ #
+    def _call(self, node: ast.Call) -> str:
+        # evaluate arguments first (violations inside them still surface)
+        argument_kinds = [self._expr(argument) for argument in node.args]
+        keyword_values = {kw.arg: kw.value for kw in node.keywords if kw.arg}
+        for kw in node.keywords:
+            if kw.arg != "dtype":
+                self._expr(kw.value)
+
+        if isinstance(node.func, ast.Attribute):
+            base_kind = self._expr(node.func.value)
+            method = node.func.attr
+            if method == "astype":
+                target = node.args[0] if node.args \
+                    else keyword_values.get("dtype")
+                kind = _dtype_kind(target)
+                if kind == "narrow-float" and base_kind == INT:
+                    self.violations.append(self.rule.violation(
+                        self.context, node,
+                        "narrowing float cast of an integer-path value",
+                        hint="cast to np.float64 — float32 loses integer "
+                             "exactness above 2**24"))
+                    return FLOAT
+                if kind == INT:
+                    return INT
+                if kind in (FLOAT, "narrow-float"):
+                    return FLOAT
+                return OTHER
+            if base_kind == INT and method in _INT_PRESERVING_METHODS:
+                return INT
+            dotted = dotted_name(node.func)
+            if dotted is not None:
+                tail = dotted.rsplit(".", 1)[-1]
+                if tail in _ARRAY_CONSTRUCTORS:
+                    kind = _dtype_kind(keyword_values.get("dtype"))
+                    if kind == INT:
+                        return INT
+                    if kind in (FLOAT, "narrow-float"):
+                        return FLOAT
+                    # dtype-less constructor: inherits the argument dtype
+                    if tail in ("asarray", "array") and argument_kinds \
+                            and argument_kinds[0] in (INT, FLOAT):
+                        return argument_kinds[0]
+                    return OTHER
+            return OTHER
+
+        if isinstance(node.func, ast.Name):
+            if node.func.id == "float":
+                return FLOAT
+            if node.func.id == "int":
+                return OTHER  # python scalar, combines freely
+        return OTHER
+
+
+def _target_name(node: ast.AST) -> Optional[str]:
+    return node.id if isinstance(node, ast.Name) else None

@@ -1,0 +1,293 @@
+"""RL03 — lock discipline: guarded attributes and acquisition order.
+
+The cache and serving subsystems are explicitly concurrent: the LRU store,
+the block cache's logical counters, and the async engine's pending queue
+are all mutated from many threads.  The concurrency tests catch a missed
+lock only when the interleaving happens to bite; this rule makes the lock
+contract part of the source text instead.
+
+Convention (documented in ``docs/static-analysis.md``):
+
+* Declare a guarded attribute where it is initialised::
+
+      self._hits = 0  # guarded-by: self._lock
+
+  From then on, every read or write of ``self._hits`` anywhere in the
+  class must sit lexically inside ``with self._lock:`` (multi-item and
+  nested ``with`` both count).
+
+* A method that *requires* its caller to hold the lock (the classic
+  ``_locked`` helper) declares that on its ``def`` line::
+
+      def _get_locked(self, key, default):  # requires-lock: self._lock
+
+  Accesses inside such a method are treated as guarded; the annotation is
+  machine-checked documentation of the calling contract.
+
+* ``__init__`` (and other pre-publication hooks in :data:`UNPUBLISHED`)
+  are exempt: no other thread can hold a reference yet.
+
+Lock-order graph: every ``with`` acquisition of a lock-like expression
+(attribute path containing ``lock``) becomes a node ``Class.expr``;
+lexical nesting (including multi-item ``with a, b:``) adds ordered edges.
+:data:`LOCK_ALIASES` folds cross-object handles onto the owning lock
+(``BlockCache.self._lru.lock`` *is* ``LRUCache.self._lock``), and a cycle
+in the folded graph is reported as a potential deadlock.  The runtime
+lock sanitizer (``tools.reprolint.sanitizer``) records the orders real
+concurrency tests exercise so the static graph can be cross-checked.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from tools.reprolint.core import (
+    FileContext,
+    Rule,
+    Violation,
+    collect_files,
+    dotted_name,
+    load_context,
+)
+
+GUARDED_BY = re.compile(r"#\s*guarded-by:\s*([\w.\[\]']+)")
+REQUIRES_LOCK = re.compile(r"#\s*requires-lock:\s*([\w.\[\]']+)")
+
+#: Methods that run before the object is visible to other threads.
+UNPUBLISHED = {"__init__", "__new__", "__post_init__", "__init_subclass__"}
+
+#: Cross-object lock handles folded onto the lock they really are.
+#: ``BlockCache`` acquires the LRU store's lock through its public
+#: ``.lock`` property; for ordering purposes that *is* ``LRUCache._lock``.
+LOCK_ALIASES: Dict[str, str] = {
+    "BlockCache.self._lru.lock": "LRUCache.self._lock",
+    "BlockCache.self._lru._lock": "LRUCache.self._lock",
+}
+
+
+def _looks_like_lock(expression: str) -> bool:
+    tail = expression.rsplit(".", 1)[-1]
+    return "lock" in tail.lower()
+
+
+class LockDisciplineRule(Rule):
+    rule_id = "RL03"
+    name = "lock-discipline"
+    hint = ("wrap the access in `with <lock>:`, or annotate the method "
+            "`# requires-lock: <lock>` if the caller must hold it")
+
+    def check(self, context: FileContext) -> Iterable[Violation]:
+        for node in context.tree.body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(context, node)
+        yield from self._check_order(context)
+
+    # ------------------------------------------------------------------ #
+    def _check_class(self, context: FileContext,
+                     klass: ast.ClassDef) -> Iterator[Violation]:
+        guarded = _guarded_attributes(context, klass)
+        if not guarded:
+            return
+        for method in klass.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name in UNPUBLISHED:
+                continue
+            required = _required_locks(context, method)
+            yield from self._check_method(context, klass, method, guarded,
+                                          required)
+
+    def _check_method(self, context: FileContext, klass: ast.ClassDef,
+                      method: ast.FunctionDef, guarded: Dict[str, str],
+                      required: Set[str]) -> Iterator[Violation]:
+        held_stack: List[Set[str]] = [set(required)]
+
+        def held() -> Set[str]:
+            merged: Set[str] = set()
+            for frame in held_stack:
+                merged |= frame
+            return merged
+
+        def visit(node: ast.AST) -> Iterator[Violation]:
+            if isinstance(node, ast.With):
+                acquired = set()
+                for item in node.items:
+                    expression = _expression_text(item.context_expr)
+                    if expression is not None:
+                        acquired.add(expression)
+                    yield from visit(item.context_expr)
+                held_stack.append(acquired)
+                for child in node.body:
+                    yield from visit(child)
+                held_stack.pop()
+                return
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                # nested callables may run after the enclosing `with` has
+                # released: drop inherited frames, honour only their own
+                # requires-lock annotation
+                nested_required = set()
+                if not isinstance(node, ast.Lambda):
+                    nested_required = _required_locks(context, node)
+                saved = held_stack[:]
+                held_stack[:] = [nested_required]
+                for child in ast.iter_child_nodes(node):
+                    yield from visit(child)
+                held_stack[:] = saved
+                return
+            if isinstance(node, ast.Attribute) \
+                    and isinstance(node.value, ast.Name) \
+                    and node.value.id == "self" and node.attr in guarded:
+                lock = guarded[node.attr]
+                if lock not in held():
+                    access = "write to" if isinstance(node.ctx,
+                                                      (ast.Store, ast.Del)) \
+                        else "read of"
+                    yield self.violation(
+                        context, node,
+                        f"{access} {klass.name}.{node.attr} (guarded by "
+                        f"{lock}) outside `with {lock}:`")
+                return
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child)
+
+        for statement in method.body:
+            yield from visit(statement)
+
+    # ------------------------------------------------------------------ #
+    def _check_order(self, context: FileContext) -> Iterator[Violation]:
+        graph, sites = _file_lock_graph(context)
+        cycle = find_cycle(graph)
+        if cycle:
+            line, col = sites.get((cycle[0], cycle[1]), (1, 0))
+            yield Violation(
+                rule=self.rule_id, path=context.path, line=line, col=col,
+                message="lock-acquisition-order cycle (potential deadlock): "
+                        + " -> ".join(cycle + [cycle[0]]),
+                hint="acquire these locks in one globally consistent order")
+
+
+# --------------------------------------------------------------------- #
+# annotation harvesting
+# --------------------------------------------------------------------- #
+def _guarded_attributes(context: FileContext,
+                        klass: ast.ClassDef) -> Dict[str, str]:
+    """``attribute -> lock expression`` declared via # guarded-by comments."""
+    guarded: Dict[str, str] = {}
+    for node in ast.walk(klass):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        match = GUARDED_BY.search(context.comment_on(node.lineno))
+        if not match:
+            continue
+        lock = match.group(1)
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Attribute) \
+                    and isinstance(target.value, ast.Name) \
+                    and target.value.id == "self":
+                guarded[target.attr] = lock
+    return guarded
+
+
+def _required_locks(context: FileContext, method: ast.FunctionDef) -> Set[str]:
+    required: Set[str] = set()
+    match = REQUIRES_LOCK.search(context.comment_on(method.lineno))
+    if match:
+        required.add(match.group(1))
+    return required
+
+
+def _expression_text(node: ast.AST) -> Optional[str]:
+    """Normalised text of a lock expression (None for non-lock withs)."""
+    dotted = dotted_name(node)
+    if dotted is not None and _looks_like_lock(dotted):
+        return dotted
+    return None
+
+
+# --------------------------------------------------------------------- #
+# lock-order graph
+# --------------------------------------------------------------------- #
+def _file_lock_graph(context: FileContext
+                     ) -> Tuple[Dict[str, Set[str]],
+                                Dict[Tuple[str, str], Tuple[int, int]]]:
+    """Directed acquisition-order edges of one file, alias-folded."""
+    graph: Dict[str, Set[str]] = {}
+    sites: Dict[Tuple[str, str], Tuple[int, int]] = {}
+
+    def canonical(class_name: str, expression: str) -> str:
+        qualified = f"{class_name}.{expression}"
+        return LOCK_ALIASES.get(qualified, qualified)
+
+    def walk(node: ast.AST, class_name: str, held: List[str]) -> None:
+        if isinstance(node, ast.ClassDef):
+            for child in node.body:
+                walk(child, node.name, held)
+            return
+        if isinstance(node, ast.With):
+            acquired: List[str] = []
+            for item in node.items:
+                expression = _expression_text(item.context_expr)
+                if expression is None:
+                    continue
+                lock = canonical(class_name, expression)
+                for holder in held + acquired:
+                    if holder != lock:
+                        graph.setdefault(holder, set()).add(lock)
+                        sites.setdefault((holder, lock),
+                                         (node.lineno, node.col_offset))
+                graph.setdefault(lock, set())
+                acquired.append(lock)
+            for child in node.body:
+                walk(child, class_name, held + acquired)
+            return
+        for child in ast.iter_child_nodes(node):
+            walk(child, class_name, held)
+
+    for node in context.tree.body:
+        walk(node, "<module>", [])
+    return graph, sites
+
+
+def build_lock_order_graph(paths: Sequence[Path]) -> Dict[str, Set[str]]:
+    """Merged acquisition-order graph over many files — the artifact the
+    runtime sanitizer cross-checks (``tests/tools/test_reprolint.py``)."""
+    merged: Dict[str, Set[str]] = {}
+    for path in collect_files(paths):
+        context = load_context(path, {LockDisciplineRule.rule_id})
+        graph, _ = _file_lock_graph(context)
+        for node, edges in graph.items():
+            merged.setdefault(node, set()).update(edges)
+    return merged
+
+
+def find_cycle(graph: Dict[str, Set[str]]) -> Optional[List[str]]:
+    """One cycle of the directed graph as a node list, or None."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph}
+    stack: List[str] = []
+
+    def dfs(node: str) -> Optional[List[str]]:
+        color[node] = GRAY
+        stack.append(node)
+        for neighbour in sorted(graph.get(node, ())):
+            if color.get(neighbour, WHITE) == GRAY:
+                return stack[stack.index(neighbour):]
+            if color.get(neighbour, WHITE) == WHITE:
+                found = dfs(neighbour)
+                if found:
+                    return found
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for node in sorted(graph):
+        if color[node] == WHITE:
+            found = dfs(node)
+            if found:
+                return found
+    return None

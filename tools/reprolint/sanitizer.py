@@ -1,0 +1,127 @@
+"""Runtime lock sanitizer — the dynamic half of RL03.
+
+RL03 derives a lock-acquisition-order graph *statically* from lexical
+``with`` nesting.  This module observes the same property at runtime:
+wrap each lock of interest in a :class:`SanitizedLock` and every thread
+records a ``held -> acquired`` edge whenever it takes a lock while
+already holding another.  Concurrency tests then assert that the
+observed edge set is a subset of the static graph (the static analysis
+over-approximates, so runtime edges outside it mean RL03 missed a path)
+and that the combined graph is acyclic.
+
+Usage::
+
+    sanitizer = LockSanitizer()
+    cache._lock = sanitizer.wrap("LRUCache.self._lock", cache._lock)
+    ...
+    assert sanitizer.edges() <= static_edges
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Set, Tuple
+
+
+class SanitizedLock:
+    """Context-manager proxy around a real lock that reports to a sanitizer.
+
+    Supports the subset of the lock protocol the repo uses: ``with``,
+    explicit ``acquire``/``release``, and being passed to
+    ``threading.Condition`` (which calls ``acquire``/``release`` and
+    probes ``_is_owned`` on RLocks — we forward unknown attributes).
+    """
+
+    def __init__(self, name: str, inner, sanitizer: "LockSanitizer") -> None:
+        self.name = name
+        self._inner = inner
+        self._sanitizer = sanitizer
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._sanitizer._record_acquire(self.name)
+        return acquired
+
+    def release(self) -> None:
+        self._sanitizer._record_release(self.name)
+        self._inner.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __getattr__(self, attribute: str):
+        return getattr(self._inner, attribute)
+
+
+class LockSanitizer:
+    """Records per-thread lock-acquisition order edges.
+
+    Re-entrant acquisitions of the *same* named lock (RLock re-entry) do
+    not create edges; acquiring lock B while holding lock A records the
+    edge ``(A, B)`` exactly as RL03's static graph would.
+    """
+
+    def __init__(self) -> None:
+        self._held: Dict[int, List[str]] = {}
+        self._edges: Set[Tuple[str, str]] = set()
+        self._mutex = threading.Lock()
+
+    def wrap(self, name: str, lock) -> SanitizedLock:
+        return SanitizedLock(name, lock, self)
+
+    def _record_acquire(self, name: str) -> None:
+        thread_id = threading.get_ident()
+        with self._mutex:
+            stack = self._held.setdefault(thread_id, [])
+            for held in stack:
+                if held != name:
+                    self._edges.add((held, name))
+            stack.append(name)
+
+    def _record_release(self, name: str) -> None:
+        thread_id = threading.get_ident()
+        with self._mutex:
+            stack = self._held.get(thread_id, [])
+            for index in range(len(stack) - 1, -1, -1):
+                if stack[index] == name:
+                    del stack[index]
+                    break
+
+    def edges(self) -> Set[Tuple[str, str]]:
+        with self._mutex:
+            return set(self._edges)
+
+    def find_cycle(self) -> Optional[List[str]]:
+        """DFS cycle detection over the observed edges (None when acyclic)."""
+        graph: Dict[str, Set[str]] = {}
+        for source, target in self.edges():
+            graph.setdefault(source, set()).add(target)
+            graph.setdefault(target, set())
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {node: WHITE for node in graph}
+        path: List[str] = []
+
+        def visit(node: str) -> Optional[List[str]]:
+            color[node] = GRAY
+            path.append(node)
+            for successor in sorted(graph[node]):
+                if color[successor] == GRAY:
+                    return path[path.index(successor):]
+                if color[successor] == WHITE:
+                    cycle = visit(successor)
+                    if cycle is not None:
+                        return cycle
+            path.pop()
+            color[node] = BLACK
+            return None
+
+        for node in sorted(graph):
+            if color[node] == WHITE:
+                cycle = visit(node)
+                if cycle is not None:
+                    return cycle
+        return None
