@@ -156,9 +156,15 @@ class BlockCache:
 
     def get_batch(self, seeds: np.ndarray, fanouts: Sequence[Optional[int]],
                   epoch: int) -> Optional[Any]:
-        """A previously built batch for the exact same seed list, or None."""
-        batch = self._lru.get_quiet(self._batch_key(seeds, fanouts, epoch), None)
-        with self._lock:
+        """A previously built batch for the exact same seed list, or None.
+
+        The probe and its counter update happen under both locks (same
+        order as :meth:`get_rows`), so concurrent readers never observe a
+        probe whose hit/miss has not been counted yet.
+        """
+        with self._lock, self._lru.lock:
+            batch = self._lru.get_quiet(
+                self._batch_key(seeds, fanouts, epoch), None)
             if batch is None:
                 self._misses += 1
             else:

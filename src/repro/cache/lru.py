@@ -141,11 +141,19 @@ class LRUCache:
                 self._put_locked(key, value, nbytes)
 
     def pop(self, key: Hashable, default: Any = None) -> Any:
+        """Remove and return ``key``'s value (``default`` when absent).
+
+        Counts as an eviction: the contract is that *every* removal from
+        the store — capacity pressure, :meth:`clear`, :meth:`evict_where`
+        or an explicit pop — increments ``evictions``, so ``entries`` can
+        always be reconciled against insertions minus evictions.
+        """
         with self._lock:
             entry = self._store.pop(key, None)
             if entry is None:
                 return default
             self._bytes -= entry[1]
+            self._evictions += 1
             return entry[0]
 
     def clear(self) -> None:

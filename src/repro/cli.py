@@ -235,8 +235,9 @@ def _command_predict(args) -> int:
               f"pass the export-time --dataset/--scale/--seed", file=sys.stderr)
         return 1
 
+    backend = args.backend or None
     if args.mode == "full":
-        session = FullGraphSession(artifact, graph)
+        session = FullGraphSession(artifact, graph, backend=backend)
         if args.cache_size:
             print("note: --cache-size only applies to block mode",
                   file=sys.stderr)
@@ -246,7 +247,7 @@ def _command_predict(args) -> int:
         session = BlockSession(artifact, graph, fanouts=fanout,
                                batch_size=args.batch_size, seed=args.seed,
                                cache_size=args.cache_size,
-                               cache_bytes=cache_bytes)
+                               cache_bytes=cache_bytes, backend=backend)
 
     if args.nodes:
         nodes = np.asarray(args.nodes, dtype=np.int64)
@@ -267,7 +268,8 @@ def _command_predict(args) -> int:
             engine.submit(chunk)
         results = engine.flush()
 
-    print(f"{artifact.summary()}  mode={args.mode}")
+    print(f"{artifact.summary()}  mode={args.mode}  "
+          f"backend={session.backend_name}")
     print(f"{'request':>8} {'nodes':>6} {'latency ms':>11} {'GBitOPs':>9}")
     for result in results:
         print(f"{result.request_id:>8} {result.nodes.shape[0]:>6} "
@@ -324,7 +326,8 @@ def _loadtest_session(args):
     fanout = None if args.fanout <= 0 else args.fanout
     session = BlockSession(artifact, graph, fanouts=fanout,
                            batch_size=args.batch_size, seed=args.seed,
-                           cache_size=args.cache_size)
+                           cache_size=args.cache_size,
+                           backend=args.backend or None)
     return graph, session
 
 
@@ -385,7 +388,8 @@ def _command_loadtest(args) -> int:
                 "warmup_requests": trace.num_requests - run.requests,
                 "fanout": args.fanout, "batch_size": args.batch_size,
                 "cache_size": args.cache_size, "workers": args.workers,
-                "max_wait_ms": args.max_wait_ms}
+                "max_wait_ms": args.max_wait_ms,
+                "backend": session.backend_name}
         path = trajectory.emit(args.emit, _loadtest_result_name(args),
                                metrics, meta=meta, kind="loadtest")
         print(f"trajectory written to {path}")
@@ -501,6 +505,11 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--workers", type=int, default=1,
                          help="thread-pool width for micro-batches inside one "
                               "flush (default: 1 = synchronous)")
+    predict.add_argument("--backend", default="",
+                         help="kernel backend for the integer hot path "
+                              "(see `repro.kernels`; default: the "
+                              "REPRO_KERNEL_BACKEND env var, else numpy; "
+                              "all backends are bit-identical)")
     predict.add_argument("--repeat", type=int, default=1,
                          help="serve the request set this many times (warms the "
                               "block cache; stats accumulate; default: 1)")
@@ -592,6 +601,11 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--workers", type=int, default=1,
                           help="thread-pool width inside one flush "
                                "(default: 1)")
+    loadtest.add_argument("--backend", default="",
+                          help="kernel backend for the integer hot path "
+                               "(see `repro.kernels`; default: the "
+                               "REPRO_KERNEL_BACKEND env var, else numpy; "
+                               "all backends are bit-identical)")
     loadtest.add_argument("--max-wait-ms", type=float, default=2.0,
                           help="deadline-batching wait of the async engine "
                                "(default: 2.0)")

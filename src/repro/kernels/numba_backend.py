@@ -1,0 +1,92 @@
+"""Optional ``numba`` backend — registered only when numba imports.
+
+Importing this module raises :class:`ImportError` when numba is absent;
+the package ``__init__`` catches that and simply leaves the backend
+unregistered, so environments without numba lose nothing but the name.
+
+The jitted kernels replace only the **integer** edge accumulation: int64
+addition is exact and order-invariant, so a sequential jitted loop is
+bit-identical to both the reference scatter-add and the vectorized
+segment reduce.  Every float stage (corrections, softmax, scores) is
+inherited from :class:`~repro.kernels.vectorized.VectorizedBackend`
+unchanged — float code paths are where bit-identity goes to die, so the
+jit is kept away from them entirely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit  # noqa: F401 - the import *is* the availability gate
+
+from repro.kernels.numpy_backend import VectorOrScalar, as_row, \
+    check_multi_head_shapes
+from repro.kernels.vectorized import VectorizedBackend
+
+
+@njit(cache=True)
+def _accumulate_multi_head(q_edge, qx, src, dst, integer_product, row_sum_qe):
+    for edge in range(q_edge.shape[0]):
+        target = dst[edge]
+        source = src[edge]
+        for head in range(q_edge.shape[1]):
+            coefficient = q_edge[edge, head]
+            row_sum_qe[target, head] += coefficient
+            for feature in range(qx.shape[2]):
+                integer_product[target, head, feature] += \
+                    coefficient * qx[source, head, feature]
+
+
+@njit(cache=True)
+def _accumulate_single_head(q_edge, qx, src, dst, integer_product, row_sum_qe):
+    for edge in range(q_edge.shape[0]):
+        target = dst[edge]
+        source = src[edge]
+        coefficient = q_edge[edge]
+        row_sum_qe[target] += coefficient
+        for feature in range(qx.shape[1]):
+            integer_product[target, feature] += coefficient * qx[source, feature]
+
+
+class NumbaBackend(VectorizedBackend):
+    """Jitted integer edge accumulation (registered as ``"numba"``)."""
+
+    name = "numba"
+
+    # reprolint: integer-stage
+    def edge_spmm(self, q_edge: np.ndarray, s_edge: float, qx: np.ndarray,
+                  sx: VectorOrScalar, zx: VectorOrScalar, src: np.ndarray,
+                  dst: np.ndarray, num_dst: int) -> np.ndarray:
+        q_edge_arr = np.ascontiguousarray(q_edge, dtype=np.int64)
+        qx_int = np.ascontiguousarray(qx, dtype=np.int64)
+        src_idx = np.ascontiguousarray(src, dtype=np.int64)
+        dst_idx = np.ascontiguousarray(dst, dtype=np.int64)
+        if q_edge_arr.ndim == 2:
+            check_multi_head_shapes(q_edge_arr, qx_int)
+            n_cols = qx_int.shape[2]
+            sx_axes = as_row(sx, n_cols).reshape(1, 1, n_cols)
+            zx_axes = as_row(zx, n_cols).reshape(1, 1, n_cols)
+            integer_product = np.zeros((num_dst,) + qx_int.shape[1:],
+                                       dtype=np.int64)
+            row_sum_qe = np.zeros((num_dst, q_edge_arr.shape[1]),
+                                  dtype=np.int64)
+            _accumulate_multi_head(q_edge_arr, qx_int, src_idx, dst_idx,
+                                   integer_product, row_sum_qe)
+            main = float(s_edge) * integer_product.astype(np.float64) * sx_axes
+            correction_x = float(s_edge) \
+                * row_sum_qe.astype(np.float64)[:, :, None] \
+                * (zx_axes * sx_axes)
+            return main - correction_x
+
+        q_edge_int = q_edge_arr.reshape(-1)
+        n_cols = qx_int.shape[1]
+        sx_row = as_row(sx, n_cols)
+        zx_row = as_row(zx, n_cols)
+        integer_product = np.zeros((num_dst, n_cols), dtype=np.int64)
+        row_sum_qe = np.zeros(num_dst, dtype=np.int64)
+        _accumulate_single_head(q_edge_int, qx_int, src_idx, dst_idx,
+                                integer_product, row_sum_qe)
+        main = float(s_edge) * integer_product.astype(np.float64) * sx_row
+        correction_x = float(s_edge) \
+            * row_sum_qe.astype(np.float64).reshape(-1, 1) \
+            * (zx_row * sx_row)
+        return main - correction_x

@@ -1,0 +1,255 @@
+"""The ``vectorized`` backend: same bits, fewer passes.
+
+Three hot-path rewrites over the :class:`~repro.kernels.numpy_backend.
+NumpyBackend` reference, each exact by construction:
+
+* **CSR edge aggregation** — ``np.add.at`` is a scalar scatter-loop in
+  numpy; this backend sorts the edge list by target once (memoised per
+  edge-array identity) into a CSR structure and runs each head's
+  accumulation as one int64 sparse-dense matmul.  Integer addition is
+  exact and order-invariant, so however scipy's kernel associates the
+  per-row sums the result is bit-identical to the reference scatter; the
+  small per-target coefficient sums come from ``np.add.reduceat`` over
+  the same sorted order.
+* **Batched per-head score projection** — the reference loops over heads;
+  here all heads evaluate in one ``(N, H, D)`` elementwise multiply +
+  ``sum(axis=-1)``.  Both forms reduce each head's contiguous
+  ``head_dim`` slice with the same pairwise tree, so the float scores
+  match bit-for-bit (the contract pins the projection to multiply+sum
+  precisely to make this legal — see the reference module docstring).
+  The per-edge gather moves to ``np.take``, which reads the same rows
+  much faster than fancy indexing.
+* **Fused dequant-weight transform** — :meth:`~repro.kernels.
+  numpy_backend.NumpyBackend.weight_matrix` recomputes ``W_int * S_w``
+  per call; this backend memoises the dequantized matrix per plan
+  identity, hoisting the dequantization out of the per-request path so a
+  layer transform is one matmul (+ bias + requant), not a weight
+  materialisation followed by one.
+
+The softmax denominator keeps the reference's ordered ``np.add.at``
+(float accumulation is reorder-sensitive); only the per-target max —
+exact under any order — moves to ``np.maximum.reduceat``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.kernels.numpy_backend import (
+    NumpyBackend,
+    VectorOrScalar,
+    as_row,
+    check_multi_head_shapes,
+)
+
+#: Entry bounds of the per-backend memo dicts (weights / edge sorters).
+#: Generous for any realistic artifact (layers × plans) and request mix,
+#: tiny in bytes next to the arrays they index.
+_MEMO_ENTRIES = 64
+
+#: (order, segment starts, segment target ids) of one sorted edge list.
+_Segments = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+#: (order, csr column indices, csr indptr, segment starts, target ids) of
+#: one edge list sorted by target — everything of a CSR operator except
+#: its per-call coefficient data.
+_CsrStructure = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray,
+                      np.ndarray]
+
+
+def _build_segments(dst: np.ndarray) -> _Segments:
+    """Stable sort of the edge targets plus its segment boundaries."""
+    order = np.argsort(dst, kind="stable")
+    if order.shape[0] == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return order, empty, empty
+    sorted_dst = np.asarray(dst)[order]
+    boundaries = np.empty(sorted_dst.shape[0], dtype=bool)
+    boundaries[0] = True
+    np.not_equal(sorted_dst[1:], sorted_dst[:-1], out=boundaries[1:])
+    starts = np.flatnonzero(boundaries)
+    return order, starts, sorted_dst[starts]
+
+
+def _build_csr_structure(src: np.ndarray, dst: np.ndarray,
+                         num_dst: int) -> _CsrStructure:
+    """The reusable half of a ``dst × src`` CSR operator.
+
+    Row pointers come from the target counts, column indices are the
+    sources in target-sorted order; only the coefficient data changes per
+    call.  ``starts``/``targets`` index the non-empty rows for the
+    reduceat coefficient sums.
+    """
+    order = np.argsort(dst, kind="stable")
+    counts = np.bincount(np.asarray(dst, dtype=np.int64), minlength=num_dst)
+    indptr = np.zeros(num_dst + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    indices = np.asarray(src, dtype=np.int64)[order]
+    targets = np.flatnonzero(counts)
+    return order, indices, indptr, indptr[targets], targets
+
+
+class VectorizedBackend(NumpyBackend):
+    """CSR-matmul + batched-head backend (registered as ``"vectorized"``).
+
+    Carries three bounded, identity-keyed memo dicts (dequantized weights,
+    edge-list sorters, CSR operator structures).  Entries store the keyed
+    object(s) themselves, so a recycled ``id()`` can never alias a
+    different array; all dicts are lock-guarded because sessions share one
+    backend instance across the serving engine's worker pool.
+    """
+
+    name = "vectorized"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._weights: Dict[int, Tuple[object, np.ndarray]] = {}  # guarded-by: self._lock
+        self._sorters: Dict[int, Tuple[np.ndarray, _Segments]] = {}  # guarded-by: self._lock
+        self._structures: Dict[
+            Tuple[int, int],
+            Tuple[np.ndarray, np.ndarray, int, _CsrStructure],
+        ] = {}  # guarded-by: self._lock
+
+    # ------------------------------------------------------------------ #
+    # memoised ingredients
+    # ------------------------------------------------------------------ #
+    def weight_matrix(self, weight) -> np.ndarray:
+        with self._lock:
+            entry = self._weights.get(id(weight))
+        if entry is not None and entry[0] is weight:
+            return entry[1]
+        matrix = weight.dequantized()
+        with self._lock:
+            self._weights[id(weight)] = (weight, matrix)
+            while len(self._weights) > _MEMO_ENTRIES:
+                self._weights.pop(next(iter(self._weights)))
+        return matrix
+
+    def _segments(self, dst: np.ndarray) -> _Segments:
+        """Per-``dst``-identity memo of :func:`_build_segments`.
+
+        Full-graph sessions and cache-reused blocks present the same edge
+        arrays run after run, so steady-state serving sorts each edge list
+        once.  A rebuild race is benign (the result is deterministic).
+        """
+        with self._lock:
+            entry = self._sorters.get(id(dst))
+        if entry is not None and entry[0] is dst:
+            return entry[1]
+        segments = _build_segments(dst)
+        with self._lock:
+            self._sorters[id(dst)] = (dst, segments)
+            while len(self._sorters) > _MEMO_ENTRIES:
+                self._sorters.pop(next(iter(self._sorters)))
+        return segments
+
+    def _csr_structure(self, src: np.ndarray, dst: np.ndarray,
+                       num_dst: int) -> _CsrStructure:
+        """Per-edge-list-identity memo of :func:`_build_csr_structure`.
+
+        Keyed by both endpoint arrays (and verified against ``num_dst``):
+        the same pair reappears run after run in full-graph sessions and
+        cache-reused blocks, so steady-state serving builds each operator
+        structure once.  A rebuild race is benign (deterministic result).
+        """
+        key = (id(src), id(dst))
+        with self._lock:
+            entry = self._structures.get(key)
+        if entry is not None and entry[0] is src and entry[1] is dst \
+                and entry[2] == num_dst:
+            return entry[3]
+        structure = _build_csr_structure(src, dst, num_dst)
+        with self._lock:
+            self._structures[key] = (src, dst, num_dst, structure)
+            while len(self._structures) > _MEMO_ENTRIES:
+                self._structures.pop(next(iter(self._structures)))
+        return structure
+
+    # ------------------------------------------------------------------ #
+    # integer aggregation
+    # ------------------------------------------------------------------ #
+    # reprolint: integer-stage
+    def edge_spmm(self, q_edge: np.ndarray, s_edge: float, qx: np.ndarray,
+                  sx: VectorOrScalar, zx: VectorOrScalar, src: np.ndarray,
+                  dst: np.ndarray, num_dst: int) -> np.ndarray:
+        q_edge_arr = np.asarray(q_edge, dtype=np.int64)
+        qx_int = np.asarray(qx, dtype=np.int64)
+        num_src = qx_int.shape[0]
+        order, indices, indptr, starts, targets = \
+            self._csr_structure(src, dst, num_dst)
+        # Only the coefficients change per call; the duplicate column
+        # entries of the non-canonical CSR sum correctly under matmul, and
+        # int64 addition is exact, so the product is bit-identical to the
+        # reference scatter-add.
+        q_sorted = q_edge_arr[order]
+        if q_edge_arr.ndim == 2:
+            check_multi_head_shapes(q_edge_arr, qx_int)
+            num_heads, n_cols = qx_int.shape[1], qx_int.shape[2]
+            sx_axes = as_row(sx, n_cols).reshape(1, 1, n_cols)
+            zx_axes = as_row(zx, n_cols).reshape(1, 1, n_cols)
+            integer_product = np.empty((num_dst, num_heads, n_cols),
+                                       dtype=np.int64)
+            for head in range(num_heads):
+                operator = sp.csr_matrix(
+                    (q_sorted[:, head], indices, indptr),
+                    shape=(num_dst, num_src))
+                integer_product[:, head] = operator @ qx_int[:, head, :]
+            row_sum_qe = np.zeros((num_dst, num_heads), dtype=np.int64)
+            if starts.shape[0]:
+                row_sum_qe[targets] = np.add.reduceat(q_sorted, starts,
+                                                      axis=0)
+            main = float(s_edge) * integer_product.astype(np.float64) * sx_axes
+            correction_x = float(s_edge) \
+                * row_sum_qe.astype(np.float64)[:, :, None] \
+                * (zx_axes * sx_axes)
+            return main - correction_x
+
+        n_cols = qx_int.shape[1]
+        sx_row = as_row(sx, n_cols)
+        zx_row = as_row(zx, n_cols)
+        operator = sp.csr_matrix((q_sorted.reshape(-1), indices, indptr),
+                                 shape=(num_dst, num_src))
+        integer_product = np.asarray(operator @ qx_int, dtype=np.int64)
+        row_sum_qe = np.zeros(num_dst, dtype=np.int64)
+        if starts.shape[0]:
+            row_sum_qe[targets] = np.add.reduceat(q_sorted.reshape(-1),
+                                                  starts)
+        main = float(s_edge) * integer_product.astype(np.float64) * sx_row
+        correction_x = float(s_edge) \
+            * row_sum_qe.astype(np.float64).reshape(-1, 1) \
+            * (zx_row * sx_row)
+        return main - correction_x
+
+    # ------------------------------------------------------------------ #
+    # attention score stages
+    # ------------------------------------------------------------------ #
+    def edge_softmax(self, scores: np.ndarray, dst: np.ndarray,
+                     num_dst: int) -> np.ndarray:
+        order, starts, targets = self._segments(dst)
+        per_target_max = np.full((num_dst,) + scores.shape[1:], -np.inf)
+        if order.shape[0]:
+            per_target_max[targets] = np.maximum.reduceat(
+                scores[order], starts, axis=0)
+        exponent = np.exp(scores - per_target_max[dst])
+        # The denominator stays an ordered scatter-add: float accumulation
+        # order is part of the contract (see the reference module).
+        denominator = np.zeros((num_dst,) + scores.shape[1:])
+        np.add.at(denominator, dst, exponent)
+        return exponent / denominator[dst]
+
+    def gat_scores(self, transformed: np.ndarray, attention_src: np.ndarray,
+                   attention_dst: np.ndarray, src: np.ndarray,
+                   dst: np.ndarray, heads: int, head_dim: int) -> np.ndarray:
+        per_head = transformed.reshape(-1, heads, head_dim)
+        projected_src = (per_head * attention_src.T[None, :, :]).sum(axis=-1)
+        projected_dst = (per_head * attention_dst.T[None, :, :]).sum(axis=-1)
+        # np.take is markedly faster than fancy indexing for the edge
+        # gather and reads the same rows; the in-place add pairs the same
+        # operands as ``a[src] + b[dst]``, so the bits cannot differ.
+        scores = np.take(projected_src, src, axis=0)
+        scores += np.take(projected_dst, dst, axis=0)
+        return scores

@@ -26,6 +26,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.kernels import BackendLike, resolve_backend
 from repro.quant.quantizer import AffineQuantizer
 from repro.tensor.sparse import SparseTensor
 
@@ -94,38 +95,27 @@ def quantized_matmul_dense(qa: np.ndarray, sa: VectorOrScalar, za: VectorOrScala
 
 def quantized_spmm(qa: SparseTensor, sa: VectorOrScalar,
                    qx: np.ndarray, sx: VectorOrScalar, zx: VectorOrScalar,
-                   sy: VectorOrScalar = 1.0, zy: VectorOrScalar = 0.0
-                   ) -> np.ndarray:
+                   sy: VectorOrScalar = 1.0, zy: VectorOrScalar = 0.0,
+                   backend: "BackendLike" = None) -> np.ndarray:
     """Sparse fast path of Theorem 1 (requires a symmetric adjacency, Z_a = 0).
 
     The integer sparse-dense product runs on int64 arrays; only the rank-one
     corrections touch floating point, exactly as the theorem prescribes.
+
+    Dispatches to a kernel backend (:mod:`repro.kernels`): ``backend`` may
+    be a registry name or instance; ``None`` resolves the process default
+    (``REPRO_KERNEL_BACKEND`` env var, else the ``numpy`` reference).  All
+    registered backends are certified bit-identical on this path.
     """
     if not isinstance(qa, SparseTensor):
         raise TypeError("quantized_spmm expects the quantized adjacency as SparseTensor")
-    n_rows = qa.shape[0]
-    n_cols = qx.shape[1]
-    sa_col = _as_column(sa, n_rows)
-    sx_row = _as_row(sx, n_cols)
-    zx_row = _as_row(zx, n_cols)
-    sy_row = _as_row(sy, n_cols)
-    zy_row = _as_row(zy, n_cols)
-
-    integer_adjacency = qa.csr.astype(np.int64)
-    integer_features = np.asarray(qx, dtype=np.int64)
-    integer_product = np.asarray(integer_adjacency @ integer_features, dtype=np.float64)
-    row_sum_qa = np.asarray(integer_adjacency.sum(axis=1), dtype=np.float64).reshape(-1, 1)
-
-    main = sa_col * integer_product * sx_row
-    correction_x = sa_col * row_sum_qa * (zx_row * sx_row)
-    output = (main - correction_x) / sy_row + zy_row
-    return output
+    return resolve_backend(backend).spmm(qa, sa, qx, sx, zx, sy=sy, zy=zy)
 
 
 def quantized_edge_spmm(q_edge: np.ndarray, s_edge: float,
                         qx: np.ndarray, sx: VectorOrScalar, zx: VectorOrScalar,
-                        src: np.ndarray, dst: np.ndarray, num_dst: int
-                        ) -> np.ndarray:
+                        src: np.ndarray, dst: np.ndarray, num_dst: int,
+                        backend: "BackendLike" = None) -> np.ndarray:
     """Theorem 1 over an explicit edge list — the per-edge *score plan* path.
 
     The attention executor cannot pre-materialise its operator (coefficients
@@ -144,39 +134,11 @@ def quantized_edge_spmm(q_edge: np.ndarray, s_edge: float,
     — the single-head ``(E,)`` / ``(N, D)`` form is the ``H = 1`` special
     case with the head axis squeezed.  Integer accumulation is exact, so
     the head axis changes shapes only, never values.
+
+    Dispatches to a kernel backend exactly like :func:`quantized_spmm`.
     """
-    q_edge_arr = np.asarray(q_edge, dtype=np.int64)
-    qx_int = np.asarray(qx, dtype=np.int64)
-    if q_edge_arr.ndim == 2:
-        if qx_int.ndim != 3 or qx_int.shape[1] != q_edge_arr.shape[1]:
-            raise ValueError(f"multi-head edge coefficients {q_edge_arr.shape} "
-                             f"need features shaped (N, H, D), got {qx_int.shape}")
-        n_cols = qx_int.shape[2]
-        sx_axes = _as_row(sx, n_cols).reshape(1, 1, n_cols)
-        zx_axes = _as_row(zx, n_cols).reshape(1, 1, n_cols)
-        integer_product = np.zeros((num_dst,) + qx_int.shape[1:], dtype=np.int64)
-        np.add.at(integer_product, dst, q_edge_arr[:, :, None] * qx_int[src])
-        row_sum_qe = np.zeros((num_dst, q_edge_arr.shape[1]), dtype=np.int64)
-        np.add.at(row_sum_qe, dst, q_edge_arr)
-        main = float(s_edge) * integer_product.astype(np.float64) * sx_axes
-        correction_x = float(s_edge) * row_sum_qe.astype(np.float64)[:, :, None] \
-            * (zx_axes * sx_axes)
-        return main - correction_x
-
-    q_edge_int = q_edge_arr.reshape(-1)
-    n_cols = qx_int.shape[1]
-    sx_row = _as_row(sx, n_cols)
-    zx_row = _as_row(zx, n_cols)
-
-    integer_product = np.zeros((num_dst, n_cols), dtype=np.int64)
-    np.add.at(integer_product, dst, q_edge_int[:, None] * qx_int[src])
-    row_sum_qe = np.zeros(num_dst, dtype=np.int64)
-    np.add.at(row_sum_qe, dst, q_edge_int)
-
-    main = float(s_edge) * integer_product.astype(np.float64) * sx_row
-    correction_x = float(s_edge) * row_sum_qe.astype(np.float64).reshape(-1, 1) \
-        * (zx_row * sx_row)
-    return main - correction_x
+    return resolve_backend(backend).edge_spmm(q_edge, s_edge, qx, sx, zx,
+                                              src, dst, num_dst)
 
 
 def integer_message_passing(adjacency: SparseTensor, features: np.ndarray,

@@ -177,12 +177,17 @@ class AsyncServingEngine:
             return
         try:
             results = self.engine.flush()
-        except Exception as error:  # pragma: no cover - backend failure path
+        except Exception as error:  # pragma: no cover - engine-level failure
             for future, _ in admitted:
                 future.set_exception(error)
             return
         now = time.perf_counter()
         for (future, enqueued), result in zip(admitted, results):
+            if result.error is not None:
+                # Micro-batch failures are isolated per request by the
+                # engine — only the affected futures see the exception.
+                future.set_exception(result.error)
+                continue
             # Latency as the caller saw it: queueing wait + serving time.
             result.latency_seconds = now - enqueued
             future.set_result(result)

@@ -19,6 +19,13 @@ BitOPs are attributed to requests proportionally to their seed share of
 each micro-batch; latency is the time from ``flush()`` start until the last
 micro-batch containing one of the request's seeds completed.
 
+Failures are isolated per micro-batch: when ``session.run`` raises, only
+the requests with a seed in that micro-batch carry the error (as
+:attr:`RequestResult.error`) — sibling requests in the same flush still
+complete, and :class:`EngineStats` counts the whole flush consistently
+(every request and micro-batch counted, ``failures`` incremented, BitOPs
+attributed for the work that actually ran).
+
 For an *online* front — callers submitting from many threads, flushes
 triggered by a latency deadline instead of an explicit call — wrap the
 session in :class:`~repro.serving.async_engine.AsyncServingEngine`.
@@ -38,31 +45,54 @@ from repro.serving.session import InferenceSession
 
 @dataclass
 class RequestResult:
-    """Outcome of one serving request."""
+    """Outcome of one serving request.
+
+    A failed request (a micro-batch holding one of its seeds raised)
+    carries the exception in :attr:`error` and empty ``logits``; check
+    :attr:`ok` before consuming outputs.  ``giga_bit_operations`` still
+    reports the work its *successful* micro-batches spent.
+    """
 
     request_id: int
     nodes: np.ndarray
     logits: np.ndarray
     latency_seconds: float
     giga_bit_operations: float
+    #: The exception that failed one of this request's micro-batches
+    #: (None = served completely).
+    error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
     @property
     def classes(self) -> np.ndarray:
         return self.logits.argmax(axis=1)
 
     def __repr__(self) -> str:
+        status = "" if self.error is None \
+            else f", error={type(self.error).__name__}"
         return (f"RequestResult(id={self.request_id}, nodes={self.nodes.shape[0]}, "
                 f"latency={self.latency_seconds * 1e3:.2f}ms, "
-                f"GBitOPs={self.giga_bit_operations:.4f})")
+                f"GBitOPs={self.giga_bit_operations:.4f}{status})")
 
 
 @dataclass
 class EngineStats:
-    """Cumulative counters over an engine's lifetime."""
+    """Cumulative counters over an engine's lifetime.
+
+    ``requests`` / ``nodes`` / ``micro_batches`` count everything the
+    engine *attempted* (failed micro-batches included — they consumed
+    queue and wall-clock); ``failures`` counts the requests that carried
+    an error out of a flush, so ``requests - failures`` is the number
+    served completely.
+    """
 
     requests: int = 0
     nodes: int = 0
     micro_batches: int = 0
+    failures: int = 0
     seconds: float = 0.0
     giga_bit_operations: float = 0.0
 
@@ -75,6 +105,7 @@ class EngineStats:
         self.requests = 0
         self.nodes = 0
         self.micro_batches = 0
+        self.failures = 0
         self.seconds = 0.0
         self.giga_bit_operations = 0.0
 
@@ -196,6 +227,8 @@ class ServingEngine:
         chunks = [slice(begin, begin + batch_size)
                   for begin in range(0, seeds.shape[0], batch_size)]
 
+        errors: List[Optional[BaseException]] = [None] * len(requests)
+
         def account(chunk: slice, run) -> None:
             # Single-threaded by construction (sequential loop or the
             # as_completed consumer below), so no locking is needed here.
@@ -210,30 +243,62 @@ class ServingEngine:
                 * counts / chunk_owners.shape[0]
             done_at[np.unique(chunk_owners)] = time.perf_counter() - start
 
+        def fail(chunk: slice, error: BaseException) -> None:
+            # Only the requests with a seed in the failed micro-batch carry
+            # the error; their logits are incomplete either way, so the
+            # whole request is marked failed even if its other chunks ran.
+            affected = np.unique(owners[chunk])
+            for position in affected:
+                if errors[position] is None:
+                    errors[position] = error
+            done_at[affected] = time.perf_counter() - start
+
         micro_batches = len(chunks)
         if self.workers > 1 and len(chunks) > 1:
             pool = self._worker_pool()
             futures = {pool.submit(self.session.run, seeds[chunk]): chunk
                        for chunk in chunks}
             for future in as_completed(futures):
-                account(futures[future], future.result())
+                chunk = futures[future]
+                try:
+                    run = future.result()
+                except Exception as error:
+                    fail(chunk, error)
+                else:
+                    account(chunk, run)
         else:
             for chunk in chunks:
-                account(chunk, self.session.run(seeds[chunk]))
+                try:
+                    run = self.session.run(seeds[chunk])
+                except Exception as error:
+                    fail(chunk, error)
+                else:
+                    account(chunk, run)
         elapsed = time.perf_counter() - start
 
+        width = 0 if logits_buffer is None else logits_buffer.shape[1]
         results = []
+        failures = 0
         for position, request in enumerate(requests):
-            mask = owners == position
+            error = errors[position]
+            if error is None:
+                # Every chunk holding this request's seeds succeeded, so
+                # the buffer exists and its rows are fully written.
+                logits = logits_buffer[owners == position]
+            else:
+                failures += 1
+                logits = np.empty((0, width))
             results.append(RequestResult(
                 request_id=request.request_id, nodes=request.nodes,
-                logits=logits_buffer[mask],
+                logits=logits,
                 latency_seconds=float(done_at[position]),
-                giga_bit_operations=float(attributed_ops[position])))
+                giga_bit_operations=float(attributed_ops[position]),
+                error=error))
 
         self.stats.requests += len(requests)
         self.stats.nodes += int(seeds.shape[0])
         self.stats.micro_batches += micro_batches
+        self.stats.failures += failures
         self.stats.seconds += elapsed
         self.stats.giga_bit_operations += float(attributed_ops.sum())
         return results
@@ -248,6 +313,9 @@ class ServingEngine:
         backlog, self._queue = self._queue, []
         try:
             self.submit(nodes)
-            return self.flush()[0].logits
+            result = self.flush()[0]
+            if result.error is not None:
+                raise result.error
+            return result.logits
         finally:
             self._queue = backlog + self._queue

@@ -28,6 +28,14 @@ aggregation runs as an integer edge-list accumulation
 (:func:`~repro.quant.integer_mp.quantized_edge_spmm`).  TAG layers consume
 ``plan.hops`` graph views each (one per adjacency power), so samplers size
 their block stacks by ``artifact.total_hops``.
+
+The hot-path kernels — Theorem-1 aggregation, the attention score stages
+and the dense layer transforms — are not executed inline but dispatched
+through the session's kernel backend (:mod:`repro.kernels`), chosen at
+session build time via ``backend=`` (default: the ``REPRO_KERNEL_BACKEND``
+environment variable, else the bit-defining ``numpy`` reference).  Every
+registered backend is certified bit-identical on the integer path, so the
+knob trades latency, never numerics.
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ import numpy as np
 
 from repro.cache import BlockCache, CacheStats
 from repro.gnn.attention import AttentionEdges, attention_edges
+from repro.kernels import BackendLike, resolve_backend
 from repro.gnn.sage import mean_adjacency
 from repro.graphs.graph import Graph
 from repro.graphs.sampling import Fanout, NeighborSampler, SubgraphBlock
@@ -50,7 +59,6 @@ from repro.quant.bitops import (
     gat_score_operations,
     transformer_score_operations,
 )
-from repro.quant.integer_mp import quantized_edge_spmm, quantized_spmm
 from repro.quant.quantizer import QuantizationParameters
 from repro.serving.artifact import LayerPlan, QuantizedArtifact
 from repro.tensor.sparse import SparseTensor
@@ -80,20 +88,6 @@ def _target_rows(x: np.ndarray, graph_like: GraphLike) -> np.ndarray:
     if isinstance(graph_like, SubgraphBlock):
         return x[:graph_like.num_dst]
     return x
-
-
-def _edge_softmax(scores: np.ndarray, dst: np.ndarray, num_dst: int) -> np.ndarray:
-    """Numerically-shifted softmax of per-edge scores within each target.
-
-    ``scores`` may carry trailing axes — the multi-head form ``(E, H)``
-    normalises every head independently in one pass.
-    """
-    per_target_max = np.full((num_dst,) + scores.shape[1:], -np.inf)
-    np.maximum.at(per_target_max, dst, scores)
-    exponent = np.exp(scores - per_target_max[dst])
-    denominator = np.zeros((num_dst,) + scores.shape[1:])
-    np.add.at(denominator, dst, exponent)
-    return exponent / denominator[dst]
 
 
 def _merge_heads(aggregated: np.ndarray, heads: int, head_dim: int,
@@ -138,11 +132,18 @@ class InferenceSession:
     #: flush with a single run instead of splitting it into micro-batches.
     request_invariant_cost = False
 
-    def __init__(self, artifact: QuantizedArtifact, graph: Graph):
+    def __init__(self, artifact: QuantizedArtifact, graph: Graph,
+                 backend: BackendLike = None):
         if not artifact.layers:
             raise ValueError("the inference session needs at least one layer")
         self.artifact = artifact
         self.graph = graph
+        # The kernel backend every hot-path stage dispatches through.  All
+        # registered backends are bit-identical on the integer path, so
+        # this choice affects latency only; instances are process-shared
+        # and thread-safe (see repro.kernels).
+        self.kernels = resolve_backend(backend)
+        self.backend_name = self.kernels.name
         # Request-invariant operators of the bound graph, built once per
         # session: the layer's aggregation operator and its (fake-)quantized
         # variants.  Block operators are per-request and bypass these.  The
@@ -230,7 +231,7 @@ class InferenceSession:
         if adjacency_params is not None and x_params is not None and x_int is not None:
             scale_a, _ = adjacency_params.as_scalars()
             scale_x, zero_x = x_params.as_scalars()
-            return quantized_spmm(
+            return self.kernels.spmm(
                 self._quantized_operator(adjacency, adjacency_params, fake=False),
                 scale_a, x_int, scale_x, zero_x)
         if adjacency_params is not None:
@@ -262,10 +263,10 @@ class InferenceSession:
             attention_int = _quantize_with(attention_params, attention)
             scale_e, _ = attention_params.as_scalars()
             scale_x, zero_x = x_params.as_scalars()
-            return quantized_edge_spmm(attention_int, scale_e,
-                                       x_int.reshape(-1, heads, head_dim),
-                                       scale_x, zero_x, edges.src, edges.dst,
-                                       edges.num_dst)
+            return self.kernels.edge_spmm(attention_int, scale_e,
+                                          x_int.reshape(-1, heads, head_dim),
+                                          scale_x, zero_x, edges.src,
+                                          edges.dst, edges.num_dst)
         attention = _fake_quantize(attention_params, attention)
         per_head = x.reshape(-1, heads, head_dim)
         aggregated = np.zeros((edges.num_dst, heads, head_dim))
@@ -445,16 +446,9 @@ class InferenceSession:
                  incoming: Optional[QuantizationParameters],
                  counter: BitOpsCounter, index: int):
         x = _fake_quantize(plan.params("input"), x)
-        weight = plan.weights["weight"]
-        transformed = x @ weight.dequantized()
-        if weight.bias is not None:
-            transformed = transformed + weight.bias
-
         linear_out = plan.params("linear_out")
-        transformed_int = None
-        if linear_out is not None:
-            transformed_int = _quantize_with(linear_out, transformed)
-            transformed = _dequantize_with(linear_out, transformed_int)
+        transformed, transformed_int = self.kernels.linear_requant(
+            x, plan.weights["weight"], linear_out)
 
         adjacency = self._layer_operator("gcn", graph_like)
         aggregated = self._aggregate(adjacency, plan.params("adjacency"),
@@ -481,11 +475,10 @@ class InferenceSession:
                                      x, x_int, params_x)
         aggregated = _fake_quantize(plan.params("aggregate_out"), aggregated)
 
-        root = plan.weights["root"]
-        out = _target_rows(x, graph_like) @ root.dequantized()
-        if root.bias is not None:
-            out = out + root.bias
-        out = out + aggregated @ plan.weights["neighbour"].dequantized()
+        out, _ = self.kernels.linear_requant(_target_rows(x, graph_like),
+                                             plan.weights["root"], None)
+        out = out + aggregated @ self.kernels.weight_matrix(
+            plan.weights["neighbour"])
         output = plan.params("output")
         out = _fake_quantize(output, out)
 
@@ -509,19 +502,13 @@ class InferenceSession:
         combined = _target_rows(x, graph_like) * (1.0 + plan.eps) + aggregated
         combined = _fake_quantize(plan.params("aggregate_out"), combined)
 
-        mlp0 = plan.weights["mlp0"]
-        hidden = combined @ mlp0.dequantized()
-        if mlp0.bias is not None:
-            hidden = hidden + mlp0.bias
-        hidden = _fake_quantize(plan.params("mlp0_out"), hidden)
+        hidden, _ = self.kernels.linear_requant(combined, plan.weights["mlp0"],
+                                                plan.params("mlp0_out"))
         hidden = np.maximum(hidden, 0.0)  # the MLP's internal ReLU
 
-        mlp1 = plan.weights["mlp1"]
-        out = hidden @ mlp1.dequantized()
-        if mlp1.bias is not None:
-            out = out + mlp1.bias
         mlp1_out = plan.params("mlp1_out")
-        out = _fake_quantize(mlp1_out, out)
+        out, _ = self.kernels.linear_requant(hidden, plan.weights["mlp1"],
+                                             mlp1_out)
 
         self._count_layer(plan, index, x.shape[0], combined.shape[0],
                           adjacency.nnz, counter, incoming)
@@ -535,13 +522,10 @@ class InferenceSession:
                  counter: BitOpsCounter, index: int):
         x = _fake_quantize(plan.params("input"), x)
         weight = plan.weights["weight"]
-        transformed = x @ weight.dequantized()
-
         linear_out = plan.params("linear_out")
-        transformed_int = None
-        if linear_out is not None:
-            transformed_int = _quantize_with(linear_out, transformed)
-            transformed = _dequantize_with(linear_out, transformed_int)
+        # The GAT bias applies post-merge, so the transform runs bias-free.
+        transformed, transformed_int = self.kernels.linear_requant(
+            x, weight, linear_out, add_bias=False)
 
         heads, head_dim = plan.heads, plan.head_dim
         edges = attention_edges(graph_like)
@@ -549,14 +533,11 @@ class InferenceSession:
             .reshape(head_dim, heads)
         attention_dst = plan.weights["attention_dst"].dequantized() \
             .reshape(head_dim, heads)
-        scores = np.empty((edges.num_edges, heads))
-        for head in range(heads):
-            block = transformed[:, head * head_dim:(head + 1) * head_dim]
-            score_src = block @ attention_src[:, head]
-            score_dst = block @ attention_dst[:, head]
-            scores[:, head] = score_src[edges.src] + score_dst[edges.dst]
+        scores = self.kernels.gat_scores(transformed, attention_src,
+                                         attention_dst, edges.src, edges.dst,
+                                         heads, head_dim)
         scores = np.where(scores > 0, scores, plan.negative_slope * scores)
-        attention = _edge_softmax(scores, edges.dst, edges.num_dst)
+        attention = self.kernels.edge_softmax(scores, edges.dst, edges.num_dst)
 
         aggregated = self._aggregate_edges(attention, plan.params("attention"),
                                            transformed, transformed_int,
@@ -578,25 +559,18 @@ class InferenceSession:
                          counter: BitOpsCounter, index: int):
         x = _fake_quantize(plan.params("input"), x)
         heads, head_dim = plan.heads, plan.head_dim
-        queries = (x @ plan.weights["query"].dequantized()) \
+        queries = (x @ self.kernels.weight_matrix(plan.weights["query"])) \
             .reshape(-1, heads, head_dim)
-        keys = (x @ plan.weights["key"].dequantized()) \
+        keys = (x @ self.kernels.weight_matrix(plan.weights["key"])) \
             .reshape(-1, heads, head_dim)
-        value = plan.weights["value"]
-        values = x @ value.dequantized()
-        if value.bias is not None:
-            values = values + value.bias
-
         value_out = plan.params("value_out")
-        values_int = None
-        if value_out is not None:
-            values_int = _quantize_with(value_out, values)
-            values = _dequantize_with(value_out, values_int)
+        values, values_int = self.kernels.linear_requant(
+            x, plan.weights["value"], value_out)
 
         edges = attention_edges(graph_like)
         scale = 1.0 / np.sqrt(head_dim)
         scores = (queries[edges.dst] * keys[edges.src]).sum(axis=-1) * scale
-        attention = _edge_softmax(scores, edges.dst, edges.num_dst)
+        attention = self.kernels.edge_softmax(scores, edges.dst, edges.num_dst)
 
         aggregated = self._aggregate_edges(attention, plan.params("attention"),
                                            values, values_int, value_out,
@@ -622,10 +596,8 @@ class InferenceSession:
         last = views[-1]
         num_final = last.num_dst if isinstance(last, SubgraphBlock) else x.shape[0]
 
-        hop0 = plan.weights["hop0"]
-        out = x[:num_final] @ hop0.dequantized()
-        if hop0.bias is not None:
-            out = out + hop0.bias
+        out, _ = self.kernels.linear_requant(x[:num_final],
+                                             plan.weights["hop0"], None)
 
         hop_out = plan.params("hop_out")
         propagated, propagated_int, params_p = x, x_int, params_x
@@ -640,7 +612,8 @@ class InferenceSession:
                 propagated_int = _quantize_with(hop_out, propagated)
                 propagated = _dequantize_with(hop_out, propagated_int)
             params_p = hop_out
-            out = out + propagated[:num_final] @ plan.weights[f"hop{hop}"].dequantized()
+            out = out + propagated[:num_final] @ self.kernels.weight_matrix(
+                plan.weights[f"hop{hop}"])
 
         output = plan.params("output")
         out = _fake_quantize(output, out)
@@ -724,13 +697,19 @@ class BlockSession(InferenceSession):
         their already-quantized block operators — while overlapping
         requests reuse per-seed rows.  Cached serving is bit-identical to
         uncached serving.
+    backend:
+        Kernel backend name or instance (see :mod:`repro.kernels`); all
+        registered backends serve bit-identical logits, so this selects
+        latency only.  ``None`` resolves ``REPRO_KERNEL_BACKEND``, then
+        the ``numpy`` reference.
     """
 
     def __init__(self, artifact: QuantizedArtifact, graph: Graph,
                  fanouts: Union[Fanout, Sequence[Fanout]] = None,
                  batch_size: int = 1024, seed: int = 0, cache_size: int = 0,
-                 cache_bytes: Optional[int] = None):
-        super().__init__(artifact, graph)
+                 cache_bytes: Optional[int] = None,
+                 backend: BackendLike = None):
+        super().__init__(artifact, graph, backend=backend)
         self.batch_size = int(batch_size)
         self.cache = BlockCache(max_entries=cache_size, max_bytes=cache_bytes) \
             if cache_size > 0 else None

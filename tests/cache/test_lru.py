@@ -115,10 +115,13 @@ class TestLRUCache:
         cache.put("a", 1, nbytes=10)
         cache.put("b", 2, nbytes=10)
         assert cache.pop("a") == 1
+        assert cache.stats().evictions == 1   # pop removed a stored entry
         assert cache.pop("a", "gone") == "gone"
+        assert cache.stats().evictions == 1   # absent key: nothing removed
         cache.clear()
         assert len(cache) == 0 and cache.nbytes == 0
-        assert cache.stats().evictions == 1  # clear counts remaining entries
+        # Every removal counts: one pop + one entry dropped by clear.
+        assert cache.stats().evictions == 2
 
     def test_stats_snapshot_and_repr(self):
         cache = LRUCache(4)
@@ -205,3 +208,44 @@ class TestBlockCacheStore:
         assert "BlockCache" in repr(cache)
         cache.clear()
         assert len(cache) == 0
+
+    def test_batch_probe_and_count_atomic(self):
+        """get_batch counts its probe under the same locks as get_rows, so
+        counters are exact however the lookups interleave across threads."""
+        import threading
+
+        from types import SimpleNamespace
+
+        cache = BlockCache(max_entries=256)
+        seeds_hit = np.asarray([1, 2], dtype=np.int64)
+        seeds_miss = np.asarray([8, 9], dtype=np.int64)
+        payload = SimpleNamespace(x=np.zeros(4), y=None, blocks=[])
+        cache.put_batch(seeds_hit, (4,), epoch=0, batch=payload)
+        cache.put_raw_rows(np.asarray([1]), self._rows([2]))
+        rounds = 200
+        threads_per_kind = 3
+
+        def batch_worker():
+            for _ in range(rounds):
+                assert cache.get_batch(seeds_hit, (4,), epoch=0) is payload
+                assert cache.get_batch(seeds_miss, (4,), epoch=0) is None
+
+        def rows_worker():
+            for _ in range(rounds):
+                entries = cache.get_rows(np.asarray([1, 99]), None,
+                                         hop=0, epoch=0)
+                assert entries[0] is not None and entries[1] is None
+
+        threads = [threading.Thread(target=target)
+                   for target in (batch_worker, rows_worker)
+                   for _ in range(threads_per_kind)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = cache.stats()
+        # every logical lookup is counted exactly once, no probe lost
+        expected = threads_per_kind * rounds * 2
+        assert stats.hits == expected
+        assert stats.misses == expected
+        assert stats.lookups == 2 * expected

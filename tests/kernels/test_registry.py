@@ -1,0 +1,79 @@
+"""Registry behaviour of the pluggable kernel backends."""
+
+import pytest
+
+import repro.kernels as kernels
+from repro.kernels import (
+    BACKEND_ENV_VAR,
+    NumpyBackend,
+    VectorizedBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+
+
+@pytest.fixture
+def scratch_name():
+    """A registry name that is guaranteed gone again after the test."""
+    name = "test-scratch-backend"
+    yield name
+    with kernels._registry_lock:
+        kernels._factories.pop(name, None)
+        kernels._instances.pop(name, None)
+
+
+class TestRegistry:
+    def test_builtin_backends_present_reference_first(self):
+        names = available_backends()
+        assert names[0] == "numpy"
+        assert "vectorized" in names
+        # the rest of the tuple is sorted, so the listing is deterministic
+        assert list(names[1:]) == sorted(names[1:])
+
+    def test_instances_are_process_wide_singletons(self):
+        assert get_backend("numpy") is get_backend("numpy")
+        assert get_backend("vectorized") is get_backend("vectorized")
+        assert isinstance(get_backend("numpy"), NumpyBackend)
+        assert isinstance(get_backend("vectorized"), VectorizedBackend)
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ValueError, match="numpy"):
+            get_backend("no-such-backend")
+
+    def test_register_rejects_duplicates_unless_replace(self, scratch_name):
+        register_backend(scratch_name, NumpyBackend)
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(scratch_name, NumpyBackend)
+        first = get_backend(scratch_name)
+        # replace=True swaps the factory and drops the old instance
+        register_backend(scratch_name, VectorizedBackend, replace=True)
+        second = get_backend(scratch_name)
+        assert second is not first
+        assert isinstance(second, VectorizedBackend)
+
+    def test_register_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            register_backend("", NumpyBackend)
+
+
+class TestResolveBackend:
+    def test_none_defaults_to_numpy(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend(None) is get_backend("numpy")
+
+    def test_env_var_supplies_the_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "vectorized")
+        assert resolve_backend(None) is get_backend("vectorized")
+        # blank env values fall back to the reference
+        monkeypatch.setenv(BACKEND_ENV_VAR, "   ")
+        assert resolve_backend(None) is get_backend("numpy")
+
+    def test_explicit_name_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "vectorized")
+        assert resolve_backend("numpy") is get_backend("numpy")
+
+    def test_instances_pass_through(self):
+        backend = NumpyBackend()
+        assert resolve_backend(backend) is backend

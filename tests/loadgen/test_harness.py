@@ -13,6 +13,7 @@ from repro.loadgen import (
     metrics_from_run,
     run_load,
 )
+from repro.loadgen.traffic import LoadTrace
 from repro.serving import AsyncServingEngine
 
 NUM_NODES = 64
@@ -95,6 +96,26 @@ class TestReplayModes:
         with _engine(StubSession()) as engine:
             with pytest.raises(ValueError, match="mode"):
                 run_load(engine, trace, mode="sideways")
+
+
+class TestMeasuredWindow:
+    def test_offset_first_arrival_excluded_from_window(self):
+        """The window opens at the first *submit*, not the replay clock's
+        zero — an idle lead-in before the first arrival is not load time."""
+        lead_in = 0.3
+        base = _trace(num_requests=8, qps=400.0)
+        trace = LoadTrace(arrivals=base.arrivals + lead_in,
+                          requests=base.requests, config=base.config)
+        with _engine(StubSession()) as engine:
+            run = run_load(engine, trace, mode="open")
+        # 8 requests at 400 qps span ~17.5 ms after the first submit; a
+        # window anchored at the replay start would measure >= 0.3 s.
+        assert run.measured_seconds < lead_in
+        assert run.measured_seconds > 0
+        assert run.achieved_qps > 8 / lead_in
+        # latencies stay anchored at the scheduled arrivals
+        assert (run.latencies_seconds > 0).all()
+        assert (run.latencies_seconds < lead_in).all()
 
 
 class TestWarmup:

@@ -30,6 +30,7 @@ import pytest
 
 from repro.gnn.models import total_hops
 from repro.graphs.sampling import NeighborSampler
+from repro.kernels import available_backends
 from repro.serving import BlockSession, FullGraphSession
 from repro.tensor.tensor import no_grad
 
@@ -116,3 +117,35 @@ class TestParityMatrix:
                                           plain.predict(seeds))
             warm = cached.cache_stats()
             assert warm.hits > cold.hits and warm.misses == cold.misses
+
+    # ------------------------------------------------------------------ #
+    # integer × kernel backend (every registered backend == reference)
+    # ------------------------------------------------------------------ #
+    def test_integer_backends(self, parity_graph, parity_artifact, family,
+                              heads):
+        """Every registered kernel backend serves bit-identical logits —
+        full graph, unlimited-fanout blocks, and bounded-fanout blocks."""
+        artifact = parity_artifact(family, heads)
+        seeds = np.arange(0, parity_graph.num_nodes, 2, dtype=np.int64)
+        reference_full = FullGraphSession(artifact, parity_graph,
+                                          backend="numpy").run().logits
+        reference_block = BlockSession(artifact, parity_graph, fanouts=3,
+                                       batch_size=32, seed=7,
+                                       backend="numpy").predict(seeds)
+        for name in available_backends():
+            full = FullGraphSession(artifact, parity_graph, backend=name)
+            assert full.backend_name == name
+            np.testing.assert_array_equal(
+                full.run().logits, reference_full,
+                err_msg=f"backend {name}: full-graph logits diverge")
+            unlimited = BlockSession(artifact, parity_graph, fanouts=None,
+                                     batch_size=parity_graph.num_nodes,
+                                     backend=name)
+            np.testing.assert_array_equal(
+                unlimited.run().logits, reference_full,
+                err_msg=f"backend {name}: fanout=∞ block logits diverge")
+            bounded = BlockSession(artifact, parity_graph, fanouts=3,
+                                   batch_size=32, seed=7, backend=name)
+            np.testing.assert_array_equal(
+                bounded.predict(seeds), reference_block,
+                err_msg=f"backend {name}: bounded-fanout logits diverge")

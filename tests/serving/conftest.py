@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from types import SimpleNamespace
+
 import numpy as np
 import pytest
 
@@ -72,3 +74,34 @@ def multi_head_models(small_cora):
     """Trained 4-head GAT / Transformer classifiers (shared, read-only)."""
     return {conv: train_quantized(conv, small_cora, epochs=8, heads=4)
             for conv in ("gat", "transformer")}
+
+
+class PoisonedSession:
+    """Stub session that raises whenever a poisoned node is in the batch.
+
+    Logits are ``node id`` repeated across 3 classes, so tests can check a
+    surviving request's rows without a real model.
+    """
+
+    NUM_CLASSES = 3
+    request_invariant_cost = False
+
+    def __init__(self, poisoned, num_nodes: int = 64):
+        self.graph = SimpleNamespace(num_nodes=num_nodes)
+        self.poisoned = set(poisoned)
+
+    def run(self, nodes):
+        nodes = np.asarray(nodes)
+        bad = self.poisoned.intersection(nodes.tolist())
+        if bad:
+            raise RuntimeError(f"poisoned nodes {sorted(bad)}")
+        return SimpleNamespace(
+            logits=np.tile(nodes[:, None].astype(np.float64),
+                           (1, self.NUM_CLASSES)),
+            giga_bit_operations=lambda: 1e-3 * nodes.size)
+
+
+@pytest.fixture
+def poisoned_session_class():
+    """The failing-stub class (tests choose their own poison set)."""
+    return PoisonedSession

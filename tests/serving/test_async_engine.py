@@ -185,3 +185,23 @@ class TestAsyncServingEngine:
                 engine.submit([])
             with pytest.raises(ValueError):
                 engine.submit([10_000_000])
+
+    def test_micro_batch_failure_only_fails_affected_futures(
+            self, poisoned_session_class):
+        with AsyncServingEngine(poisoned_session_class({13}), max_batch=4,
+                                max_wait_ms=60_000.0) as engine:
+            good = engine.submit(np.arange(0, 4))
+            bad = engine.submit(np.asarray([12, 13, 14, 15]))
+            also_good = engine.submit(np.arange(20, 24))
+            engine.flush_now()
+            # only the future whose micro-batch raised sees the exception
+            with pytest.raises(RuntimeError, match="poisoned"):
+                bad.result(timeout=30)
+            for future in (good, also_good):
+                result = future.result(timeout=30)
+                assert result.ok
+                assert result.logits.shape[0] == 4
+                assert result.latency_seconds > 0.0
+            stats = engine.stats
+        assert stats.requests == 3
+        assert stats.failures == 1

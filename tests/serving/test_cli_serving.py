@@ -117,7 +117,8 @@ class TestParserSnapshot:
         assert set(snapshot) == {
             "--artifact", "--dataset", "--scale", "--seed", "--mode",
             "--fanout", "--batch-size", "--nodes", "--split", "--requests",
-            "--cache-size", "--cache-mb", "--workers", "--repeat", "--out"}
+            "--cache-size", "--cache-mb", "--workers", "--repeat", "--out",
+            "--backend"}
         assert snapshot["--mode"][0] == "block"
         assert snapshot["--fanout"][0] == 10
         assert snapshot["--batch-size"][0] == 256
@@ -137,7 +138,7 @@ class TestParserSnapshot:
             "--requests", "--seeds-per-request", "--mode", "--clients",
             "--warmup", "--deadline-ms", "--traffic-seed", "--fanout",
             "--batch-size", "--cache-size", "--workers", "--max-wait-ms",
-            "--emit", "--name"}
+            "--emit", "--name", "--backend"}
         assert snapshot["--pattern"][0] == "zipfian"
         assert snapshot["--skew"][0] == pytest.approx(1.1)
         assert snapshot["--arrival"][0] == "poisson"

@@ -126,6 +126,91 @@ class TestServingEngine:
         assert len(engine.flush()) == 1
 
 
+NUM_CLASSES = 3
+
+
+class TestFlushFailureIsolation:
+    """A raising micro-batch fails its requests only — the rest complete."""
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_unaffected_requests_complete(self, poisoned_session_class,
+                                          workers):
+        engine = ServingEngine(poisoned_session_class({13}), max_batch_size=4,
+                               workers=workers)
+        requests = [np.arange(0, 4), np.asarray([12, 13, 14, 15]),
+                    np.arange(20, 24)]
+        for nodes in requests:
+            engine.submit(nodes)
+        results = engine.flush()
+        engine.close()
+
+        assert [result.ok for result in results] == [True, False, True]
+        for result, nodes in zip(results, requests):
+            np.testing.assert_array_equal(result.nodes, nodes)
+        # the survivors carry full, correct logits and attributed work
+        for index in (0, 2):
+            np.testing.assert_array_equal(
+                results[index].logits,
+                np.tile(requests[index][:, None].astype(np.float64),
+                        (1, NUM_CLASSES)))
+            assert results[index].giga_bit_operations > 0.0
+            assert results[index].latency_seconds > 0.0
+        # the failed request carries the exception and empty logits
+        failed = results[1]
+        assert isinstance(failed.error, RuntimeError)
+        assert "13" in str(failed.error)
+        assert failed.logits.shape == (0, NUM_CLASSES)
+        assert failed.giga_bit_operations == 0.0
+        assert "error=RuntimeError" in repr(failed)
+        # stats stay consistent: everything attempted is counted once
+        assert engine.stats.requests == 3
+        assert engine.stats.nodes == 12
+        assert engine.stats.micro_batches == 3
+        assert engine.stats.failures == 1
+
+    def test_request_spanning_a_failed_chunk_fails_whole(
+            self, poisoned_session_class):
+        # 8 seeds over two micro-batches; the second micro-batch raises, so
+        # the request fails even though its first chunk ran fine.
+        engine = ServingEngine(poisoned_session_class({7}), max_batch_size=4)
+        engine.submit(np.arange(8))
+        result = engine.flush()[0]
+        assert not result.ok
+        assert result.logits.shape[0] == 0
+        assert engine.stats.failures == 1
+        assert engine.stats.micro_batches == 2
+
+    def test_all_chunks_failing_reports_zero_width_logits(
+            self, poisoned_session_class):
+        engine = ServingEngine(poisoned_session_class({1, 5}),
+                               max_batch_size=4)
+        engine.submit([1, 2])
+        engine.submit([5, 6])
+        results = engine.flush()
+        assert all(not result.ok for result in results)
+        # no chunk succeeded, so the logits width is unknown: (0, 0)
+        assert all(result.logits.shape == (0, 0) for result in results)
+        assert engine.stats.failures == 2
+
+    def test_predict_raises_the_request_error(self, poisoned_session_class):
+        engine = ServingEngine(poisoned_session_class({3}), max_batch_size=8)
+        with pytest.raises(RuntimeError, match="poisoned"):
+            engine.predict([2, 3])
+        # a clean predict still works afterwards
+        logits = engine.predict([2, 4])
+        np.testing.assert_array_equal(
+            logits, np.tile(np.asarray([[2.0], [4.0]]), (1, NUM_CLASSES)))
+
+    def test_failure_only_window_keeps_counters_consistent(
+            self, poisoned_session_class):
+        engine = ServingEngine(poisoned_session_class({0}), max_batch_size=4)
+        engine.submit([0])
+        engine.flush()
+        snapshot = engine.reset_stats()
+        assert snapshot.requests == snapshot.failures == 1
+        assert engine.stats.failures == 0  # reset zeroes the new counter
+
+
 class TestDeprecatedShim:
     def test_alias_still_serves_gcn(self, served_models, small_cora):
         with pytest.warns(DeprecationWarning):
