@@ -223,9 +223,49 @@ def _command_export(args) -> int:
     return 0
 
 
+def _build_block_session(artifact, graph, args, cache_bytes=None):
+    """Block session of ``repro predict`` / ``repro loadtest``: the
+    single-process :class:`BlockSession`, or — with ``--shards N`` —
+    the bit-identical multi-process :class:`ShardedBlockSession`."""
+    from repro.serving import BlockSession
+
+    fanout = None if args.fanout <= 0 else args.fanout
+    shards = getattr(args, "shards", 0)
+    if shards > 1:
+        from repro.sharding import ShardedBlockSession
+
+        deadline = args.shard_deadline if args.shard_deadline > 0 else None
+        return ShardedBlockSession(
+            artifact, graph, shards=shards, partition=args.partition,
+            fanouts=fanout, batch_size=args.batch_size, seed=args.seed,
+            cache_size=args.cache_size, cache_bytes=cache_bytes,
+            backend=args.backend or None, request_deadline_s=deadline)
+    return BlockSession(artifact, graph, fanouts=fanout,
+                        batch_size=args.batch_size, seed=args.seed,
+                        cache_size=args.cache_size, cache_bytes=cache_bytes,
+                        backend=args.backend or None)
+
+
+def _add_sharding_arguments(parser: argparse.ArgumentParser) -> None:
+    from repro.graphs.partition import PARTITION_STRATEGIES
+
+    parser.add_argument("--shards", type=int, default=0,
+                        help="serve block mode from this many worker "
+                             "processes (default: 0 = single process); "
+                             "sharded logits are bit-identical to "
+                             "single-process serving")
+    parser.add_argument("--partition", default="hash",
+                        choices=list(PARTITION_STRATEGIES),
+                        help="graph partition strategy for --shards "
+                             "(default: hash)")
+    parser.add_argument("--shard-deadline", type=float, default=0.0,
+                        help="per-chunk deadline in seconds with --shards; "
+                             "an overrun kills and restarts the worker and "
+                             "fails only that request (default: 0 = none)")
+
+
 def _command_predict(args) -> int:
-    from repro.serving import BlockSession, FullGraphSession, QuantizedArtifact, \
-        ServingEngine
+    from repro.serving import FullGraphSession, QuantizedArtifact, ServingEngine
 
     graph = load_node_dataset(args.dataset, scale=args.scale, seed=args.seed)
     artifact = QuantizedArtifact.load(args.artifact)
@@ -235,19 +275,18 @@ def _command_predict(args) -> int:
               f"pass the export-time --dataset/--scale/--seed", file=sys.stderr)
         return 1
 
-    backend = args.backend or None
     if args.mode == "full":
-        session = FullGraphSession(artifact, graph, backend=backend)
+        session = FullGraphSession(artifact, graph, backend=args.backend or None)
         if args.cache_size:
             print("note: --cache-size only applies to block mode",
                   file=sys.stderr)
+        if args.shards > 1:
+            print("note: --shards only applies to block mode",
+                  file=sys.stderr)
     else:
-        fanout = None if args.fanout <= 0 else args.fanout
         cache_bytes = int(args.cache_mb * 1e6) if args.cache_mb > 0 else None
-        session = BlockSession(artifact, graph, fanouts=fanout,
-                               batch_size=args.batch_size, seed=args.seed,
-                               cache_size=args.cache_size,
-                               cache_bytes=cache_bytes, backend=backend)
+        session = _build_block_session(artifact, graph, args,
+                                       cache_bytes=cache_bytes)
 
     if args.nodes:
         nodes = np.asarray(args.nodes, dtype=np.int64)
@@ -257,18 +296,26 @@ def _command_predict(args) -> int:
         nodes = np.flatnonzero(getattr(graph, f"{args.split}_mask"))
     if nodes.size == 0:
         print("no nodes to predict", file=sys.stderr)
+        getattr(session, "close", lambda: None)()
         return 1
 
     engine = ServingEngine(session, max_batch_size=args.batch_size,
                            workers=args.workers)
-    num_requests = min(max(1, args.requests), nodes.size)
-    results = []
-    for _ in range(max(1, args.repeat)):
-        for chunk in np.array_split(nodes, num_requests):
-            engine.submit(chunk)
-        results = engine.flush()
+    try:
+        num_requests = min(max(1, args.requests), nodes.size)
+        results = []
+        for _ in range(max(1, args.repeat)):
+            for chunk in np.array_split(nodes, num_requests):
+                engine.submit(chunk)
+            results = engine.flush()
+        cache_stats = getattr(session, "cache_stats", lambda: None)()
+    finally:
+        engine.close()
+        getattr(session, "close", lambda: None)()
 
-    print(f"{artifact.summary()}  mode={args.mode}  "
+    mode = args.mode if args.shards <= 1 or args.mode == "full" \
+        else f"{args.mode}[{args.shards}x{args.partition}]"
+    print(f"{artifact.summary()}  mode={mode}  "
           f"backend={session.backend_name}")
     print(f"{'request':>8} {'nodes':>6} {'latency ms':>11} {'GBitOPs':>9}")
     for result in results:
@@ -281,7 +328,6 @@ def _command_predict(args) -> int:
           f"({stats.throughput():.0f} nodes/s, "
           f"{stats.giga_bit_operations:.4f} GBitOPs, "
           f"workers={args.workers})")
-    cache_stats = getattr(session, "cache_stats", lambda: None)()
     if cache_stats is not None:
         print(f"block cache: {cache_stats.hits} hits / "
               f"{cache_stats.misses} misses "
@@ -303,7 +349,7 @@ def _command_predict(args) -> int:
 
 def _loadtest_session(args):
     """(graph, session) for the load test: saved artifact or quick QAT."""
-    from repro.serving import BlockSession, QuantizedArtifact
+    from repro.serving import QuantizedArtifact
 
     if args.artifact:
         graph = load_node_dataset(args.dataset, scale=args.scale, seed=args.seed)
@@ -323,21 +369,17 @@ def _loadtest_session(args):
             args.seed, assignment, args.train_epochs, 0.01, False)
         artifact = QuantizedArtifact.from_model(model)
 
-    fanout = None if args.fanout <= 0 else args.fanout
-    session = BlockSession(artifact, graph, fanouts=fanout,
-                           batch_size=args.batch_size, seed=args.seed,
-                           cache_size=args.cache_size,
-                           backend=args.backend or None)
-    return graph, session
+    return graph, _build_block_session(artifact, graph, args)
 
 
 def _loadtest_result_name(args) -> str:
     """Stable default result name: pattern, arrival process, replay mode."""
     if args.name:
         return args.name
+    suffix = f".shards{args.shards}" if args.shards > 1 else ""
     if args.mode == "closed":
-        return f"loadtest.{args.pattern}.closed"
-    return f"loadtest.{args.pattern}.{args.arrival}.open"
+        return f"loadtest.{args.pattern}.closed{suffix}"
+    return f"loadtest.{args.pattern}.{args.arrival}.open{suffix}"
 
 
 def _command_loadtest(args) -> int:
@@ -356,12 +398,15 @@ def _command_loadtest(args) -> int:
         seed=args.traffic_seed)
     trace = generate_trace(config)
 
-    with AsyncServingEngine(session, max_batch=args.batch_size,
-                            max_wait_ms=args.max_wait_ms,
-                            workers=args.workers) as engine:
-        run = run_load(engine, trace, mode=args.mode, clients=args.clients,
-                       warmup_requests=args.warmup)
-    metrics = metrics_from_run(run, deadline_ms=args.deadline_ms)
+    try:
+        with AsyncServingEngine(session, max_batch=args.batch_size,
+                                max_wait_ms=args.max_wait_ms,
+                                workers=args.workers) as engine:
+            run = run_load(engine, trace, mode=args.mode, clients=args.clients,
+                           warmup_requests=args.warmup)
+        metrics = metrics_from_run(run, deadline_ms=args.deadline_ms)
+    finally:
+        getattr(session, "close", lambda: None)()
 
     print(f"loadtest: {args.pattern} traffic (skew {args.skew}), "
           f"{args.mode} loop, {run.requests} measured requests x "
@@ -389,7 +434,8 @@ def _command_loadtest(args) -> int:
                 "fanout": args.fanout, "batch_size": args.batch_size,
                 "cache_size": args.cache_size, "workers": args.workers,
                 "max_wait_ms": args.max_wait_ms,
-                "backend": session.backend_name}
+                "backend": session.backend_name,
+                "shards": args.shards, "partition": args.partition}
         path = trajectory.emit(args.emit, _loadtest_result_name(args),
                                metrics, meta=meta, kind="loadtest")
         print(f"trajectory written to {path}")
@@ -510,6 +556,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "(see `repro.kernels`; default: the "
                               "REPRO_KERNEL_BACKEND env var, else numpy; "
                               "all backends are bit-identical)")
+    _add_sharding_arguments(predict)
     predict.add_argument("--repeat", type=int, default=1,
                          help="serve the request set this many times (warms the "
                               "block cache; stats accumulate; default: 1)")
@@ -606,6 +653,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "(see `repro.kernels`; default: the "
                                "REPRO_KERNEL_BACKEND env var, else numpy; "
                                "all backends are bit-identical)")
+    _add_sharding_arguments(loadtest)
     loadtest.add_argument("--max-wait-ms", type=float, default=2.0,
                           help="deadline-batching wait of the async engine "
                                "(default: 2.0)")

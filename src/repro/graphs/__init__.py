@@ -5,6 +5,9 @@ from repro.graphs.batch import GraphBatch
 from repro.graphs import transforms
 from repro.graphs import pooling
 from repro.graphs.sampling import BlockBatch, NeighborSampler, SubgraphBlock
+from repro.graphs.partition import (PARTITION_STRATEGIES, halo_seeds,
+                                    partition_graph, shard_edge_loads,
+                                    shard_members)
 from repro.graphs.splits import train_val_test_masks, k_fold_indices
 
 __all__ = [
@@ -13,6 +16,11 @@ __all__ = [
     "BlockBatch",
     "NeighborSampler",
     "SubgraphBlock",
+    "PARTITION_STRATEGIES",
+    "partition_graph",
+    "shard_members",
+    "shard_edge_loads",
+    "halo_seeds",
     "transforms",
     "pooling",
     "train_val_test_masks",

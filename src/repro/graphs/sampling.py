@@ -429,16 +429,29 @@ class NeighborSampler:
         weights = np.concatenate([entry[2] for entry in entries])
         return cols, weights, counts
 
+    def _final_rows(self, targets: np.ndarray, fanout: Fanout, hop: int,
+                    salt: np.uint64
+                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Final (fanout-capped) rows of ``targets``: flat (cols, weights,
+        counts).
+
+        A pure function of ``(graph, sampler seed, rng-epoch, hop, node,
+        fanout)`` per row — independent of how targets are grouped into
+        calls.  This is the seam the sharded serving tier overrides: a
+        shard-local sampler answers its own rows from here and fetches
+        non-owned rows from their owning worker, which computes the byte
+        identical result through this very method.
+        """
+        if self.cache is not None and targets.shape[0] > 0:
+            return self._cached_rows(targets, fanout, hop, salt)
+        cols, weights, counts = self._raw_rows(targets)
+        return self._cap_rows(targets, cols, weights, counts, fanout, salt)
+
     def _sample_hop(self, targets: np.ndarray, fanout: Fanout,
                     hop: int) -> SubgraphBlock:
         """Sample one bipartite block for ``targets`` (vectorized CSR ops)."""
         salt = _salt(self.seed, self.rng_epoch, hop)
-        if self.cache is not None and targets.shape[0] > 0:
-            cols, weights, counts = self._cached_rows(targets, fanout, hop, salt)
-        else:
-            cols, weights, counts = self._raw_rows(targets)
-            cols, weights, counts = self._cap_rows(targets, cols, weights,
-                                                   counts, fanout, salt)
+        cols, weights, counts = self._final_rows(targets, fanout, hop, salt)
         rows_local = np.repeat(np.arange(targets.shape[0], dtype=np.int64),
                                counts)
 

@@ -59,10 +59,14 @@ class AsyncServingEngine:
         before its flush starts.
     workers:
         Thread-pool width for micro-batches inside one flush.
+    dedup_seeds:
+        Forwarded to the wrapped engine: sample each distinct seed once
+        per flush and scatter its logits to every requester.
     """
 
     def __init__(self, session: InferenceSession, max_batch: int = 256,
-                 max_wait_ms: float = 5.0, workers: int = 1):
+                 max_wait_ms: float = 5.0, workers: int = 1,
+                 dedup_seeds: bool = True):
         if max_batch <= 0:
             raise ValueError("max_batch must be positive")
         if max_wait_ms < 0:
@@ -70,7 +74,7 @@ class AsyncServingEngine:
         self.max_batch = int(max_batch)
         self.max_wait_ms = float(max_wait_ms)
         self.engine = ServingEngine(session, max_batch_size=self.max_batch,
-                                    workers=workers)
+                                    workers=workers, dedup_seeds=dedup_seeds)
         self._lock = threading.Lock()
         self._pending: List[Tuple[Future, np.ndarray, float]] = []  # guarded-by: self._lock
         self._pending_seeds = 0  # guarded-by: self._lock

@@ -6,7 +6,9 @@ into micro-batches of at most ``max_batch_size`` seeds, runs them through
 the session, and hands back one :class:`RequestResult` per request with its
 logits, latency and attributed BitOPs.  Coalescing is what makes many small
 requests cheap: two one-node requests share a sampled receptive field and a
-single integer forward instead of paying for two.
+single integer forward instead of paying for two — and with the default
+``dedup_seeds`` a seed requested by several callers in the same flush is
+sampled and executed exactly once, its logits scattered back per request.
 
 With ``workers > 1`` a flush executes its micro-batches on a thread pool:
 sessions are stateless per request (their memoisation is locked, the
@@ -145,6 +147,12 @@ class ServingEngine:
     session: InferenceSession
     max_batch_size: int = 256
     workers: int = 1
+    #: Sample each distinct seed once per flush and scatter its logits back
+    #: to every request that asked for it.  Keeps first-occurrence order, so
+    #: non-overlapping traffic executes exactly as without dedup; sampling
+    #: purity (a row is a function of the seed, never of its neighbours in
+    #: the batch) keeps integer logits bitwise identical either way.
+    dedup_seeds: bool = True
     _queue: List[_PendingRequest] = field(default_factory=list)
     _next_id: int = 0
     stats: EngineStats = field(default_factory=EngineStats)
@@ -215,6 +223,21 @@ class ServingEngine:
         owners = np.concatenate([np.full(request.nodes.shape[0], position,
                                          dtype=np.int64)
                                  for position, request in enumerate(requests)])
+        if self.dedup_seeds:
+            # Execute each distinct seed once, in first-occurrence order
+            # (np.unique sorts, which would reorder micro-batches even for
+            # disjoint traffic); ``inverse`` maps every requested occurrence
+            # to its row in the executed batch.
+            unique_seeds, first_at, inverse = np.unique(
+                seeds, return_index=True, return_inverse=True)
+            order = np.argsort(first_at)
+            rank = np.empty_like(order)
+            rank[order] = np.arange(order.shape[0])
+            work_seeds = unique_seeds[order]
+            inverse = rank[inverse]
+        else:
+            work_seeds = seeds
+            inverse = np.arange(seeds.shape[0])
 
         start = time.perf_counter()
         logits_buffer: Optional[np.ndarray] = None
@@ -222,22 +245,30 @@ class ServingEngine:
         done_at = np.zeros(len(requests))
         # A full-graph session computes every node per run anyway — serve
         # the whole flush with one run instead of re-running per chunk.
-        batch_size = seeds.shape[0] if self.session.request_invariant_cost \
+        batch_size = work_seeds.shape[0] if self.session.request_invariant_cost \
             else self.max_batch_size
         chunks = [slice(begin, begin + batch_size)
-                  for begin in range(0, seeds.shape[0], batch_size)]
+                  for begin in range(0, work_seeds.shape[0], batch_size)]
 
         errors: List[Optional[BaseException]] = [None] * len(requests)
+
+        def chunk_occurrences(chunk: slice) -> np.ndarray:
+            """Request-space positions whose seed executed in ``chunk``."""
+            return (inverse >= chunk.start) & (inverse < chunk.stop)
 
         def account(chunk: slice, run) -> None:
             # Single-threaded by construction (sequential loop or the
             # as_completed consumer below), so no locking is needed here.
             nonlocal logits_buffer, attributed_ops
             if logits_buffer is None:
-                logits_buffer = np.empty((seeds.shape[0], run.logits.shape[1]),
-                                         dtype=run.logits.dtype)
+                logits_buffer = np.empty(
+                    (work_seeds.shape[0], run.logits.shape[1]),
+                    dtype=run.logits.dtype)
             logits_buffer[chunk] = run.logits
-            chunk_owners = owners[chunk]
+            # A deduplicated chunk's work is attributed across every request
+            # that asked for one of its seeds, by occurrence share — the
+            # requests that made the work necessary split its cost.
+            chunk_owners = owners[chunk_occurrences(chunk)]
             counts = np.bincount(chunk_owners, minlength=len(requests))
             attributed_ops += run.giga_bit_operations() \
                 * counts / chunk_owners.shape[0]
@@ -247,7 +278,7 @@ class ServingEngine:
             # Only the requests with a seed in the failed micro-batch carry
             # the error; their logits are incomplete either way, so the
             # whole request is marked failed even if its other chunks ran.
-            affected = np.unique(owners[chunk])
+            affected = np.unique(owners[chunk_occurrences(chunk)])
             for position in affected:
                 if errors[position] is None:
                     errors[position] = error
@@ -256,7 +287,7 @@ class ServingEngine:
         micro_batches = len(chunks)
         if self.workers > 1 and len(chunks) > 1:
             pool = self._worker_pool()
-            futures = {pool.submit(self.session.run, seeds[chunk]): chunk
+            futures = {pool.submit(self.session.run, work_seeds[chunk]): chunk
                        for chunk in chunks}
             for future in as_completed(futures):
                 chunk = futures[future]
@@ -269,7 +300,7 @@ class ServingEngine:
         else:
             for chunk in chunks:
                 try:
-                    run = self.session.run(seeds[chunk])
+                    run = self.session.run(work_seeds[chunk])
                 except Exception as error:
                     fail(chunk, error)
                 else:
@@ -283,8 +314,10 @@ class ServingEngine:
             error = errors[position]
             if error is None:
                 # Every chunk holding this request's seeds succeeded, so
-                # the buffer exists and its rows are fully written.
-                logits = logits_buffer[owners == position]
+                # the buffer exists and its rows are fully written; the
+                # inverse map scatters deduplicated rows back to every
+                # occurrence, duplicates within the request included.
+                logits = logits_buffer[inverse[owners == position]]
             else:
                 failures += 1
                 logits = np.empty((0, width))

@@ -128,6 +128,39 @@ def parity_quant_model(parity_graph):
 
 
 @pytest.fixture(scope="session")
+def parity_float_artifact(parity_graph):
+    """Memoised ``(family, heads) -> float-export QuantizedArtifact``.
+
+    A 32-bit uniform assignment makes every quantizer an identity, so the
+    exported artifact serves the float fallback path — the float-export
+    axis of the shard-parity matrix.
+    """
+    from repro.core.search_space import conv_component_names
+    from repro.quant.qmodules import QuantNodeClassifier, uniform_assignment
+    from repro.serving import QuantizedArtifact
+    from repro.training.trainer import train_node_classifier
+
+    cache = {}
+
+    def build(family: str, heads: int):
+        key = (family, heads)
+        if key not in cache:
+            assignment = uniform_assignment(
+                conv_component_names(family, 2, hops=PARITY_TAG_HOPS), 32)
+            model = QuantNodeClassifier.from_assignment(
+                [(parity_graph.num_features, PARITY_HIDDEN),
+                 (PARITY_HIDDEN, parity_graph.num_classes)], family,
+                assignment, dropout=0.0, hops=PARITY_TAG_HOPS, heads=heads,
+                rng=np.random.default_rng(1))
+            train_node_classifier(model, parity_graph, epochs=2, lr=0.02)
+            model.eval()
+            cache[key] = QuantizedArtifact.from_model(model)
+        return cache[key]
+
+    return build
+
+
+@pytest.fixture(scope="session")
 def parity_artifact(parity_quant_model):
     """Memoised ``(family, heads) -> QuantizedArtifact`` for integer serving."""
     from repro.serving import QuantizedArtifact

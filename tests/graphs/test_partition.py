@@ -1,0 +1,107 @@
+"""Property tests of the deterministic graph partitioner."""
+
+import pickle
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.graphs.partition import (PARTITION_STRATEGIES, halo_seeds,
+                                    partition_graph, shard_edge_loads,
+                                    shard_members)
+
+ALL_CONFIGS = [(n_shards, strategy)
+               for n_shards in (2, 3, 4)
+               for strategy in PARTITION_STRATEGIES]
+CONFIG_IDS = [f"s{n}-{strategy}" for n, strategy in ALL_CONFIGS]
+
+
+@pytest.mark.parametrize("n_shards,strategy", ALL_CONFIGS, ids=CONFIG_IDS)
+class TestPartitionInvariants:
+    def test_disjoint_and_covering(self, sbm_graph, n_shards, strategy):
+        assignment = partition_graph(sbm_graph, n_shards, strategy=strategy)
+        assert assignment.shape == (sbm_graph.num_nodes,)
+        assert assignment.dtype == np.int64
+        assert assignment.min() >= 0 and assignment.max() < n_shards
+        members = shard_members(assignment, n_shards)
+        # disjoint and covering: every node in exactly one shard
+        flat = np.concatenate(members)
+        assert flat.shape == (sbm_graph.num_nodes,)
+        assert np.array_equal(np.sort(flat),
+                              np.arange(sbm_graph.num_nodes))
+        # no shard is empty on a graph much larger than the shard count
+        assert all(shard.size > 0 for shard in members)
+
+    def test_pure_function_of_inputs(self, sbm_graph, n_shards, strategy):
+        first = partition_graph(sbm_graph, n_shards, strategy=strategy, seed=5)
+        again = partition_graph(sbm_graph, n_shards, strategy=strategy, seed=5)
+        np.testing.assert_array_equal(first, again)
+        # a different seed is allowed to (and here does) move something
+        other = partition_graph(sbm_graph, n_shards, strategy=strategy, seed=6)
+        assert not np.array_equal(first, other)
+
+    def test_identical_assignment_across_processes(self, sbm_graph, n_shards,
+                                                   strategy, tmp_path):
+        """Same ``(graph, n_shards, strategy, seed)`` -> the same assignment
+        in a fresh interpreter — nothing leaks in from process state."""
+        graph_path = tmp_path / "graph.pkl"
+        graph_path.write_bytes(pickle.dumps(sbm_graph))
+        script = (
+            "import pickle, sys\n"
+            "import numpy as np\n"
+            "from repro.graphs.partition import partition_graph\n"
+            f"graph = pickle.loads(open({str(graph_path)!r}, 'rb').read())\n"
+            f"assignment = partition_graph(graph, {n_shards}, "
+            f"strategy={strategy!r}, seed=9)\n"
+            "sys.stdout.buffer.write(pickle.dumps(assignment))\n")
+        result = subprocess.run([sys.executable, "-c", script],
+                                capture_output=True, check=True)
+        remote = pickle.loads(result.stdout)
+        local = partition_graph(sbm_graph, n_shards, strategy=strategy, seed=9)
+        np.testing.assert_array_equal(remote, local)
+
+    def test_halo_seeds_cross_boundaries(self, sbm_graph, n_shards, strategy):
+        assignment = partition_graph(sbm_graph, n_shards, strategy=strategy)
+        crossing = halo_seeds(sbm_graph, assignment)
+        assert crossing.size > 0  # a connected-ish graph always has halos
+        adjacency = sbm_graph.adjacency(add_self_loops=False).csr
+        for node in crossing[:10]:
+            row = adjacency.indices[adjacency.indptr[node]:
+                                    adjacency.indptr[node + 1]]
+            assert (assignment[row] != assignment[node]).any()
+
+
+class TestDegreeBalance:
+    def test_edge_loads_balanced(self, sbm_graph):
+        """The degree strategy bounds the max/min shard edge-load ratio —
+        the property that makes it worth its extra pass over the hash."""
+        for n_shards in (2, 4):
+            assignment = partition_graph(sbm_graph, n_shards,
+                                         strategy="degree")
+            loads = shard_edge_loads(sbm_graph, assignment, n_shards)
+            assert loads.min() > 0
+            # LPT scheduling on (row weight + 1) keeps shards tight; 1.5 is
+            # loose for this graph (observed < 1.1) but pins the guarantee.
+            assert loads.max() / loads.min() < 1.5
+
+    def test_degree_beats_hash_on_balance(self, sbm_graph):
+        hash_loads = shard_edge_loads(
+            sbm_graph, partition_graph(sbm_graph, 4, strategy="hash"), 4)
+        degree_loads = shard_edge_loads(
+            sbm_graph, partition_graph(sbm_graph, 4, strategy="degree"), 4)
+        assert degree_loads.max() / degree_loads.min() \
+            <= hash_loads.max() / hash_loads.min()
+
+
+class TestValidation:
+    def test_single_shard_is_trivial(self, sbm_graph):
+        for strategy in PARTITION_STRATEGIES:
+            assignment = partition_graph(sbm_graph, 1, strategy=strategy)
+            assert (assignment == 0).all()
+
+    def test_rejects_bad_inputs(self, sbm_graph):
+        with pytest.raises(ValueError):
+            partition_graph(sbm_graph, 0)
+        with pytest.raises(ValueError):
+            partition_graph(sbm_graph, 2, strategy="roulette")

@@ -11,6 +11,13 @@ execution** — across
   uncached block serving), and
 * head counts 1 / 2 / 4 where the family has a head axis.
 
+``TestShardParityMatrix`` extends the contract to the multi-process tier:
+sharded serving (shards ∈ {2, 4} × both partition strategies) is bitwise
+equal to the single-process block session for every family, on both the
+integer and the float-export execution paths — with requests built to
+contain seeds whose receptive fields provably cross shard boundaries, so
+the halo protocol is exercised in every cell.
+
 Before this matrix existed the same assert was re-implemented ad hoc in
 ``tests/gnn/test_attention_blocks.py``, ``tests/quant/test_attention_
 qmodules.py``, ``tests/serving/test_attention_serving.py`` and
@@ -149,3 +156,75 @@ class TestParityMatrix:
             np.testing.assert_array_equal(
                 bounded.predict(seeds), reference_block,
                 err_msg=f"backend {name}: bounded-fanout logits diverge")
+
+
+# --------------------------------------------------------------------------- #
+# sharded serving == single-process serving, bit for bit
+# --------------------------------------------------------------------------- #
+#: Every shard configuration of the matrix: counts × partition strategies.
+SHARD_CONFIGS = [(2, "hash"), (2, "degree"), (4, "hash"), (4, "degree")]
+SHARD_IDS = [f"s{shards}-{strategy}" for shards, strategy in SHARD_CONFIGS]
+#: Head counts of the shard axis (4-head rows add little once 2 passes).
+SHARD_PARITY_CASES = [(family, heads) for family, heads in PARITY_CASES
+                      if heads <= 2]
+SHARD_CASE_IDS = [f"{family}-h{heads}" for family, heads in SHARD_PARITY_CASES]
+
+
+def _halo_request(graph, assignment) -> np.ndarray:
+    """A request guaranteed to cross shard boundaries: every-third node
+    plus the first few seeds whose receptive field provably spans shards."""
+    from repro.graphs.partition import halo_seeds
+
+    crossing = halo_seeds(graph, assignment)
+    assert crossing.size > 0, "partition produced no halo seeds"
+    return np.concatenate([crossing[:8],
+                           np.arange(0, graph.num_nodes, 3, dtype=np.int64)])
+
+
+@pytest.mark.parametrize("shards,strategy", SHARD_CONFIGS, ids=SHARD_IDS)
+class TestShardParityMatrix:
+    def _assert_sharded_parity(self, graph, artifact, shards, strategy):
+        from repro.graphs.partition import partition_graph
+        from repro.sharding import ShardedBlockSession
+
+        assignment = partition_graph(graph, shards, strategy=strategy)
+        request = _halo_request(graph, assignment)
+        reference = BlockSession(artifact, graph, fanouts=3, batch_size=32,
+                                 seed=7).run(request)
+        with ShardedBlockSession(artifact, graph, shards=shards,
+                                 partition=strategy, fanouts=3,
+                                 batch_size=32, seed=7) as sharded:
+            run = sharded.run(request)
+        np.testing.assert_array_equal(run.logits, reference.logits)
+        assert run.num_edges == reference.num_edges
+
+    @pytest.mark.parametrize("family,heads", SHARD_PARITY_CASES,
+                             ids=SHARD_CASE_IDS)
+    def test_integer_sharded(self, parity_graph, parity_artifact, family,
+                             heads, shards, strategy):
+        self._assert_sharded_parity(parity_graph, parity_artifact(family, heads),
+                                    shards, strategy)
+
+    @pytest.mark.parametrize("family,heads", SHARD_PARITY_CASES,
+                             ids=SHARD_CASE_IDS)
+    def test_float_export_sharded(self, parity_graph, parity_float_artifact,
+                                  family, heads, shards, strategy):
+        self._assert_sharded_parity(parity_graph,
+                                    parity_float_artifact(family, heads),
+                                    shards, strategy)
+
+    def test_unlimited_fanout_sharded(self, parity_graph, parity_artifact,
+                                      shards, strategy):
+        """fanout=∞ spot check: the sharded session also matches the
+        full-receptive-field block session (gcn cell)."""
+        from repro.sharding import ShardedBlockSession
+
+        artifact = parity_artifact("gcn", 1)
+        seeds = np.arange(parity_graph.num_nodes, dtype=np.int64)
+        reference = BlockSession(artifact, parity_graph, fanouts=None,
+                                 batch_size=48).run(seeds)
+        with ShardedBlockSession(artifact, parity_graph, shards=shards,
+                                 partition=strategy, fanouts=None,
+                                 batch_size=48) as sharded:
+            run = sharded.run(seeds)
+        np.testing.assert_array_equal(run.logits, reference.logits)

@@ -118,7 +118,7 @@ class TestParserSnapshot:
             "--artifact", "--dataset", "--scale", "--seed", "--mode",
             "--fanout", "--batch-size", "--nodes", "--split", "--requests",
             "--cache-size", "--cache-mb", "--workers", "--repeat", "--out",
-            "--backend"}
+            "--backend", "--shards", "--partition", "--shard-deadline"}
         assert snapshot["--mode"][0] == "block"
         assert snapshot["--fanout"][0] == 10
         assert snapshot["--batch-size"][0] == 256
@@ -128,6 +128,9 @@ class TestParserSnapshot:
         assert snapshot["--cache-mb"][0] == pytest.approx(256.0)
         assert snapshot["--workers"][0] == 1
         assert snapshot["--repeat"][0] == 1
+        assert snapshot["--shards"][0] == 0
+        assert snapshot["--partition"][0] == "hash"
+        assert snapshot["--shard-deadline"][0] == pytest.approx(0.0)
 
     def test_loadtest_options_snapshot(self):
         snapshot = _option_snapshot(_subcommands(build_parser())["loadtest"])
@@ -138,7 +141,8 @@ class TestParserSnapshot:
             "--requests", "--seeds-per-request", "--mode", "--clients",
             "--warmup", "--deadline-ms", "--traffic-seed", "--fanout",
             "--batch-size", "--cache-size", "--workers", "--max-wait-ms",
-            "--emit", "--name", "--backend"}
+            "--emit", "--name", "--backend", "--shards", "--partition",
+            "--shard-deadline"}
         assert snapshot["--pattern"][0] == "zipfian"
         assert snapshot["--skew"][0] == pytest.approx(1.1)
         assert snapshot["--arrival"][0] == "poisson"

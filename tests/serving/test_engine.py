@@ -211,6 +211,91 @@ class TestFlushFailureIsolation:
         assert engine.stats.failures == 0  # reset zeroes the new counter
 
 
+class CountingSession:
+    """Delegating wrapper that counts what the engine actually executes."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.graph = inner.graph
+        self.request_invariant_cost = inner.request_invariant_cost
+        self.runs = 0
+        self.seeds_executed = 0
+
+    def run(self, nodes):
+        nodes = np.asarray(nodes)
+        self.runs += 1
+        self.seeds_executed += int(nodes.size)
+        return self._inner.run(nodes)
+
+
+class TestSeedDedup:
+    """Cross-request seed dedup: each distinct seed sampled once per flush,
+    logits scattered back per request — bitwise equal to not deduplicating
+    (sampling is a pure function of the seed, and the integer path is
+    batch-composition invariant)."""
+
+    #: Heavily overlapping traffic: 12 requested seeds, 7 distinct.
+    OVERLAPPING = [np.asarray([0, 1, 2, 3]), np.asarray([2, 3, 4, 5]),
+                   np.asarray([5, 1, 9, 0])]
+
+    @pytest.fixture()
+    def block_session(self, served_models, small_cora):
+        from repro.serving import BlockSession
+        return BlockSession(QuantizedArtifact.from_model(served_models["gcn"]),
+                            small_cora, fanouts=3, batch_size=8, seed=7)
+
+    def _flush(self, session, dedup: bool):
+        engine = ServingEngine(session, max_batch_size=8, dedup_seeds=dedup)
+        for nodes in self.OVERLAPPING:
+            engine.submit(nodes)
+        return engine, engine.flush()
+
+    def test_dedup_matches_non_dedup_bitwise(self, block_session):
+        _, plain = self._flush(block_session, dedup=False)
+        _, deduped = self._flush(block_session, dedup=True)
+        for ours, theirs in zip(deduped, plain):
+            assert ours.ok and theirs.ok
+            np.testing.assert_array_equal(ours.nodes, theirs.nodes)
+            np.testing.assert_array_equal(ours.logits, theirs.logits)
+
+    def test_dedup_executes_fewer_seeds(self, block_session):
+        plain_counter = CountingSession(block_session)
+        plain_engine, _ = self._flush(plain_counter, dedup=False)
+        dedup_counter = CountingSession(block_session)
+        dedup_engine, _ = self._flush(dedup_counter, dedup=True)
+
+        requested = sum(nodes.size for nodes in self.OVERLAPPING)
+        distinct = np.unique(np.concatenate(self.OVERLAPPING)).size
+        assert plain_counter.seeds_executed == requested
+        assert dedup_counter.seeds_executed == distinct
+        assert dedup_counter.runs < plain_counter.runs
+        assert dedup_engine.stats.micro_batches < plain_engine.stats.micro_batches
+        # accounting still counts what callers asked for, not what ran
+        assert dedup_engine.stats.nodes == requested
+
+    def test_duplicates_within_a_request_are_preserved(self, block_session):
+        engine = ServingEngine(block_session, max_batch_size=8)
+        engine.submit(np.asarray([4, 4, 7]))
+        result = engine.flush()[0]
+        assert result.logits.shape[0] == 3
+        np.testing.assert_array_equal(result.logits[0], result.logits[1])
+        np.testing.assert_array_equal(
+            result.logits, block_session.predict(np.asarray([4, 4, 7])))
+
+    def test_shared_failed_seed_fails_every_dependent(
+            self, poisoned_session_class):
+        # both requests asked for the poisoned seed 5; its (single, shared)
+        # micro-batch failing must fail them both — the third request's
+        # seeds land in later micro-batches and survive
+        engine = ServingEngine(poisoned_session_class({5}), max_batch_size=2)
+        engine.submit([1, 5])
+        engine.submit([5, 9])
+        engine.submit([2, 3])
+        results = engine.flush()
+        assert [result.ok for result in results] == [False, False, True]
+        assert engine.stats.failures == 2
+
+
 class TestDeprecatedShim:
     def test_alias_still_serves_gcn(self, served_models, small_cora):
         with pytest.warns(DeprecationWarning):

@@ -25,8 +25,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DOCS_DIR = REPO_ROOT / "docs"
 LINTED_FILES = sorted(DOCS_DIR.glob("*.md")) + [REPO_ROOT / "README.md"]
 #: Docs whose ``python`` fences form one runnable, ordered walkthrough.
-EXECUTABLE_DOCS = [DOCS_DIR / "serving.md", DOCS_DIR / "kernels.md",
-                   DOCS_DIR / "benchmarks.md",
+EXECUTABLE_DOCS = [DOCS_DIR / "serving.md", DOCS_DIR / "sharding.md",
+                   DOCS_DIR / "kernels.md", DOCS_DIR / "benchmarks.md",
                    DOCS_DIR / "static-analysis.md"]
 
 _FENCE = re.compile(r"^(```+)\s*(\S*)\s*$")
