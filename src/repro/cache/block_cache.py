@@ -29,6 +29,16 @@ A cache binds to one sampler configuration (one graph, one sampler seed):
 entries are keyed by node ids and sampler-local quantities only.  The
 consumers (:class:`MinibatchTrainer`, :class:`BlockSession`) each build a
 private cache, which keeps that invariant without bookkeeping.
+
+Streaming graphs extend every key with a *graph-version* component (see
+:mod:`repro.streaming.versions`): row-shaped entries carry the node's row
+version, batch entries carry the region-version vector of their seed list.
+An update bumps versions only inside the affected receptive field, so keys
+from before the update become unreachable exactly where the graph changed
+while untouched traffic keeps hitting its warm entries.
+:meth:`BlockCache.invalidate_nodes` additionally evicts the newly
+unreachable entries — a memory optimisation, never a correctness
+requirement.
 """
 
 from __future__ import annotations
@@ -90,31 +100,35 @@ class BlockCache:
     # per-seed rows
     # ------------------------------------------------------------------ #
     def get_rows(self, nodes: np.ndarray, fanout: Optional[int], hop: int,
-                 epoch: int) -> List[Optional[Tuple[str, np.ndarray, np.ndarray]]]:
+                 epoch: int, versions: Optional[np.ndarray] = None,
+                 ) -> List[Optional[Tuple[str, np.ndarray, np.ndarray]]]:
         """Resolve each node's row for ``(fanout, hop, epoch)``.
 
-        Returns one entry per node: ``None`` on a miss,
-        ``(ROW_FINAL, cols, weights)`` when the cached row is directly
-        usable, or ``(ROW_RAW, cols, weights)`` when a raw row was found
-        but still needs the fanout cap applied (its length exceeds
-        ``fanout``).
+        ``versions`` holds each node's row version (aligned with
+        ``nodes``); omitted means version 0 everywhere, which static
+        graphs never advance.  Returns one entry per node: ``None`` on a
+        miss, ``(ROW_FINAL, cols, weights)`` when the cached row is
+        directly usable, or ``(ROW_RAW, cols, weights)`` when a raw row
+        was found but still needs the fanout cap applied (its length
+        exceeds ``fanout``).
         """
         results: List[Optional[Tuple[str, np.ndarray, np.ndarray]]] = []
         hits = misses = 0
         # One hop probes every target: hold both locks across the loop so
         # the per-node get_quiet calls re-enter instead of re-contending.
         with self._lock, self._lru.lock:
-            for node in nodes:
+            for index, node in enumerate(nodes):
                 node = int(node)
+                version = 0 if versions is None else int(versions[index])
                 entry = None
                 if fanout is not None:
                     entry = self._lru.get_quiet(
-                        ("blk", node, fanout, hop, epoch), None)
+                        ("blk", node, fanout, hop, epoch, version), None)
                 if entry is not None:
                     hits += 1
                     results.append((ROW_FINAL, entry[0], entry[1]))
                     continue
-                entry = self._lru.get_quiet(("row", node), None)
+                entry = self._lru.get_quiet(("row", node, version), None)
                 if entry is None:
                     misses += 1
                     results.append(None)
@@ -130,41 +144,51 @@ class BlockCache:
         return results
 
     def put_raw_rows(self, nodes: Sequence[int],
-                     rows: Sequence[Tuple[np.ndarray, np.ndarray]]) -> None:
+                     rows: Sequence[Tuple[np.ndarray, np.ndarray]],
+                     versions: Optional[Sequence[int]] = None) -> None:
         """Store full adjacency rows (epoch/fanout/hop independent)."""
+        if versions is None:
+            versions = [0] * len(nodes)
         self._lru.put_many([
-            (("row", int(node)), (cols, weights), _rows_nbytes(cols, weights))
-            for node, (cols, weights) in zip(nodes, rows)])
+            (("row", int(node), int(version)), (cols, weights),
+             _rows_nbytes(cols, weights))
+            for node, version, (cols, weights) in zip(nodes, versions, rows)])
 
     def put_capped_rows(self, nodes: Sequence[int], fanout: int, hop: int,
                         epoch: int,
-                        rows: Sequence[Tuple[np.ndarray, np.ndarray]]) -> None:
-        """Store fanout-capped rows under their ``(node, fanout, hop, epoch)``
-        key; dropped wholesale when the rng-epoch advances."""
+                        rows: Sequence[Tuple[np.ndarray, np.ndarray]],
+                        versions: Optional[Sequence[int]] = None) -> None:
+        """Store fanout-capped rows under their ``(node, fanout, hop, epoch,
+        version)`` key; dropped wholesale when the rng-epoch advances."""
+        if versions is None:
+            versions = [0] * len(nodes)
         self._lru.put_many([
-            (("blk", int(node), fanout, hop, epoch), (cols, weights),
-             _rows_nbytes(cols, weights))
-            for node, (cols, weights) in zip(nodes, rows)])
+            (("blk", int(node), fanout, hop, epoch, int(version)),
+             (cols, weights), _rows_nbytes(cols, weights))
+            for node, version, (cols, weights) in zip(nodes, versions, rows)])
 
     # ------------------------------------------------------------------ #
     # whole batches
     # ------------------------------------------------------------------ #
     @staticmethod
     def _batch_key(seeds: np.ndarray, fanouts: Sequence[Optional[int]],
-                   epoch: int) -> Tuple:
-        return ("bat", seeds.tobytes(), tuple(fanouts), epoch)
+                   epoch: int, region_tag: bytes = b"") -> Tuple:
+        return ("bat", seeds.tobytes(), tuple(fanouts), epoch, region_tag)
 
     def get_batch(self, seeds: np.ndarray, fanouts: Sequence[Optional[int]],
-                  epoch: int) -> Optional[Any]:
+                  epoch: int, region_tag: bytes = b"") -> Optional[Any]:
         """A previously built batch for the exact same seed list, or None.
 
-        The probe and its counter update happen under both locks (same
-        order as :meth:`get_rows`), so concurrent readers never observe a
-        probe whose hit/miss has not been counted yet.
+        ``region_tag`` is the seeds' region-version vector (see
+        :meth:`~repro.streaming.RegionVersions.region_tag`); the default
+        empty tag is what static graphs use.  The probe and its counter
+        update happen under both locks (same order as :meth:`get_rows`),
+        so concurrent readers never observe a probe whose hit/miss has
+        not been counted yet.
         """
         with self._lock, self._lru.lock:
             batch = self._lru.get_quiet(
-                self._batch_key(seeds, fanouts, epoch), None)
+                self._batch_key(seeds, fanouts, epoch, region_tag), None)
             if batch is None:
                 self._misses += 1
             else:
@@ -172,9 +196,9 @@ class BlockCache:
         return batch
 
     def put_batch(self, seeds: np.ndarray, fanouts: Sequence[Optional[int]],
-                  epoch: int, batch: Any) -> None:
-        self._lru.put(self._batch_key(seeds, fanouts, epoch), batch,
-                      _batch_nbytes(batch))
+                  epoch: int, batch: Any, region_tag: bytes = b"") -> None:
+        self._lru.put(self._batch_key(seeds, fanouts, epoch, region_tag),
+                      batch, _batch_nbytes(batch))
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -186,8 +210,39 @@ class BlockCache:
         entries dropped.  Called by the sampler whenever it advances its
         rng-epoch (one advance per training epoch).
         """
-        return self._lru.evict_where(
-            lambda key: key[0] in ("blk", "bat") and key[-1] != current_epoch)
+        def stale(key: Tuple) -> bool:
+            if key[0] == "blk":
+                return bool(key[4] != current_epoch)
+            if key[0] == "bat":
+                return bool(key[3] != current_epoch)
+            return False
+
+        return self._lru.evict_where(stale)
+
+    def invalidate_nodes(self, nodes: np.ndarray) -> int:
+        """Evict entries made unreachable by a streaming update.
+
+        Drops raw and fanout-capped rows of the given nodes (any version —
+        the current version's entries were stored under the pre-bump
+        version, so they are stale too) and every batch whose seed list
+        intersects the node set.  Purely a memory/accounting measure: the
+        versioned keys already guarantee stale entries are never *served*.
+        Leaves the logical hit/miss counters untouched, so a measured
+        window that contains updates still reports a monotone hit-rate.
+        """
+        node_set = {int(node) for node in np.asarray(nodes).reshape(-1)}
+        if not node_set:
+            return 0
+
+        def stale(key: Tuple) -> bool:
+            if key[0] in ("row", "blk"):
+                return key[1] in node_set
+            if key[0] == "bat":
+                seeds = np.frombuffer(key[1], dtype=np.int64)
+                return any(int(seed) in node_set for seed in seeds)
+            return False
+
+        return self._lru.evict_where(stale)
 
     def clear(self) -> None:
         self._lru.clear()

@@ -1,6 +1,6 @@
 """Command-line interface for the MixQ-GNN reproduction.
 
-Six sub-commands cover the everyday workflows::
+Seven sub-commands cover the everyday workflows::
 
     python -m repro.cli search   --dataset cora --lambda 0.1 --out assignment.json
     python -m repro.cli train    --dataset cora --assignment assignment.json
@@ -8,6 +8,7 @@ Six sub-commands cover the everyday workflows::
     python -m repro.cli export   --dataset cora --uniform-bits 8 --out artifact.npz
     python -m repro.cli predict  --artifact artifact.npz --dataset cora
     python -m repro.cli loadtest --dataset cora --qps 200 --duration 2 --emit BENCH.json
+    python -m repro.cli streamtest --dataset cora --qps 200 --update-every 8
 
 ``search`` runs the differentiable bit-width search and stores the selected
 assignment; ``train`` quantization-aware-trains a model from a stored (or
@@ -21,7 +22,11 @@ neighbor-sampled blocks — and reports per-request latency and BitOPs;
 popularity, open- or closed-loop) against the async serving engine and
 reports p50/p95/p99 latency, achieved vs offered QPS, SLO violations and
 cache hit rate — optionally persisting them into a ``BENCH_*.json``
-trajectory file (see ``docs/benchmarks.md``).
+trajectory file (see ``docs/benchmarks.md``); ``streamtest`` replays a
+temporal trace — the same query stream with edge additions, feature
+overwrites and edge removals interleaved — against a block session with
+streaming updates and scoped cache invalidation enabled (see
+``docs/streaming.md``).
 
 Every sub-command accepts ``--conv`` from the six supported layer families
 (gcn / sage / gin / gat / tag / transformer); the attention families run in
@@ -442,6 +447,79 @@ def _command_loadtest(args) -> int:
     return 0
 
 
+def _command_streamtest(args) -> int:
+    from repro.loadgen import TemporalConfig, TrafficConfig, \
+        generate_temporal_trace, metrics_from_stream, run_stream
+    from repro.loadgen import report as trajectory
+    from repro.serving import AsyncServingEngine
+
+    graph, session = _loadtest_session(args)
+    if not session.supports_updates:
+        raise SystemExit("streamtest needs a session that supports streaming "
+                         "updates; sharded serving (--shards > 1) does not")
+    traffic = TrafficConfig(
+        num_nodes=graph.num_nodes, pattern=args.pattern, skew=args.skew,
+        seeds_per_request=min(args.seeds_per_request, graph.num_nodes),
+        arrival=args.arrival, qps=args.qps,
+        duration_seconds=args.duration,
+        num_requests=args.requests if args.requests > 0 else None,
+        seed=args.traffic_seed)
+    config = TemporalConfig(
+        traffic=traffic, update_every=args.update_every,
+        edges_per_update=args.edges_per_update,
+        feature_nodes_per_update=args.feature_nodes,
+        num_features=graph.num_features, seed=args.update_seed)
+    trace = generate_temporal_trace(config)
+
+    try:
+        with AsyncServingEngine(session, max_batch=args.batch_size,
+                                max_wait_ms=args.max_wait_ms,
+                                workers=args.workers) as engine:
+            result = run_stream(engine, trace, warmup_events=args.warmup)
+        metrics = metrics_from_stream(result, deadline_ms=args.deadline_ms)
+    finally:
+        getattr(session, "close", lambda: None)()
+
+    run = result.load
+    print(f"streamtest: {args.pattern} traffic (skew {args.skew}), "
+          f"{run.requests} measured queries x {traffic.seeds_per_request} "
+          f"seeds, {result.updates} updates "
+          f"(every {args.update_every} queries), "
+          f"final graph version {result.final_version}")
+    print(f"{'offered QPS':>18} {run.offered_qps:>10.1f}")
+    print(f"{'achieved QPS':>18} {run.achieved_qps:>10.1f}")
+    for key in ("p50_ms", "p95_ms", "p99_ms", "max_ms", "mean_ms"):
+        print(f"{key:>18} {metrics[key]:>10.2f}")
+    print(f"{'SLO violations':>18} {metrics['slo_violation_rate']:>10.1%} "
+          f"(deadline {args.deadline_ms:.0f} ms)")
+    print(f"{'failure rate':>18} {metrics['failure_rate']:>10.1%}")
+    print(f"{'cache hit rate':>18} {metrics['cache_hit_rate']:>10.1%}")
+    print(f"{'micro-batches':>18} {run.micro_batches:>10} "
+          f"({run.nodes} seed nodes, {run.giga_bit_operations:.4f} GBitOPs, "
+          f"workers={args.workers})")
+
+    if args.emit:
+        meta = {"dataset": args.dataset, "scale": args.scale,
+                "seed": args.seed, "traffic_seed": args.traffic_seed,
+                "update_seed": args.update_seed, "conv": args.conv,
+                "pattern": args.pattern, "skew": args.skew,
+                "arrival": args.arrival,
+                "seeds_per_request": traffic.seeds_per_request,
+                "update_every": args.update_every,
+                "edges_per_update": args.edges_per_update,
+                "feature_nodes_per_update": args.feature_nodes,
+                "warmup_events": args.warmup, "fanout": args.fanout,
+                "batch_size": args.batch_size,
+                "cache_size": args.cache_size, "workers": args.workers,
+                "max_wait_ms": args.max_wait_ms,
+                "backend": session.backend_name}
+        name = args.name or f"streamtest.{args.pattern}.{args.arrival}"
+        path = trajectory.emit(args.emit, name, metrics, meta=meta,
+                               kind="loadtest")
+        print(f"trajectory written to {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -664,6 +742,113 @@ def build_parser() -> argparse.ArgumentParser:
                           help="result name inside the trajectory file "
                                "(default: loadtest.<pattern>.<arrival>.<mode>)")
     loadtest.set_defaults(handler=_command_loadtest)
+
+    streamtest = subparsers.add_parser(
+        "streamtest", help="replay interleaved graph updates and queries "
+                           "against the async serving engine",
+        description="Generate a deterministic temporal trace — the loadtest "
+                    "query stream with edge additions, feature overwrites "
+                    "and edge removals interleaved every N queries — and "
+                    "replay it open-loop through AsyncServingEngine over a "
+                    "block session with streaming updates enabled.  Reports "
+                    "the loadtest latency/QPS/SLO metrics plus the applied "
+                    "update count and failure rate; --emit appends them to "
+                    "a BENCH_*.json trajectory (see docs/streaming.md).")
+    streamtest.add_argument("--artifact", default="",
+                            help="serve this `repro export` artifact; when "
+                                 "omitted, a small uniform-bits model is "
+                                 "QAT-trained in memory first")
+    streamtest.add_argument("--dataset", default="cora",
+                            choices=sorted(NODE_DATASETS),
+                            help="graph to serve against (default: cora)")
+    streamtest.add_argument("--scale", type=float, default=0.2,
+                            help="dataset down-scaling factor (default: 0.2)")
+    streamtest.add_argument("--seed", type=int, default=0,
+                            help="dataset / sampler / training seed "
+                                 "(default: 0)")
+    streamtest.add_argument("--conv", default="gcn",
+                            choices=list(CONV_CHOICES),
+                            help="layer family of the in-memory model "
+                                 "(default: gcn; ignored with --artifact)")
+    streamtest.add_argument("--hidden", type=int, default=16,
+                            help="hidden width of the in-memory model "
+                                 "(default: 16)")
+    streamtest.add_argument("--layers", type=int, default=2,
+                            help="layers of the in-memory model (default: 2)")
+    streamtest.add_argument("--uniform-bits", type=int, default=8,
+                            help="bit-width of the in-memory model "
+                                 "(default: 8)")
+    streamtest.add_argument("--train-epochs", type=int, default=3,
+                            help="QAT epochs of the in-memory model "
+                                 "(default: 3)")
+    streamtest.add_argument("--pattern", default="zipfian",
+                            choices=["zipfian", "uniform"],
+                            help="seed-popularity law (default: zipfian)")
+    streamtest.add_argument("--skew", type=float, default=1.1,
+                            help="zipfian exponent; 0 degenerates to uniform "
+                                 "(default: 1.1)")
+    streamtest.add_argument("--arrival", default="poisson",
+                            choices=["poisson", "fixed"],
+                            help="open-loop arrival process "
+                                 "(default: poisson)")
+    streamtest.add_argument("--qps", type=float, default=200.0,
+                            help="offered query rate (default: 200)")
+    streamtest.add_argument("--duration", type=float, default=1.0,
+                            help="trace length in seconds; query count is "
+                                 "qps * duration unless --requests pins it "
+                                 "(default: 1.0)")
+    streamtest.add_argument("--requests", type=int, default=0,
+                            help="explicit query count (default: 0 = derive "
+                                 "from --qps and --duration)")
+    streamtest.add_argument("--seeds-per-request", type=int, default=8,
+                            help="distinct seed nodes per query (default: 8)")
+    streamtest.add_argument("--update-every", type=int, default=8,
+                            help="one update event per this many queries; "
+                                 "0 disables updates (default: 8)")
+    streamtest.add_argument("--edges-per-update", type=int, default=4,
+                            help="edges added/removed per edge update "
+                                 "(default: 4)")
+    streamtest.add_argument("--feature-nodes", type=int, default=2,
+                            help="feature rows overwritten per feature "
+                                 "update (default: 2)")
+    streamtest.add_argument("--update-seed", type=int, default=0,
+                            help="update generator seed, independent of "
+                                 "--traffic-seed (default: 0)")
+    streamtest.add_argument("--warmup", type=int, default=16,
+                            help="events served (then discarded, stats "
+                                 "reset) before the measured window "
+                                 "(default: 16)")
+    streamtest.add_argument("--deadline-ms", type=float, default=50.0,
+                            help="per-query latency SLO in milliseconds "
+                                 "(default: 50)")
+    streamtest.add_argument("--traffic-seed", type=int, default=0,
+                            help="trace generator seed — same seed, same "
+                                 "trace, bit for bit (default: 0)")
+    streamtest.add_argument("--fanout", type=int, default=10,
+                            help="block-session fanout (default: 10; <= 0 "
+                                 "keeps every neighbour)")
+    streamtest.add_argument("--batch-size", type=int, default=256,
+                            help="engine max batch / micro-batch size "
+                                 "(default: 256)")
+    streamtest.add_argument("--cache-size", type=int, default=0,
+                            help="block-cache entries (default: 0 = off)")
+    streamtest.add_argument("--workers", type=int, default=1,
+                            help="thread-pool width inside one flush "
+                                 "(default: 1)")
+    streamtest.add_argument("--backend", default="",
+                            help="kernel backend for the integer hot path "
+                                 "(default: REPRO_KERNEL_BACKEND, else "
+                                 "numpy; all backends are bit-identical)")
+    streamtest.add_argument("--max-wait-ms", type=float, default=2.0,
+                            help="deadline-batching wait of the async "
+                                 "engine (default: 2.0)")
+    streamtest.add_argument("--emit", default="",
+                            help="append the result to this BENCH_*.json "
+                                 "trajectory file (default: print only)")
+    streamtest.add_argument("--name", default="",
+                            help="result name inside the trajectory file "
+                                 "(default: streamtest.<pattern>.<arrival>)")
+    streamtest.set_defaults(handler=_command_streamtest)
     return parser
 
 

@@ -4,15 +4,29 @@ A graph carries node features ``x``, an ``edge_index`` of shape
 ``(2, num_edges)`` with optional ``edge_weight``, labels ``y`` (per node or
 per graph), and optional boolean masks for transductive node classification.
 The normalised adjacency used by GCN-style layers is built lazily and cached.
+
+Graphs are mutable through the streaming update API only: ``add_edges`` /
+``remove_edges`` / ``update_features`` wrap their arguments into an atomic
+:class:`~repro.streaming.GraphDelta` and route through :meth:`Graph.
+apply_delta`, which validates everything before touching any array, bumps
+the monotone :attr:`Graph.version` counter, and refreshes the cached
+adjacency *incrementally* (only the changed rows are respliced — see
+:meth:`~repro.tensor.sparse.SparseTensor.with_rows`).  A mutated graph is
+indistinguishable from a fresh ``Graph`` built on the edited edge list,
+bit for bit, which is what the streaming parity tests assert.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.tensor.sparse import SparseTensor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (deltas are applied here)
+    from repro.streaming.delta import GraphDelta
 
 
 class Graph:
@@ -53,6 +67,9 @@ class Graph:
         self.val_mask = None if val_mask is None else np.asarray(val_mask, dtype=bool)
         self.test_mask = None if test_mask is None else np.asarray(test_mask, dtype=bool)
         self.name = name
+        #: Monotone update counter: number of deltas applied to this
+        #: instance (a freshly built graph is version 0).
+        self.version = 0
         self._cache: Dict[str, SparseTensor] = {}
 
     # ------------------------------------------------------------------ #
@@ -109,6 +126,104 @@ class Graph:
 
     def out_degrees(self) -> np.ndarray:
         return np.bincount(self.edge_index[0], minlength=self.num_nodes)
+
+    # ------------------------------------------------------------------ #
+    # Streaming update API.
+    def apply_delta(self, delta: "GraphDelta") -> "GraphDelta":
+        """Apply one atomic :class:`~repro.streaming.GraphDelta`.
+
+        The whole delta is validated before any array is touched, so a
+        rejected delta leaves the graph (and its version) unchanged.  On
+        success the version counter advances by exactly one and the cached
+        raw adjacency is respliced incrementally: only the rows of edge
+        sources the delta names are rebuilt (see
+        :meth:`~repro.tensor.sparse.SparseTensor.with_rows`); derived
+        caches (self-loop adjacency, GCN normalisation) are dropped.
+
+        Returns the normalised delta (arrays coerced to canonical dtypes),
+        which callers feed to the version trackers.
+        """
+        from repro.streaming.delta import GraphDelta
+
+        if not isinstance(delta, GraphDelta):
+            raise TypeError(f"expected a GraphDelta, got {type(delta).__name__}")
+        num_nodes = self.num_nodes
+        touched = delta.touched_nodes()
+        if touched.size and (touched.min() < 0 or touched.max() >= num_nodes):
+            raise ValueError(
+                f"delta names node ids outside [0, {num_nodes}): "
+                f"range [{touched.min()}, {touched.max()}]")
+        if delta.features is not None \
+                and delta.features.shape[1] != self.num_features:
+            raise ValueError(
+                f"feature rows must have width {self.num_features}, "
+                f"got {delta.features.shape[1]}")
+        # Pair codes make "drop every occurrence" a vectorised membership
+        # test; validated before mutation so absence rejects atomically.
+        drop = None
+        if delta.removed_edges is not None:
+            edge_codes = self.edge_index[0] * num_nodes + self.edge_index[1]
+            removed_codes = np.unique(
+                delta.removed_edges[0] * num_nodes + delta.removed_edges[1])
+            present = np.isin(removed_codes, edge_codes)
+            if not present.all():
+                missing = removed_codes[~present][0]
+                raise ValueError(
+                    f"cannot remove absent edge "
+                    f"({missing // num_nodes}, {missing % num_nodes})")
+            drop = np.isin(edge_codes, removed_codes)
+
+        edge_index = self.edge_index
+        edge_weight = self.edge_weight
+        if drop is not None:
+            edge_index = edge_index[:, ~drop]
+            edge_weight = edge_weight[~drop]
+        if delta.added_edges is not None:
+            weights = delta.added_weights
+            if weights is None:
+                weights = np.ones(delta.added_edges.shape[1], dtype=np.float32)
+            edge_index = np.concatenate([edge_index, delta.added_edges], axis=1)
+            edge_weight = np.concatenate([edge_weight, weights])
+        self.edge_index = edge_index
+        self.edge_weight = edge_weight
+        if delta.feature_nodes is not None:
+            self.x[delta.feature_nodes] = delta.features
+        self.version += 1
+
+        changed = delta.changed_rows()
+        cached = self._cache.get("adj_False")
+        self._cache.clear()
+        if cached is not None and changed.size:
+            mask = np.isin(edge_index[0], changed)
+            local = np.searchsorted(changed, edge_index[0][mask])
+            replacement = SparseTensor(sp.csr_matrix(
+                (edge_weight[mask], (local, edge_index[1][mask])),
+                shape=(changed.shape[0], num_nodes)))
+            self._cache["adj_False"] = cached.with_rows(changed, replacement)
+        elif cached is not None:
+            self._cache["adj_False"] = cached
+        return delta
+
+    def add_edges(self, edges: np.ndarray,
+                  weights: Optional[np.ndarray] = None) -> "GraphDelta":
+        """Append directed edges (``(2, E)``) as one atomic delta."""
+        from repro.streaming.delta import GraphDelta
+
+        return self.apply_delta(GraphDelta(added_edges=edges,
+                                           added_weights=weights))
+
+    def remove_edges(self, edges: np.ndarray) -> "GraphDelta":
+        """Remove every occurrence of the given directed edges atomically."""
+        from repro.streaming.delta import GraphDelta
+
+        return self.apply_delta(GraphDelta(removed_edges=edges))
+
+    def update_features(self, nodes: np.ndarray,
+                        rows: np.ndarray) -> "GraphDelta":
+        """Overwrite whole feature rows as one atomic delta."""
+        from repro.streaming.delta import GraphDelta
+
+        return self.apply_delta(GraphDelta(feature_nodes=nodes, features=rows))
 
     def copy(self) -> "Graph":
         return Graph(self.x.copy(), self.edge_index.copy(),

@@ -55,6 +55,7 @@ from repro.tensor.tensor import Tensor
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cache stores blocks)
     from repro.cache import BlockCache
+    from repro.streaming import RegionVersions
 
 #: A per-layer fanout: ``None`` means unlimited (keep every neighbour).
 Fanout = Optional[int]
@@ -288,6 +289,13 @@ class NeighborSampler:
         the adjacency.  The cache must be private to one sampler
         configuration (its keys carry no graph/seed identity).  Cached and
         uncached sampling are bit-identical.
+    versions:
+        Optional :class:`~repro.streaming.RegionVersions` tracker for
+        streamed graphs.  When given, every cache key is stamped with the
+        node's row version (row entries) or the seeds' region-version
+        vector (batch entries), which is what scopes invalidation to the
+        receptive fields an update actually touched.  Static graphs omit
+        it (all versions stay 0).
     """
 
     def __init__(self, graph: Graph, fanouts: Union[Fanout, Sequence[Fanout]],
@@ -295,7 +303,8 @@ class NeighborSampler:
                  seed_nodes: Optional[np.ndarray] = None,
                  shuffle: bool = True, seed: int = 0,
                  cache: Optional["BlockCache"] = None,
-                 cache_batches: bool = True):
+                 cache_batches: bool = True,
+                 versions: Optional["RegionVersions"] = None):
         self.graph = graph
         if not isinstance(fanouts, (list, tuple)):
             fanouts = [fanouts] * (num_layers if num_layers is not None else 1)
@@ -317,6 +326,7 @@ class NeighborSampler:
         #: Store whole BlockBatches (worth it for serving, where identical
         #: requests repeat; training batches never repeat within an epoch).
         self.cache_batches = cache_batches
+        self.versions = versions
 
         if seed_nodes is None:
             seed_nodes = graph.train_mask if graph.train_mask is not None \
@@ -383,11 +393,15 @@ class NeighborSampler:
 
         cache = self.cache
         epoch = self.rng_epoch
-        entries = cache.get_rows(targets, fanout, hop, epoch)
+        row_versions = None if self.versions is None \
+            else self.versions.row_versions(targets)
+        entries = cache.get_rows(targets, fanout, hop, epoch,
+                                 versions=row_versions)
 
         missing = [i for i, entry in enumerate(entries) if entry is None]
         if missing:
-            nodes = targets[np.asarray(missing, dtype=np.int64)]
+            missing_arr = np.asarray(missing, dtype=np.int64)
+            nodes = targets[missing_arr]
             cols, weights, counts = self._raw_rows(nodes)
             boundaries = np.cumsum(counts)[:-1]
             # Copy per-row slices: cached entries must own their memory, or
@@ -396,7 +410,10 @@ class NeighborSampler:
                         for row_cols, row_weights
                         in zip(np.split(cols, boundaries),
                                np.split(weights, boundaries))]
-            cache.put_raw_rows(nodes, raw_rows)
+            cache.put_raw_rows(
+                nodes, raw_rows,
+                versions=None if row_versions is None
+                else row_versions[missing_arr])
             for index, (row_cols, row_weights) in zip(missing, raw_rows):
                 raw = fanout is not None and row_cols.shape[0] > fanout
                 entries[index] = (ROW_RAW if raw else ROW_FINAL,
@@ -407,7 +424,8 @@ class NeighborSampler:
         raw_indices = [i for i, entry in enumerate(entries)
                        if entry[0] == ROW_RAW]
         if raw_indices:
-            nodes = targets[np.asarray(raw_indices, dtype=np.int64)]
+            raw_indices_arr = np.asarray(raw_indices, dtype=np.int64)
+            nodes = targets[raw_indices_arr]
             counts = np.asarray([entries[i][1].shape[0] for i in raw_indices],
                                 dtype=np.int64)
             cols = np.concatenate([entries[i][1] for i in raw_indices])
@@ -419,7 +437,10 @@ class NeighborSampler:
                       for row_cols, row_weights
                       in zip(np.split(cols, boundaries),
                              np.split(weights, boundaries))]
-            cache.put_capped_rows(nodes, fanout, hop, epoch, capped)
+            cache.put_capped_rows(
+                nodes, fanout, hop, epoch, capped,
+                versions=None if row_versions is None
+                else row_versions[raw_indices_arr])
             for index, (row_cols, row_weights) in zip(raw_indices, capped):
                 entries[index] = (ROW_FINAL, row_cols, row_weights)
 
@@ -488,8 +509,11 @@ class NeighborSampler:
         call returns the previously built (immutable) batch outright.
         """
         seeds = np.asarray(seeds, dtype=np.int64)
+        region_tag = b"" if self.versions is None \
+            else self.versions.region_tag(seeds)
         if self.cache is not None and self.cache_batches:
-            cached = self.cache.get_batch(seeds, self.fanouts, self.rng_epoch)
+            cached = self.cache.get_batch(seeds, self.fanouts, self.rng_epoch,
+                                          region_tag=region_tag)
             if cached is not None:
                 return cached
         blocks: List[SubgraphBlock] = []
@@ -503,7 +527,8 @@ class NeighborSampler:
         y = None if self.graph.y is None else self.graph.y[seeds]
         batch = BlockBatch(blocks, x, y, seeds)
         if self.cache is not None and self.cache_batches:
-            self.cache.put_batch(seeds, self.fanouts, self.rng_epoch, batch)
+            self.cache.put_batch(seeds, self.fanouts, self.rng_epoch, batch,
+                                 region_tag=region_tag)
         return batch
 
     def iter_batches(self, seeds: np.ndarray) -> Iterator[BlockBatch]:
@@ -524,6 +549,23 @@ class NeighborSampler:
             yield self.sample(seeds[start:start + self.batch_size])
 
     # ------------------------------------------------------------------ #
+    def refresh_graph(self) -> None:
+        """Re-derive adjacency state after the bound graph was mutated.
+
+        Rebuilds exactly what ``__init__`` derives — the raw adjacency
+        handle, per-row weights and GCN ``1/sqrt(degree)`` — so a sampler
+        over a streamed graph is bit-identical to a fresh sampler built on
+        the equivalent static graph.  Called by
+        :meth:`~repro.serving.session.BlockSession.apply_update` right
+        after :meth:`~repro.graphs.graph.Graph.apply_delta`.
+        """
+        adjacency = self.graph.adjacency(add_self_loops=False)
+        self._adjacency = adjacency
+        row_weight = adjacency.row_sum()
+        self._row_weight = row_weight.astype(np.float32)
+        gcn_degree = row_weight + 1.0
+        self._inv_sqrt = (1.0 / np.sqrt(gcn_degree)).astype(np.float32)
+
     def advance_epoch(self) -> int:
         """Move to the next rng-epoch and invalidate stale cached samples.
 

@@ -5,8 +5,11 @@ Three pieces, used together by ``repro loadtest`` and the benchmarks:
 * :mod:`repro.loadgen.traffic` — deterministic production-shaped traffic
   (zipfian seed popularity, Poisson / fixed-rate open-loop arrivals).
 * :mod:`repro.loadgen.harness` — open- and closed-loop replay against an
-  :class:`~repro.serving.AsyncServingEngine`, with a warm-up phase and
-  steady-state cache-delta accounting.
+  :class:`~repro.serving.AsyncServingEngine`, with a warm-up phase,
+  steady-state cache-delta accounting, and per-request failure counting.
+* :mod:`repro.loadgen.temporal` — dynamic-graph streams: deterministic
+  interleavings of :class:`~repro.streaming.GraphDelta` updates and
+  queries, replayed live for ``repro streamtest``.
 * :mod:`repro.loadgen.report` — the versioned ``BENCH_*.json`` perf
   trajectory format shared with the benchmark suite and gated in CI by
   ``tools/check_bench.py``.
@@ -14,6 +17,16 @@ Three pieces, used together by ``repro loadtest`` and the benchmarks:
 
 from repro.loadgen.harness import LoadRunResult, metrics_from_run, run_load
 from repro.loadgen.report import LOADTEST_REQUIRED_METRICS, summarize_latencies
+from repro.loadgen.temporal import (
+    UPDATE_KINDS,
+    StreamRunResult,
+    TemporalConfig,
+    TemporalEvent,
+    TemporalTrace,
+    generate_temporal_trace,
+    metrics_from_stream,
+    run_stream,
+)
 from repro.loadgen.traffic import (
     ARRIVALS,
     PATTERNS,
@@ -26,11 +39,19 @@ __all__ = [
     "ARRIVALS",
     "LOADTEST_REQUIRED_METRICS",
     "PATTERNS",
+    "UPDATE_KINDS",
     "LoadRunResult",
     "LoadTrace",
+    "StreamRunResult",
+    "TemporalConfig",
+    "TemporalEvent",
+    "TemporalTrace",
     "TrafficConfig",
+    "generate_temporal_trace",
     "generate_trace",
     "metrics_from_run",
+    "metrics_from_stream",
     "run_load",
+    "run_stream",
     "summarize_latencies",
 ]

@@ -18,6 +18,16 @@ calls :meth:`~repro.serving.ServingEngine.reset_stats` (and snapshots the
 block-cache counters), so the reported window measures steady state — the
 cache hit rate is a *delta* over the measured window, not a lifetime
 average diluted by cold misses.
+
+Failure accounting: a failed request (its future carries an exception)
+does not abort the run.  Both replay modes keep going, count the failure,
+and report latency percentiles over the *successful* requests only — a
+failed request has no meaningful service latency, and mixing in its
+time-to-error would skew every percentile.  The failed requests still
+occupy the measured wall-clock window (they consumed queue and engine
+time), so ``achieved_qps`` counts successes over the full window and
+``failure_rate`` reports the failed fraction.  Only a run in which *every*
+measured request failed raises, since it has no latencies to summarise.
 """
 
 from __future__ import annotations
@@ -25,7 +35,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Any, Callable, Optional, Tuple
 
 import numpy as np
 
@@ -42,7 +52,8 @@ class LoadRunResult:
     :func:`~repro.loadgen.report.summarize_latencies` /
     :func:`metrics_from_run`)."""
 
-    #: Per-request latency, aligned with the measured trace order.
+    #: Latency of each *successful* request, in completion-eligible trace
+    #: order (failed requests are excluded — they have no service latency).
     latencies_seconds: np.ndarray
     #: Wall-clock span of the measured window (first submit → last completion).
     measured_seconds: float
@@ -55,11 +66,20 @@ class LoadRunResult:
     #: Block-cache hit/lookup deltas over the measured window (None = no cache).
     cache_hits: Optional[int]
     cache_lookups: Optional[int]
+    #: Measured requests whose future carried an exception.
+    failures: int = 0
 
     @property
     def achieved_qps(self) -> float:
-        return self.requests / self.measured_seconds \
-            if self.measured_seconds > 0 else 0.0
+        """Successfully served requests per second of measured wall-clock."""
+        if self.measured_seconds <= 0:
+            return 0.0
+        return (self.requests - self.failures) / self.measured_seconds
+
+    @property
+    def failure_rate(self) -> float:
+        """Failed fraction of the measured requests."""
+        return self.failures / self.requests if self.requests else 0.0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -79,6 +99,7 @@ def metrics_from_run(run: LoadRunResult, deadline_ms: float) -> dict:
         "offered_qps": float(run.offered_qps),
         "achieved_qps": float(run.achieved_qps),
         "cache_hit_rate": float(run.cache_hit_rate),
+        "failure_rate": float(run.failure_rate),
     })
     return metrics
 
@@ -89,18 +110,52 @@ def _cache_counters(engine: AsyncServingEngine) -> Optional[Tuple[int, int]]:
     return None if stats is None else (stats.hits, stats.lookups)
 
 
-def _replay_open(engine: AsyncServingEngine,
-                 trace: LoadTrace) -> Tuple[np.ndarray, float]:
-    """Submit at scheduled arrivals; latency = completion − scheduled arrival."""
-    count = trace.num_requests
-    completions = np.zeros(count, dtype=np.float64)
+class _CompletionTracker:
+    """Done-callback sink for one open-loop replay.
 
-    def completion_recorder(index: int) -> Callable[[object], None]:
-        def record(_future: object) -> None:
-            completions[index] = time.perf_counter()
+    ``Future.result()`` can return on the waiting thread *before* the
+    future's done callbacks have run (callbacks fire after the result is
+    set, on the resolving thread) — reading the completion array right
+    after ``result()`` therefore races the recorder and can observe an
+    unwritten slot (a zero timestamp, i.e. a hugely negative latency).
+    The tracker counts callbacks down and :meth:`wait` blocks until every
+    recorder has actually written its slot.
+    """
+
+    def __init__(self, count: int) -> None:
+        self.completions = np.zeros(count, dtype=np.float64)
+        self.failed = np.zeros(count, dtype=bool)
+        self._remaining = count
+        self._lock = threading.Lock()
+        self._all_done = threading.Event()
+
+    def recorder(self, index: int) -> Callable[[Any], None]:
+        def record(future: Any) -> None:
+            self.completions[index] = time.perf_counter()
+            try:
+                self.failed[index] = future.exception() is not None
+            except Exception:  # cancelled futures raise from .exception()
+                self.failed[index] = True
+            with self._lock:
+                self._remaining -= 1
+                if self._remaining == 0:
+                    self._all_done.set()
         return record
 
-    futures = []
+    def wait(self) -> None:
+        self._all_done.wait()
+
+
+def _replay_open(engine: AsyncServingEngine,
+                 trace: LoadTrace) -> Tuple[np.ndarray, float, int]:
+    """Submit at scheduled arrivals; latency = completion − scheduled arrival.
+
+    Returns ``(latencies of successful requests, measured wall-clock,
+    failure count)``.
+    """
+    count = trace.num_requests
+    tracker = _CompletionTracker(count)
+
     first_submit = 0.0
     start = time.perf_counter()
     for index, (arrival, nodes) in enumerate(zip(trace.arrivals,
@@ -110,26 +165,32 @@ def _replay_open(engine: AsyncServingEngine,
             time.sleep(delay)
         if index == 0:
             first_submit = time.perf_counter()
-        future = engine.submit(nodes)
-        future.add_done_callback(completion_recorder(index))
-        futures.append(future)
+        engine.submit(nodes).add_done_callback(tracker.recorder(index))
     engine.flush_now()
-    for future in futures:
-        future.result()
-    latencies = completions - (start + trace.arrivals)
+    # Synchronise on the *callbacks*, not on Future.result(): see
+    # _CompletionTracker.  This also makes a failed request a counted
+    # outcome instead of an exception that aborts the whole replay.
+    tracker.wait()
+    latencies = tracker.completions - (start + trace.arrivals)
     # The measured window opens at the first *actual* submit, not at the
     # replay clock's zero: a trace whose first arrival is offset (a warm-up
     # tail, a sliced trace) would otherwise count idle lead-in as load time
-    # and deflate achieved_qps.
-    measured = float(completions.max() - first_submit)
-    return latencies, measured
+    # and deflate achieved_qps.  Failed requests still close the window —
+    # the engine spent wall-clock on them.
+    measured = float(tracker.completions.max() - first_submit)
+    return latencies[~tracker.failed], measured, int(tracker.failed.sum())
 
 
 def _replay_closed(engine: AsyncServingEngine, trace: LoadTrace,
-                   clients: int) -> Tuple[np.ndarray, float]:
-    """N clients, each back-to-back over a shared request queue."""
+                   clients: int) -> Tuple[np.ndarray, float, int]:
+    """N clients, each back-to-back over a shared request queue.
+
+    Returns ``(latencies of successful requests, measured wall-clock,
+    failure count)``.
+    """
     count = trace.num_requests
     latencies = np.zeros(count, dtype=np.float64)
+    failed = np.zeros(count, dtype=bool)
     cursor = iter(range(count))
     lock = threading.Lock()
 
@@ -139,7 +200,14 @@ def _replay_closed(engine: AsyncServingEngine, trace: LoadTrace,
                 index = next(cursor, None)
             if index is None:
                 return
-            result = engine.submit(trace.requests[index]).result()
+            try:
+                result = engine.submit(trace.requests[index]).result()
+            except Exception:
+                # A failed request must not kill its client thread: the
+                # remaining queue would never be drained and the run would
+                # under-report by a whole client's worth of traffic.
+                failed[index] = True
+                continue
             latencies[index] = result.latency_seconds
 
     threads = [threading.Thread(target=client_loop,
@@ -151,7 +219,7 @@ def _replay_closed(engine: AsyncServingEngine, trace: LoadTrace,
     for thread in threads:
         thread.join()
     measured = time.perf_counter() - start
-    return latencies, float(measured)
+    return latencies[~failed], float(measured), int(failed.sum())
 
 
 def run_load(engine: AsyncServingEngine, trace: LoadTrace, *,
@@ -173,7 +241,12 @@ def run_load(engine: AsyncServingEngine, trace: LoadTrace, *,
                                  trace.num_requests - 1))
     if warmup_requests:
         for nodes in trace.requests[:warmup_requests]:
-            engine.submit(nodes).result()
+            try:
+                engine.submit(nodes).result()
+            except Exception:
+                # Warm-up exists to heat caches, not to measure: a failed
+                # warm-up request costs some warmth, never the run.
+                pass
     measured_trace = trace.tail(warmup_requests)
 
     # Warm-up boundary: every warm-up future has resolved, so its flush's
@@ -182,11 +255,16 @@ def run_load(engine: AsyncServingEngine, trace: LoadTrace, *,
     cache_before = _cache_counters(engine)
 
     if mode == "open":
-        latencies, measured = _replay_open(engine, measured_trace)
+        latencies, measured, failures = _replay_open(engine, measured_trace)
         offered = measured_trace.config.qps
     else:
-        latencies, measured = _replay_closed(engine, measured_trace, clients)
+        latencies, measured, failures = _replay_closed(engine, measured_trace,
+                                                       clients)
         offered = measured_trace.num_requests / measured if measured > 0 else 0.0
+    if failures >= measured_trace.num_requests:
+        raise RuntimeError(
+            f"every measured request failed ({failures} of "
+            f"{measured_trace.num_requests}); no latencies to summarise")
 
     cache_after = _cache_counters(engine)
     cache_hits = cache_lookups = None
@@ -205,4 +283,5 @@ def run_load(engine: AsyncServingEngine, trace: LoadTrace, *,
         giga_bit_operations=stats.giga_bit_operations,
         cache_hits=cache_hits,
         cache_lookups=cache_lookups,
+        failures=failures,
     )

@@ -44,10 +44,14 @@ SCHEMA_VERSION = 1
 RESULT_KINDS = ("loadtest", "benchmark")
 
 #: Every ``loadtest`` result must report at least these metrics.
+#: ``failure_rate`` is the failed fraction of the measured requests
+#: (failed requests are excluded from the latency percentiles but still
+#: occupy the measured window — see :mod:`repro.loadgen.harness`).
 LOADTEST_REQUIRED_METRICS = frozenset({
     "requests", "offered_qps", "achieved_qps",
     "p50_ms", "p95_ms", "p99_ms", "max_ms", "mean_ms",
     "deadline_ms", "slo_violation_rate", "cache_hit_rate",
+    "failure_rate",
 })
 
 #: Metrics that echo configuration (or are load-determined) and must never
@@ -62,7 +66,8 @@ def metric_direction(name: str) -> Optional[str]:
     """``"lower"`` / ``"higher"`` = which way is *better*; ``None`` = not gated."""
     if name in _DIRECTION_OVERRIDES:
         return _DIRECTION_OVERRIDES[name]
-    if name == "slo_violation_rate" or name.endswith(("_ms", "_mb", "_gbitops")):
+    if name in ("slo_violation_rate", "failure_rate") \
+            or name.endswith(("_ms", "_mb", "_gbitops")):
         return "lower"
     if name.endswith("_qps") or name.endswith("hit_rate"):
         return "higher"

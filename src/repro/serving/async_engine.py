@@ -31,7 +31,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,9 +39,13 @@ from repro.serving.engine import (
     EngineStats,
     RequestResult,
     ServingEngine,
+    per_request_error,
     validate_request_nodes,
 )
 from repro.serving.session import InferenceSession
+
+if TYPE_CHECKING:  # pragma: no cover - circular only for annotations
+    from repro.streaming.delta import GraphDelta
 
 
 class AsyncServingEngine:
@@ -77,6 +81,7 @@ class AsyncServingEngine:
                                     workers=workers, dedup_seeds=dedup_seeds)
         self._lock = threading.Lock()
         self._pending: List[Tuple[Future, np.ndarray, float]] = []  # guarded-by: self._lock
+        self._pending_updates: List[Tuple[Future, "GraphDelta"]] = []  # guarded-by: self._lock
         self._pending_seeds = 0  # guarded-by: self._lock
         self._force_flush = False  # guarded-by: self._lock
         self._wakeup = threading.Condition(self._lock)
@@ -133,6 +138,27 @@ class AsyncServingEngine:
         """Blocking one-shot convenience: submit and wait for the logits."""
         return self.submit(nodes).result().logits
 
+    def submit_update(self, delta: "GraphDelta") -> "Future[int]":
+        """Queue a graph delta; returns a future resolving to the version.
+
+        The dispatcher applies queued deltas at the next flush boundary —
+        before serving the batch it takes in the same round — so a flush
+        always runs entirely at one graph version and an in-flight
+        micro-batch is never torn by an update.  Raises
+        :class:`TypeError` on the caller's thread when the bound session
+        cannot apply updates.
+        """
+        if not self.session.supports_updates:
+            raise TypeError(f"{type(self.session).__name__} does not support "
+                            f"streaming updates")
+        future: "Future[int]" = Future()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("engine is closed")
+            self._pending_updates.append((future, delta))
+            self._wakeup.notify()
+        return future
+
     # ------------------------------------------------------------------ #
     def _take_batch_locked(  # requires-lock: self._lock
             self) -> List[Tuple[Future, np.ndarray, float]]:
@@ -142,8 +168,10 @@ class AsyncServingEngine:
         return batch
 
     def _due(self, now: float) -> bool:  # requires-lock: self._lock
-        """Flush condition (lock held): full batch, expired deadline, or an
-        explicit :meth:`flush_now`."""
+        """Flush condition (lock held): pending updates, full batch,
+        expired deadline, or an explicit :meth:`flush_now`."""
+        if self._pending_updates:
+            return True
         if not self._pending:
             return False
         if self._force_flush or self._pending_seeds >= self.max_batch:
@@ -162,11 +190,30 @@ class AsyncServingEngine:
                         self._wakeup.wait(timeout=max(timeout, 1e-4))
                     else:
                         self._wakeup.wait()
-                if self._closed and not self._pending:
+                if self._closed and not self._pending \
+                        and not self._pending_updates:
                     return
+                # Updates and batch leave the lock together: everything
+                # taken this round is served at the post-update version.
+                updates, self._pending_updates = self._pending_updates, []
                 batch = self._take_batch_locked()
+            if updates:
+                self._apply_updates(updates)
             if batch:
                 self._flush_batch(batch)
+
+    def _apply_updates(self,
+                       updates: List[Tuple[Future, "GraphDelta"]]) -> None:
+        """Apply queued deltas on the dispatcher thread (flush boundary)."""
+        for future, delta in updates:
+            if not future.set_running_or_notify_cancel():
+                continue  # caller cancelled while pending
+            try:
+                version = self.engine.apply_update(delta)
+            except Exception as error:
+                future.set_exception(error)
+            else:
+                future.set_result(version)
 
     def _flush_batch(self,
                      batch: List[Tuple[Future, np.ndarray, float]]) -> None:
@@ -183,7 +230,7 @@ class AsyncServingEngine:
             results = self.engine.flush()
         except Exception as error:  # pragma: no cover - engine-level failure
             for future, _ in admitted:
-                future.set_exception(error)
+                future.set_exception(per_request_error(error))
             return
         now = time.perf_counter()
         for (future, enqueued), result in zip(admitted, results):

@@ -35,14 +35,40 @@ session in :class:`~repro.serving.async_engine.AsyncServingEngine`.
 
 from __future__ import annotations
 
+import copy
 import time
 from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
 from repro.serving.session import InferenceSession
+
+if TYPE_CHECKING:  # pragma: no cover - circular only for annotations
+    from repro.streaming.delta import GraphDelta
+
+
+def per_request_error(error: BaseException) -> BaseException:
+    """A per-request copy of a shared failure.
+
+    One failed micro-batch (or one failed flush) affects several requests,
+    but handing every one of them the *same* exception instance is a trap:
+    the first consumer to re-raise it starts growing a traceback and
+    ``__context__`` chain on an object other consumers still hold.  Each
+    request gets its own shallow copy — same type, same ``args``, so
+    ``isinstance``/message checks behave identically — chained to the
+    original via ``__cause__``.  Exceptions that refuse copying fall back
+    to the shared instance rather than masking the real failure.
+    """
+    try:
+        clone = copy.copy(error)
+    except Exception:
+        return error
+    if clone is error or type(clone) is not type(error):
+        return error
+    clone.__cause__ = error
+    return clone
 
 
 @dataclass
@@ -88,13 +114,14 @@ class EngineStats:
     engine *attempted* (failed micro-batches included — they consumed
     queue and wall-clock); ``failures`` counts the requests that carried
     an error out of a flush, so ``requests - failures`` is the number
-    served completely.
+    served completely.  ``updates`` counts applied graph deltas.
     """
 
     requests: int = 0
     nodes: int = 0
     micro_batches: int = 0
     failures: int = 0
+    updates: int = 0
     seconds: float = 0.0
     giga_bit_operations: float = 0.0
 
@@ -108,6 +135,7 @@ class EngineStats:
         self.nodes = 0
         self.micro_batches = 0
         self.failures = 0
+        self.updates = 0
         self.seconds = 0.0
         self.giga_bit_operations = 0.0
 
@@ -154,6 +182,8 @@ class ServingEngine:
     #: the batch) keeps integer logits bitwise identical either way.
     dedup_seeds: bool = True
     _queue: List[_PendingRequest] = field(default_factory=list)
+    _pending_updates: List["GraphDelta"] = field(default_factory=list,
+                                                 repr=False)
     _next_id: int = 0
     stats: EngineStats = field(default_factory=EngineStats)
     _pool: Optional[ThreadPoolExecutor] = field(default=None, repr=False)
@@ -214,8 +244,50 @@ class ServingEngine:
         self._queue.append(_PendingRequest(request_id, nodes))
         return request_id
 
+    def submit_update(self, delta: "GraphDelta") -> None:
+        """Queue a graph delta for the next :meth:`flush`.
+
+        Updates are the flush boundary's business: every request of one
+        flush is served at one graph version, so a queued delta waits
+        until the current queue (plus anything submitted before the next
+        flush) has drained.  Raises :class:`TypeError` immediately when
+        the bound session cannot apply updates.
+        """
+        if not self.session.supports_updates:
+            raise TypeError(f"{type(self.session).__name__} does not support "
+                            f"streaming updates")
+        self._pending_updates.append(delta)
+
+    def apply_update(self, delta: "GraphDelta") -> int:
+        """Apply a delta right now (between flushes); returns new version.
+
+        Callers must guarantee no flush is executing — the synchronous
+        engine is single-threaded at the request front, the async engine
+        calls this from its dispatcher only.
+        """
+        if not self.session.supports_updates:
+            raise TypeError(f"{type(self.session).__name__} does not support "
+                            f"streaming updates")
+        version = self.session.apply_update(delta)
+        self.stats.updates += 1
+        return version
+
+    def _apply_pending_updates(self) -> None:
+        if not self._pending_updates:
+            return
+        pending, self._pending_updates = self._pending_updates, []
+        for delta in pending:
+            self.apply_update(delta)
+
     def flush(self) -> List[RequestResult]:
-        """Serve every pending request in coalesced micro-batches."""
+        """Serve every pending request in coalesced micro-batches.
+
+        Queued graph updates apply first — even when no requests are
+        pending — so every request of this flush is served at one graph
+        version and a delta can never land between two micro-batches of
+        the same flush.
+        """
+        self._apply_pending_updates()
         if not self._queue:
             return []
         requests, self._queue = self._queue, []
@@ -278,10 +350,12 @@ class ServingEngine:
             # Only the requests with a seed in the failed micro-batch carry
             # the error; their logits are incomplete either way, so the
             # whole request is marked failed even if its other chunks ran.
+            # Each affected request gets its own exception copy — consumers
+            # re-raise these independently (see ``per_request_error``).
             affected = np.unique(owners[chunk_occurrences(chunk)])
             for position in affected:
                 if errors[position] is None:
-                    errors[position] = error
+                    errors[position] = per_request_error(error)
             done_at[affected] = time.perf_counter() - start
 
         micro_batches = len(chunks)

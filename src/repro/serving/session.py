@@ -43,7 +43,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -62,6 +62,9 @@ from repro.quant.bitops import (
 from repro.quant.quantizer import QuantizationParameters
 from repro.serving.artifact import LayerPlan, QuantizedArtifact
 from repro.tensor.sparse import SparseTensor
+
+if TYPE_CHECKING:  # pragma: no cover - circular only for annotations
+    from repro.streaming.delta import GraphDelta
 
 GraphLike = Union[Graph, SubgraphBlock]
 
@@ -132,6 +135,13 @@ class InferenceSession:
     #: flush with a single run instead of splitting it into micro-batches.
     request_invariant_cost = False
 
+    #: True when the session accepts streaming graph updates through
+    #: :meth:`apply_update`.  The serving engines check this before
+    #: accepting a delta, so unsupported backends (e.g. the sharded tier,
+    #: whose workers each hold a private graph copy) reject updates at
+    #: submission instead of silently serving stale shards.
+    supports_updates = False
+
     def __init__(self, artifact: QuantizedArtifact, graph: Graph,
                  backend: BackendLike = None):
         if not artifact.layers:
@@ -168,6 +178,18 @@ class InferenceSession:
     def bit_operations(self, nodes: Optional[Sequence[int]] = None) -> BitOpsCounter:
         """BitOPs of one serving pass for the requested nodes."""
         return self.run(nodes).bit_operations
+
+    def apply_update(self, delta: "GraphDelta") -> int:
+        """Apply one :class:`~repro.streaming.GraphDelta` to the bound graph.
+
+        Returns the new graph version.  Only meaningful between requests —
+        the serving engines guarantee that by applying queued deltas at
+        flush boundaries only.  Backends that cannot keep their derived
+        state consistent leave ``supports_updates`` False and inherit this
+        rejection.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support streaming updates")
 
     # ------------------------------------------------------------------ #
     # request-invariant operators
@@ -627,6 +649,20 @@ class FullGraphSession(InferenceSession):
     """Integer inference over the whole graph (every layer, every node)."""
 
     request_invariant_cost = True
+    supports_updates = True
+
+    def apply_update(self, delta: "GraphDelta") -> int:
+        """Apply a delta and drop the memoised full-graph operators.
+
+        The full-graph path holds no sampled state, so consistency needs
+        nothing beyond rebuilding the (lazily re-derived) aggregation
+        operators on next use.
+        """
+        self.graph.apply_delta(delta)
+        with self._cache_lock:
+            self._operator_cache.clear()
+            self._quantized_cache.clear()
+        return self.graph.version
 
     def run(self, nodes: Optional[Sequence[int]] = None) -> SessionRun:
         start = time.perf_counter()
@@ -704,24 +740,59 @@ class BlockSession(InferenceSession):
         the ``numpy`` reference.
     """
 
+    supports_updates = True
+
     def __init__(self, artifact: QuantizedArtifact, graph: Graph,
                  fanouts: Union[Fanout, Sequence[Fanout]] = None,
                  batch_size: int = 1024, seed: int = 0, cache_size: int = 0,
                  cache_bytes: Optional[int] = None,
                  backend: BackendLike = None):
         super().__init__(artifact, graph, backend=backend)
+        from repro.streaming import RegionVersions
+
         self.batch_size = int(batch_size)
         self.cache = BlockCache(max_entries=cache_size, max_bytes=cache_bytes) \
             if cache_size > 0 else None
+        #: Row/region version counters streamed updates advance; stamped
+        #: into every cache key so invalidation scopes to receptive fields.
+        self.versions = RegionVersions(graph.num_nodes)
         self.sampler = NeighborSampler(
             graph, fanouts, batch_size=self.batch_size,
             num_layers=artifact.total_hops,
             seed_nodes=np.arange(graph.num_nodes, dtype=np.int64),
-            shuffle=False, seed=seed, cache=self.cache)
+            shuffle=False, seed=seed, cache=self.cache,
+            versions=self.versions)
 
     def cache_stats(self) -> Optional[CacheStats]:
         """Hit/miss/eviction counters of the block cache (None when off)."""
         return None if self.cache is None else self.cache.stats()
+
+    def apply_update(self, delta: "GraphDelta") -> int:
+        """Apply a delta with invalidation scoped to its receptive fields.
+
+        Ordering matters and is pinned here: the graph mutates first, the
+        affected region is computed on the *post-update* adjacency (sound
+        for pre-update entries too — see
+        :func:`~repro.streaming.affected_region`), row versions advance for
+        changed adjacency rows and region versions for every node within
+        ``total_hops`` of the delta, the sampler re-derives its degree
+        state, and only then are the now-unreachable cache entries evicted.
+        Everything outside the affected region keeps its warm entries,
+        which is the whole point of scoped invalidation.
+        """
+        from repro.streaming import affected_region
+
+        applied = self.graph.apply_delta(delta)
+        region = affected_region(self.graph, applied.touched_nodes(),
+                                 self.artifact.total_hops)
+        self.versions.bump(applied.changed_rows(), region)
+        self.sampler.refresh_graph()
+        if self.cache is not None:
+            self.cache.invalidate_nodes(region)
+        with self._cache_lock:
+            self._operator_cache.clear()
+            self._quantized_cache.clear()
+        return self.graph.version
 
     def run(self, nodes: Optional[Sequence[int]] = None) -> SessionRun:
         start = time.perf_counter()

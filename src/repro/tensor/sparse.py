@@ -89,6 +89,60 @@ class SparseTensor:
             return SparseTensor(self.csr[:, index])
         raise ValueError(f"dim must be 0 or 1, got {dim}")
 
+    def with_rows(self, rows: np.ndarray,
+                  replacement: "SparseTensor") -> "SparseTensor":
+        """Replace the given rows with the rows of ``replacement``.
+
+        ``replacement`` is a ``(len(rows), num_cols)`` sparse matrix whose
+        row ``i`` becomes row ``rows[i]`` of the result; every other row is
+        carried over unchanged.  This is the incremental-update primitive
+        behind :meth:`~repro.graphs.graph.Graph.apply_delta`: cost is
+        ``O(nnz)`` array copies with no global re-sort, and — because CSR
+        canonicalisation (duplicate summing, index sorting) acts on each
+        row independently — the result is bit-identical to rebuilding the
+        whole matrix from the edited edge list.
+        """
+        rows = np.asarray(rows, dtype=np.int64).reshape(-1)
+        old = self.csr
+        num_rows = old.shape[0]
+        if rows.size and (rows.min() < 0 or rows.max() >= num_rows):
+            raise ValueError(f"row ids must lie in [0, {num_rows})")
+        if np.unique(rows).shape[0] != rows.shape[0]:
+            raise ValueError("replacement rows must be duplicate-free")
+        new_rows = replacement.csr
+        if new_rows.shape != (rows.shape[0], old.shape[1]):
+            raise ValueError(f"replacement must have shape "
+                             f"({rows.shape[0]}, {old.shape[1]}), "
+                             f"got {new_rows.shape}")
+        old_counts = np.diff(old.indptr).astype(np.int64)
+        counts = old_counts.copy()
+        counts[rows] = np.diff(new_rows.indptr)
+        indptr = np.zeros(num_rows + 1, dtype=old.indptr.dtype)
+        np.cumsum(counts, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=old.indices.dtype)
+        data = np.empty(int(indptr[-1]), dtype=old.data.dtype)
+        # Scatter kept entries: each unchanged row's slice keeps its
+        # internal order, shifted to the row's new start offset.
+        replaced = np.zeros(num_rows, dtype=bool)
+        replaced[rows] = True
+        entry_rows = np.repeat(np.arange(num_rows, dtype=np.int64), old_counts)
+        within_row = np.arange(old.nnz, dtype=np.int64) \
+            - np.repeat(old.indptr[:-1].astype(np.int64), old_counts)
+        keep = ~replaced[entry_rows]
+        destination = indptr[:-1][entry_rows] + within_row
+        indices[destination[keep]] = old.indices[keep]
+        data[destination[keep]] = old.data[keep]
+        # Scatter replacement entries under their global row offsets.
+        rep_counts = np.diff(new_rows.indptr).astype(np.int64)
+        rep_rows = np.repeat(rows, rep_counts)
+        rep_within = np.arange(new_rows.nnz, dtype=np.int64) \
+            - np.repeat(new_rows.indptr[:-1].astype(np.int64), rep_counts)
+        rep_destination = indptr[:-1][rep_rows] + rep_within
+        indices[rep_destination] = new_rows.indices
+        data[rep_destination] = new_rows.data
+        return SparseTensor(sp.csr_matrix((data, indices, indptr),
+                                          shape=old.shape))
+
     def to_dense(self) -> np.ndarray:
         return np.asarray(self.csr.todense(), dtype=np.float32)
 

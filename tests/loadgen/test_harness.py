@@ -183,3 +183,175 @@ class TestMetrics:
         assert metrics["p50_ms"] <= metrics["p95_ms"] <= metrics["p99_ms"] \
             <= metrics["max_ms"]
         assert 0.0 <= metrics["slo_violation_rate"] <= 1.0
+
+
+class FailingSession(StubSession):
+    """Raises for any batch containing the poisoned node ``NUM_NODES - 1``."""
+
+    POISON = NUM_NODES - 1
+
+    def run(self, nodes):
+        nodes = np.asarray(nodes)
+        if (nodes == self.POISON).any():
+            raise RuntimeError("poisoned row")
+        return super().run(nodes)
+
+
+def _poisoned_trace(num_requests=12, poison_every=3):
+    """A fixed-rate trace where every ``poison_every``-th request fails."""
+    base = _trace(num_requests=num_requests, seeds_per_request=1)
+    requests = []
+    for index, nodes in enumerate(base.requests):
+        if index % poison_every == 0:
+            requests.append(np.asarray([FailingSession.POISON],
+                                       dtype=np.int64))
+        else:
+            requests.append(np.asarray([index % (NUM_NODES - 1)],
+                                       dtype=np.int64))
+    return LoadTrace(arrivals=base.arrivals, requests=tuple(requests),
+                     config=base.config)
+
+
+class TestFailureAccounting:
+    """A failed request is a counted outcome, never an aborted run."""
+
+    @pytest.mark.parametrize("mode", ["open", "closed"])
+    def test_failures_counted_not_fatal(self, mode):
+        trace = _poisoned_trace(num_requests=12, poison_every=3)
+        session = FailingSession()
+        # max_batch=1: every request is its own micro-batch, so exactly
+        # the poisoned requests fail
+        with AsyncServingEngine(session, max_batch=1, max_wait_ms=1.0,
+                                workers=1) as engine:
+            run = run_load(engine, trace, mode=mode, clients=2)
+        assert run.requests == 12
+        assert run.failures == 4
+        assert run.failure_rate == pytest.approx(4 / 12)
+        # percentiles cover only the successes
+        assert run.latencies_seconds.shape == (8,)
+        assert (run.latencies_seconds > 0).all()
+        metrics = metrics_from_run(run, deadline_ms=50.0)
+        assert metrics["failure_rate"] == pytest.approx(4 / 12)
+        assert LOADTEST_REQUIRED_METRICS <= metrics.keys()
+        # achieved_qps counts successes only
+        assert run.achieved_qps == pytest.approx(
+            8 / run.measured_seconds)
+
+    @pytest.mark.parametrize("mode", ["open", "closed"])
+    def test_all_failed_run_raises(self, mode):
+        trace = _poisoned_trace(num_requests=4, poison_every=1)
+        with AsyncServingEngine(FailingSession(), max_batch=1,
+                                max_wait_ms=1.0) as engine:
+            with pytest.raises(RuntimeError, match="every measured request"):
+                run_load(engine, trace, mode=mode, clients=2)
+
+    def test_failed_warmup_requests_are_swallowed(self):
+        # warm-up head is entirely poisoned; the measured tail is clean
+        base = _poisoned_trace(num_requests=10, poison_every=1)
+        clean = _trace(num_requests=10, seeds_per_request=1)
+        requests = tuple(base.requests[:4]) + tuple(clean.requests[4:])
+        trace = LoadTrace(arrivals=base.arrivals, requests=requests,
+                          config=base.config)
+        with AsyncServingEngine(FailingSession(), max_batch=1,
+                                max_wait_ms=1.0) as engine:
+            run = run_load(engine, trace, mode="open", warmup_requests=4)
+        assert run.requests == 6
+        assert run.failures == 0
+
+
+class _SlowCallbackFuture:
+    """A resolved future whose done callbacks land visibly *after* result().
+
+    Reproduces the race the completion tracker exists for: the waiter in
+    ``Future.result()`` wakes as soon as the result is set, but done
+    callbacks run afterwards on the resolving thread.
+    """
+
+    def __init__(self, delay: float):
+        self._delay = delay
+        self._callbacks = []
+        self._result = SimpleNamespace(latency_seconds=1e-3, error=None)
+        self._thread = None
+
+    def add_done_callback(self, fn):
+        def delayed():
+            import time
+            time.sleep(self._delay)
+            fn(self)
+        self._thread = threading.Thread(target=delayed)
+        self._thread.start()
+
+    def exception(self):
+        return None
+
+
+class _SlowCallbackEngine:
+    """Stub engine: results are 'ready' long before callbacks have run."""
+
+    def __init__(self, delay: float = 0.05):
+        self.session = SimpleNamespace(graph=SimpleNamespace(
+            num_nodes=NUM_NODES))
+        self.delay = delay
+
+    def submit(self, nodes):
+        return _SlowCallbackFuture(self.delay)
+
+    def flush_now(self):
+        pass
+
+
+class TestCompletionCallbackRace:
+    def test_open_loop_waits_for_callbacks_not_results(self):
+        """Regression: reading completions right after the last result()
+        observed unwritten slots (zero timestamps -> hugely negative
+        latencies).  The tracker must block until every callback ran."""
+        from repro.loadgen.harness import _replay_open
+
+        trace = _trace(num_requests=6, seeds_per_request=1, qps=2000.0)
+        latencies, measured, failures = _replay_open(
+            _SlowCallbackEngine(delay=0.05), trace)
+        assert failures == 0
+        assert latencies.shape == (6,)
+        # every slot was written: no zero-timestamp completions survive
+        assert (latencies > 0).all()
+        assert measured > 0
+
+
+class TestPerRequestError:
+    def test_clones_are_independent_same_type_and_args(self):
+        from repro.serving.engine import per_request_error
+
+        original = ValueError("bad batch", 42)
+        first = per_request_error(original)
+        second = per_request_error(original)
+        assert first is not original and second is not original
+        assert first is not second
+        assert type(first) is ValueError and first.args == original.args
+        assert first.__cause__ is original
+
+    def test_uncopyable_error_falls_back_to_original(self):
+        from repro.serving.engine import per_request_error
+
+        class Uncopyable(RuntimeError):
+            def __copy__(self):
+                raise TypeError("no copies")
+
+        original = Uncopyable("x")
+        assert per_request_error(original) is original
+
+    def test_flush_failure_carries_distinct_exceptions(self):
+        """Two requests failed by one micro-batch must not share one
+        exception instance (shared tracebacks / mutated args bleed
+        between callers)."""
+        session = FailingSession()
+        with AsyncServingEngine(session, max_batch=32,
+                                max_wait_ms=50.0) as engine:
+            first = engine.submit([FailingSession.POISON, 0])
+            second = engine.submit([FailingSession.POISON, 1])
+            engine.flush_now()
+            error_one = first.exception(timeout=10.0)
+            error_two = second.exception(timeout=10.0)
+        assert error_one is not None and error_two is not None
+        assert error_one is not error_two
+        assert type(error_one) is type(error_two)
+        assert error_one.args == error_two.args

@@ -40,7 +40,8 @@ def _loadtest_metrics(**overrides):
     metrics = {"requests": 10, "offered_qps": 100.0, "achieved_qps": 99.0,
                "p50_ms": 2.0, "p95_ms": 4.0, "p99_ms": 6.0, "max_ms": 8.0,
                "mean_ms": 2.5, "deadline_ms": 50.0,
-               "slo_violation_rate": 0.0, "cache_hit_rate": 0.8}
+               "slo_violation_rate": 0.0, "cache_hit_rate": 0.8,
+               "failure_rate": 0.0}
     metrics.update(overrides)
     return metrics
 
@@ -112,6 +113,7 @@ class TestMetricDirections:
         assert report.metric_direction("block_peak_mb") == "lower"
         assert report.metric_direction("full_gbitops") == "lower"
         assert report.metric_direction("slo_violation_rate") == "lower"
+        assert report.metric_direction("failure_rate") == "lower"
         assert report.metric_direction("achieved_qps") == "higher"
         assert report.metric_direction("cache_hit_rate") == "higher"
         # config echoes and counts are informational, never gated
@@ -122,5 +124,6 @@ class TestMetricDirections:
 
     def test_slacks_positive_for_gated_suffixes(self):
         for name in ("p50_ms", "achieved_qps", "slo_violation_rate",
-                     "cache_hit_rate", "full_peak_mb", "block_gbitops"):
+                     "failure_rate", "cache_hit_rate", "full_peak_mb",
+                     "block_gbitops"):
             assert report.metric_slack(name) > 0

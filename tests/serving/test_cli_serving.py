@@ -89,7 +89,8 @@ class TestEndToEnd:
 class TestParserSnapshot:
     def test_subcommand_set(self):
         assert set(_subcommands(build_parser())) == \
-            {"search", "train", "table", "export", "predict", "loadtest"}
+            {"search", "train", "table", "export", "predict", "loadtest",
+             "streamtest"}
 
     def test_export_options_snapshot(self):
         snapshot = _option_snapshot(_subcommands(build_parser())["export"])
@@ -183,6 +184,45 @@ class TestParserSnapshot:
         assert result["kind"] == "loadtest"
         assert result["metrics"]["requests"] == 8  # 12 requests - 4 warm-up
         assert result["meta"]["dataset"] == "cora"
+
+    def test_streamtest_options_snapshot(self):
+        snapshot = _option_snapshot(_subcommands(build_parser())["streamtest"])
+        assert set(snapshot) == {
+            "--artifact", "--dataset", "--scale", "--seed", "--conv",
+            "--hidden", "--layers", "--uniform-bits", "--train-epochs",
+            "--pattern", "--skew", "--arrival", "--qps", "--duration",
+            "--requests", "--seeds-per-request", "--update-every",
+            "--edges-per-update", "--feature-nodes", "--update-seed",
+            "--warmup", "--deadline-ms", "--traffic-seed", "--fanout",
+            "--batch-size", "--cache-size", "--workers", "--backend",
+            "--max-wait-ms", "--emit", "--name"}
+        assert snapshot["--update-every"][0] == 8
+        assert snapshot["--edges-per-update"][0] == 4
+        assert snapshot["--feature-nodes"][0] == 2
+        assert snapshot["--update-seed"][0] == 0
+        assert snapshot["--warmup"][0] == 16
+        assert snapshot["--deadline-ms"][0] == pytest.approx(50.0)
+        # no sharding knobs: sharded sessions don't support streaming updates
+        assert "--shards" not in snapshot and "--mode" not in snapshot
+
+    def test_streamtest_emits_schema_valid_trajectory(self, tmp_path, capsys):
+        from repro.loadgen.report import load_payload
+
+        emit_path = tmp_path / "bench.json"
+        assert main(["streamtest", "--dataset", "cora", "--scale", "0.05",
+                     "--train-epochs", "2", "--requests", "24",
+                     "--update-every", "6", "--seeds-per-request", "4",
+                     "--warmup", "4", "--deadline-ms", "200",
+                     "--cache-size", "2048", "--emit", str(emit_path)]) == 0
+        out = capsys.readouterr().out
+        assert "updates" in out and "failure rate" in out
+        payload = load_payload(emit_path)
+        result = payload["results"]["streamtest.zipfian.poisson"]
+        assert result["kind"] == "loadtest"
+        assert result["metrics"]["failure_rate"] == 0
+        assert result["metrics"]["updates"] >= 1
+        assert result["metrics"]["final_version"] >= 1
+        assert result["meta"]["update_every"] == 6
 
     def test_predict_help_documents_defaults(self):
         # collapse argparse's terminal-width wrapping before matching

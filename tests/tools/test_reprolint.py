@@ -304,6 +304,48 @@ class TestApiHygieneRule:
 
 
 # --------------------------------------------------------------------- #
+# RL05 — cache-key versioning
+# --------------------------------------------------------------------- #
+class TestCacheKeyVersionRule:
+    def test_versionless_key_flagged(self):
+        violations = lint("""
+            def key(node, fanout, hop, epoch):
+                return ("blk", node, fanout, hop, epoch)
+        """)
+        assert rule_ids(violations) == ["RL05"]
+        assert "graph-version" in violations[0].message
+
+    def test_row_version_component_passes(self):
+        violations = lint("""
+            def key(node, version):
+                return ("row", int(node), int(version))
+        """)
+        assert violations == []
+
+    def test_region_tag_component_passes(self):
+        violations = lint("""
+            def key(seeds, fanouts, epoch, region_tag):
+                return ("bat", seeds.tobytes(), tuple(fanouts), epoch,
+                        region_tag)
+        """)
+        assert violations == []
+
+    def test_membership_tuple_is_not_a_key(self):
+        violations = lint("""
+            def is_row_shaped(key):
+                return key[0] in ("row", "blk")
+        """)
+        assert violations == []
+
+    def test_line_suppression(self):
+        violations = lint("""
+            def key(node):
+                return ("row", node)  # reprolint: disable=RL05
+        """)
+        assert violations == []
+
+
+# --------------------------------------------------------------------- #
 # suppression hygiene + CLI + self-check
 # --------------------------------------------------------------------- #
 class TestSuppressionsAndCli:
@@ -344,7 +386,8 @@ class TestSuppressionsAndCli:
         assert reprolint_main(["--rules", "RL01", str(dirty)]) == 1
 
     def test_rule_registry_is_complete(self):
-        assert sorted(RULES_BY_ID) == ["RL01", "RL02", "RL03", "RL04"]
+        assert sorted(RULES_BY_ID) == ["RL01", "RL02", "RL03", "RL04",
+                                       "RL05"]
 
     def test_shipped_tree_is_clean(self):
         targets = [str(REPO_ROOT / name)

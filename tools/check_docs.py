@@ -27,6 +27,7 @@ LINTED_FILES = sorted(DOCS_DIR.glob("*.md")) + [REPO_ROOT / "README.md"]
 #: Docs whose ``python`` fences form one runnable, ordered walkthrough.
 EXECUTABLE_DOCS = [DOCS_DIR / "serving.md", DOCS_DIR / "sharding.md",
                    DOCS_DIR / "kernels.md", DOCS_DIR / "benchmarks.md",
+                   DOCS_DIR / "streaming.md",
                    DOCS_DIR / "static-analysis.md"]
 
 _FENCE = re.compile(r"^(```+)\s*(\S*)\s*$")

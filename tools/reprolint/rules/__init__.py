@@ -9,12 +9,14 @@ from tools.reprolint.rules.rl01_determinism import DeterminismRule
 from tools.reprolint.rules.rl02_integer_purity import IntegerPurityRule
 from tools.reprolint.rules.rl03_locks import LockDisciplineRule
 from tools.reprolint.rules.rl04_api_hygiene import ApiHygieneRule
+from tools.reprolint.rules.rl05_cache_keys import CacheKeyVersionRule
 
 ALL_RULES = (
     DeterminismRule(),
     IntegerPurityRule(),
     LockDisciplineRule(),
     ApiHygieneRule(),
+    CacheKeyVersionRule(),
 )
 
 RULES_BY_ID = {rule.rule_id: rule for rule in ALL_RULES}
@@ -23,6 +25,7 @@ __all__ = [
     "ALL_RULES",
     "RULES_BY_ID",
     "ApiHygieneRule",
+    "CacheKeyVersionRule",
     "DeterminismRule",
     "IntegerPurityRule",
     "LockDisciplineRule",
